@@ -1,0 +1,126 @@
+//===- bench/BenchUtil.h - Shared benchmark harness ------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for regenerating the paper's tables: compile a workload
+/// in a compilation mode, execute it under a machine model, and print
+/// paper-style rows (measured slowdown percentages next to the paper's
+/// numbers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_BENCH_BENCHUTIL_H
+#define GCSAFE_BENCH_BENCHUTIL_H
+
+#include "driver/Pipeline.h"
+#include "vm/Machine.h"
+#include "vm/VM.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+namespace gcsafe {
+namespace bench {
+
+struct ModeRun {
+  uint64_t Cycles = 0;
+  uint64_t SpillCycles = 0;
+  unsigned SizeUnits = 0;
+  bool Ok = false;
+};
+
+inline ModeRun runWorkload(const workloads::Workload &W,
+                           driver::CompileMode Mode,
+                           const vm::MachineModel &Model,
+                           const annotate::AnnotatorOptions &Annot = {}) {
+  driver::Compilation C(W.Name, W.Source);
+  driver::CompileOptions CO;
+  CO.Mode = Mode;
+  CO.Annot = Annot;
+  driver::CompileResult CR = C.compile(CO);
+  ModeRun R;
+  if (!CR.Ok) {
+    std::fprintf(stderr, "compile failed for %s: %s\n", W.Name,
+                 CR.Errors.c_str());
+    return R;
+  }
+  R.SizeUnits = CR.CodeSizeUnits;
+  vm::VMOptions VO;
+  VO.Model = Model;
+  vm::VM Machine(CR.Module, VO);
+  vm::RunResult Run = Machine.run();
+  if (!Run.Ok) {
+    std::fprintf(stderr, "run failed for %s: %s\n", W.Name,
+                 Run.Error.c_str());
+    return R;
+  }
+  R.Cycles = Run.Cycles;
+  R.SpillCycles = Run.SpillCycles;
+  R.Ok = true;
+  return R;
+}
+
+inline double slowdownPct(uint64_t Base, uint64_t Other) {
+  if (Base == 0)
+    return 0.0;
+  return 100.0 * (static_cast<double>(Other) - static_cast<double>(Base)) /
+         static_cast<double>(Base);
+}
+
+/// One paper reference cell: a percentage, or absent (the paper's '-' /
+/// '<fails>' entries).
+struct PaperCell {
+  bool Present = false;
+  double Pct = 0.0;
+  const char *Note = "-";
+};
+
+inline PaperCell paper(double Pct) { return {true, Pct, nullptr}; }
+inline PaperCell paperNA(const char *Note = "-") { return {false, 0.0, Note}; }
+
+inline void printCell(double Measured, const PaperCell &Paper) {
+  if (Paper.Present)
+    std::printf("  %7.1f%% (paper %4.0f%%)", Measured, Paper.Pct);
+  else
+    std::printf("  %7.1f%% (paper %5s)", Measured, Paper.Note);
+}
+
+/// Prints one slowdown table (the paper's SPARCstation 2 / SPARC 10 /
+/// Pentium 90 tables): rows = workloads, columns = (-O safe, -g,
+/// -g checked) relative to -O.
+struct SlowdownPaperRow {
+  const workloads::Workload *W;
+  PaperCell Safe, Debug, Checked;
+};
+
+inline void printSlowdownTable(const vm::MachineModel &Model,
+                               const SlowdownPaperRow *Rows, size_t NumRows) {
+  std::printf("\n=== Slowdown vs -O baseline, %s model ===\n",
+              Model.Name.c_str());
+  std::printf("%-10s %28s %28s %28s\n", "", "-O safe", "-g", "-g checked");
+  for (size_t I = 0; I < NumRows; ++I) {
+    const workloads::Workload &W = *Rows[I].W;
+    ModeRun Base = runWorkload(W, driver::CompileMode::O2, Model);
+    ModeRun Safe = runWorkload(W, driver::CompileMode::O2Safe, Model);
+    ModeRun Debug = runWorkload(W, driver::CompileMode::Debug, Model);
+    ModeRun Checked =
+        runWorkload(W, driver::CompileMode::DebugChecked, Model);
+    if (!Base.Ok)
+      continue;
+    std::printf("%-10s", W.Name);
+    printCell(slowdownPct(Base.Cycles, Safe.Cycles), Rows[I].Safe);
+    printCell(slowdownPct(Base.Cycles, Debug.Cycles), Rows[I].Debug);
+    printCell(slowdownPct(Base.Cycles, Checked.Cycles), Rows[I].Checked);
+    std::printf("\n");
+  }
+}
+
+} // namespace bench
+} // namespace gcsafe
+
+#endif // GCSAFE_BENCH_BENCHUTIL_H

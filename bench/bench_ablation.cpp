@@ -1,0 +1,120 @@
+//===- bench/bench_ablation.cpp - Design-decision ablations ---------------===//
+//
+// Ablations for the design choices DESIGN.md §6 calls out:
+//
+//  1. KEEP_LIVE implementation — the paper's naive variant ("a call to an
+//     external function ... terribly inefficient") vs the empty-asm
+//     expansion vs the postprocessor.
+//  2. Optimization 4 — annotation counts and cost under the call-site-only
+//     collection regime vs the asynchronous default.
+//  3. Optimization 1 — KEEP_LIVE counts with and without the copy filter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gcsafe;
+using namespace gcsafe::bench;
+using namespace gcsafe::workloads;
+
+namespace {
+
+struct AblationRun {
+  uint64_t Cycles = 0;
+  unsigned Annotations = 0;
+};
+
+AblationRun runWith(const Workload &W, driver::CompileMode Mode,
+                    const annotate::AnnotatorOptions &Annot,
+                    vm::VMOptions VO) {
+  driver::Compilation C(W.Name, W.Source);
+  driver::CompileOptions CO;
+  CO.Mode = Mode;
+  CO.Annot = Annot;
+  driver::CompileResult CR = C.compile(CO);
+  AblationRun R;
+  if (!CR.Ok)
+    return R;
+  R.Annotations = CR.AnnotStats.total();
+  vm::VM Machine(CR.Module, VO);
+  auto Run = Machine.run();
+  if (Run.Ok)
+    R.Cycles = Run.Cycles;
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  vm::VMOptions Base;
+  Base.Model = vm::sparc10();
+
+  std::printf("=== Ablation 1: KEEP_LIVE implementation (SPARC 10, "
+              "slowdown vs -O2) ===\n");
+  std::printf("%-10s %14s %14s %14s\n", "", "empty asm", "external call",
+              "with postproc");
+  for (const Workload *W : benchmarkSuite()) {
+    AblationRun O2 = runWith(*W, driver::CompileMode::O2, {}, Base);
+    AblationRun Asm = runWith(*W, driver::CompileMode::O2Safe, {}, Base);
+    vm::VMOptions CallCost = Base;
+    CallCost.KeepLiveCostsCall = true;
+    AblationRun Call =
+        runWith(*W, driver::CompileMode::O2Safe, {}, CallCost);
+    AblationRun Post =
+        runWith(*W, driver::CompileMode::O2SafePost, {}, Base);
+    if (!O2.Cycles)
+      continue;
+    std::printf("%-10s %+13.1f%% %+13.1f%% %+13.1f%%\n", W->Name,
+                slowdownPct(O2.Cycles, Asm.Cycles),
+                slowdownPct(O2.Cycles, Call.Cycles),
+                slowdownPct(O2.Cycles, Post.Cycles));
+  }
+
+  std::printf("\n=== Ablation 2: optimization 4 (call-site-only "
+              "collection) ===\n");
+  std::printf("%-10s %18s %18s %16s\n", "", "annotations async",
+              "annotations @calls", "cycles @calls");
+  for (const Workload *W : benchmarkSuite()) {
+    AblationRun Async = runWith(*W, driver::CompileMode::O2Safe, {}, Base);
+    annotate::AnnotatorOptions AtCalls;
+    AtCalls.Trigger = annotate::GcTrigger::AtCallsOnly;
+    vm::VMOptions CallGC = Base;
+    CallGC.GcCallPeriod = 16;
+    AblationRun Reduced =
+        runWith(*W, driver::CompileMode::O2Safe, AtCalls, CallGC);
+    std::printf("%-10s %18u %18u %+15.1f%%\n", W->Name, Async.Annotations,
+                Reduced.Annotations,
+                Async.Cycles
+                    ? slowdownPct(Async.Cycles, Reduced.Cycles)
+                    : 0.0);
+  }
+
+  std::printf("\n=== Ablation 3: optimization 1 (copy filter) ===\n");
+  std::printf("%-10s %16s %16s\n", "", "keep_lives opt1", "keep_lives raw");
+  for (const Workload *W : benchmarkSuite()) {
+    AblationRun With = runWith(*W, driver::CompileMode::O2Safe, {}, Base);
+    annotate::AnnotatorOptions NoSkip;
+    NoSkip.SkipCopies = false;
+    AblationRun Without =
+        runWith(*W, driver::CompileMode::O2Safe, NoSkip, Base);
+    std::printf("%-10s %16u %16u\n", W->Name, With.Annotations,
+                Without.Annotations);
+  }
+
+  benchmark::RegisterBenchmark("ablation/keeplive_call_cordtest",
+                               [&](benchmark::State &S) {
+                                 for (auto _ : S) {
+                                   vm::VMOptions VO = Base;
+                                   VO.KeepLiveCostsCall = true;
+                                   AblationRun R = runWith(
+                                       cordtest(),
+                                       driver::CompileMode::O2Safe, {}, VO);
+                                   benchmark::DoNotOptimize(R.Cycles);
+                                 }
+                               })->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- bench/bench_annotator.cpp - Preprocessor throughput ---------------===//
+//
+// The paper: "We have not attempted to tune the performance of the
+// preprocessor ... It should be much faster than the rest of the
+// compilation process, and certainly is no slower."
+//
+// Measures, on the largest workload sources: parse+typecheck alone, the
+// annotation analysis, textual rendering, and full middle-end compilation
+// — the annotator must not dominate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gcsafe;
+using namespace gcsafe::workloads;
+
+static void BM_ParseOnly(benchmark::State &State, const Workload *W) {
+  for (auto _ : State) {
+    driver::Compilation C(W->Name, W->Source);
+    benchmark::DoNotOptimize(C.parse());
+  }
+}
+
+static void BM_Annotate(benchmark::State &State, const Workload *W) {
+  driver::Compilation C(W->Name, W->Source);
+  C.parse();
+  for (auto _ : State) {
+    auto Map = C.annotate({});
+    benchmark::DoNotOptimize(Map.stats().total());
+  }
+}
+
+static void BM_RenderChecked(benchmark::State &State, const Workload *W) {
+  driver::Compilation C(W->Name, W->Source);
+  C.parse();
+  for (auto _ : State) {
+    std::string Out = C.annotatedSource(annotate::AnnotationMode::Checked);
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+
+static void BM_FullCompileSafe(benchmark::State &State, const Workload *W) {
+  for (auto _ : State) {
+    driver::Compilation C(W->Name, W->Source);
+    driver::CompileOptions CO;
+    CO.Mode = driver::CompileMode::O2Safe;
+    auto CR = C.compile(CO);
+    benchmark::DoNotOptimize(CR.CodeSizeUnits);
+  }
+}
+
+int main(int argc, char **argv) {
+  for (const Workload *W : benchmarkSuite()) {
+    std::string N = W->Name;
+    benchmark::RegisterBenchmark((N + "/parse").c_str(),
+                                 [W](benchmark::State &S) {
+                                   BM_ParseOnly(S, W);
+                                 })->Iterations(2);
+    benchmark::RegisterBenchmark((N + "/annotate").c_str(),
+                                 [W](benchmark::State &S) {
+                                   BM_Annotate(S, W);
+                                 })->Iterations(2);
+    benchmark::RegisterBenchmark((N + "/render_checked").c_str(),
+                                 [W](benchmark::State &S) {
+                                   BM_RenderChecked(S, W);
+                                 })->Iterations(2);
+    benchmark::RegisterBenchmark((N + "/full_compile_safe").c_str(),
+                                 [W](benchmark::State &S) {
+                                   BM_FullCompileSafe(S, W);
+                                 })->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- bench/bench_codesize.cpp - Paper Table 4 --------------------------===//
+//
+// Regenerates the paper's object-code expansion table ("SPARC object code
+// expansions with and without preprocessing. These numbers include only
+// the code that was actually processed, not the standard libraries"):
+//
+//                -O2, safe  -g        -g, checked
+//   cordtest     9%         69%       130%
+//   cfrac        6%         -         -
+//   gawk         15%        68%       -
+//   gs           19%        73%       160%
+//
+// "Note that the first two columns could be expected to be somewhat
+// indicative of execution times outside of libraries. The last column, on
+// the other hand, grossly understates dynamic instruction counts, since
+// additional procedure calls are introduced."
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gcsafe;
+using namespace gcsafe::bench;
+using namespace gcsafe::workloads;
+
+namespace {
+unsigned sizeUnits(const workloads::Workload &W, driver::CompileMode Mode) {
+  driver::Compilation C(W.Name, W.Source);
+  driver::CompileOptions CO;
+  CO.Mode = Mode;
+  driver::CompileResult CR = C.compile(CO);
+  return CR.Ok ? CR.CodeSizeUnits : 0;
+}
+
+void BM_CompileMode(benchmark::State &State, const workloads::Workload *W,
+                    driver::CompileMode Mode) {
+  unsigned Units = 0;
+  for (auto _ : State) {
+    driver::Compilation C(W->Name, W->Source);
+    driver::CompileOptions CO;
+    CO.Mode = Mode;
+    driver::CompileResult CR = C.compile(CO);
+    Units = CR.CodeSizeUnits;
+    benchmark::DoNotOptimize(Units);
+  }
+  State.counters["size_units"] =
+      benchmark::Counter(static_cast<double>(Units));
+}
+} // namespace
+
+int main(int argc, char **argv) {
+  struct Row {
+    const workloads::Workload *W;
+    PaperCell Safe, Debug, Checked;
+  };
+  const Row Rows[] = {
+      {&cordtest(), paper(9), paper(69), paper(130)},
+      {&cfrac(), paper(6), paperNA(), paperNA()},
+      {&gawk(), paper(15), paper(68), paperNA()},
+      {&gs(), paper(19), paper(73), paper(160)},
+  };
+
+  std::printf("\n=== Object code expansion vs -O2 (processed code only) "
+              "===\n");
+  std::printf("%-10s %28s %28s %28s\n", "", "-O2 safe", "-g", "-g checked");
+  for (const Row &R : Rows) {
+    unsigned Base = sizeUnits(*R.W, driver::CompileMode::O2);
+    unsigned Safe = sizeUnits(*R.W, driver::CompileMode::O2Safe);
+    unsigned Debug = sizeUnits(*R.W, driver::CompileMode::Debug);
+    unsigned Checked = sizeUnits(*R.W, driver::CompileMode::DebugChecked);
+    if (!Base)
+      continue;
+    std::printf("%-10s", R.W->Name);
+    printCell(slowdownPct(Base, Safe), R.Safe);
+    printCell(slowdownPct(Base, Debug), R.Debug);
+    printCell(slowdownPct(Base, Checked), R.Checked);
+    std::printf("\n");
+  }
+
+  for (const Workload *W : benchmarkSuite())
+    benchmark::RegisterBenchmark(
+        (std::string(W->Name) + "/compile_O2safe").c_str(),
+        [W](benchmark::State &S) {
+          BM_CompileMode(S, W, driver::CompileMode::O2Safe);
+        })->Iterations(2);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- bench/bench_postproc.cpp - Paper Table 5 --------------------------===//
+//
+// Regenerates the postprocessor table ("On a SPARC 10, the execution time
+// and code size degradations from the fully optimized normally compiled
+// code were reduced to"):
+//
+//                running time   code size
+//   cordtest     4%             3%
+//   cfrac        2%             3%
+//   gawk         1%             7%
+//   gs           2%             7%
+//
+// The postprocessor applies the paper's three peephole patterns to the
+// safe build — most importantly pattern 1, fusing add/keep_live/load back
+// into an indexed load when the KEEP_LIVE base is one of the add operands.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gcsafe;
+using namespace gcsafe::bench;
+using namespace gcsafe::workloads;
+
+int main(int argc, char **argv) {
+  struct Row {
+    const workloads::Workload *W;
+    PaperCell Time, Size;
+  };
+  const Row Rows[] = {
+      {&cordtest(), paper(4), paper(3)},
+      {&cfrac(), paper(2), paper(3)},
+      {&gawk(), paper(1), paper(7)},
+      {&gs(), paper(2), paper(7)},
+  };
+
+  vm::MachineModel Model = vm::sparc10();
+  std::printf("\n=== Safe + postprocessor vs -O2 baseline (SPARC 10) ===\n");
+  std::printf("%-10s %28s %28s %16s\n", "", "running time", "code size",
+              "(safe w/o post)");
+  for (const Row &R : Rows) {
+    ModeRun Base = runWorkload(*R.W, driver::CompileMode::O2, Model);
+    ModeRun Safe = runWorkload(*R.W, driver::CompileMode::O2Safe, Model);
+    ModeRun Post = runWorkload(*R.W, driver::CompileMode::O2SafePost, Model);
+    if (!Base.Ok || !Post.Ok)
+      continue;
+    std::printf("%-10s", R.W->Name);
+    printCell(slowdownPct(Base.Cycles, Post.Cycles), R.Time);
+    printCell(slowdownPct(Base.SizeUnits, Post.SizeUnits), R.Size);
+    std::printf("  %10.1f%%\n", slowdownPct(Base.Cycles, Safe.Cycles));
+  }
+
+  for (const Workload *W : benchmarkSuite()) {
+    benchmark::RegisterBenchmark(
+        (std::string(W->Name) + "/O2safepost").c_str(),
+        [W](benchmark::State &S) {
+          driver::Compilation C(W->Name, W->Source);
+          driver::CompileOptions CO;
+          CO.Mode = driver::CompileMode::O2SafePost;
+          driver::CompileResult CR = C.compile(CO);
+          for (auto _ : S) {
+            vm::VM Machine(CR.Module, {});
+            auto R = Machine.run();
+            benchmark::DoNotOptimize(R.Cycles);
+          }
+        })->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/bench_slowdown_pentium90.cpp - Paper Table 3 ----------------===//
+//
+// Regenerates the paper's Pentium 90 slowdown table:
+//
+//                -O2, safe  -g        -g, checked
+//   cordtest     12%        28%       510%
+//   cfrac        11%        -         -
+//   gawk         9%         41%       -
+//   gs           6%         17%       279%
+//
+// The paper uses the Pentium's smaller register file to argue that the
+// safe-mode overhead is NOT register pressure; compare the '-O safe'
+// column across the three machine models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gcsafe;
+using namespace gcsafe::bench;
+using namespace gcsafe::workloads;
+
+static void BM_WorkloadMode(benchmark::State &State,
+                            const workloads::Workload *W,
+                            driver::CompileMode Mode) {
+  driver::Compilation C(W->Name, W->Source);
+  driver::CompileOptions CO;
+  CO.Mode = Mode;
+  driver::CompileResult CR = C.compile(CO);
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    vm::VMOptions VO;
+    VO.Model = vm::pentium90();
+    vm::VM Machine(CR.Module, VO);
+    auto R = Machine.run();
+    Cycles = R.Cycles;
+    benchmark::DoNotOptimize(R.Output.data());
+  }
+  State.counters["model_cycles"] =
+      benchmark::Counter(static_cast<double>(Cycles));
+}
+
+int main(int argc, char **argv) {
+  const SlowdownPaperRow Rows[] = {
+      {&cordtest(), paper(12), paper(28), paper(510)},
+      {&cfrac(), paper(11), paperNA(), paperNA()},
+      {&gawk(), paper(9), paper(41), paperNA()},
+      {&gs(), paper(6), paper(17), paper(279)},
+  };
+  printSlowdownTable(vm::pentium90(), Rows, 4);
+
+  for (const Workload *W : benchmarkSuite()) {
+    for (auto [Mode, Name] :
+         {std::pair{driver::CompileMode::O2, "O2"},
+          std::pair{driver::CompileMode::O2Safe, "O2safe"},
+          std::pair{driver::CompileMode::Debug, "g"},
+          std::pair{driver::CompileMode::DebugChecked, "gchecked"}}) {
+      benchmark::RegisterBenchmark(
+          (std::string(W->Name) + "/" + Name).c_str(),
+          [W, Mode = Mode](benchmark::State &S) {
+            BM_WorkloadMode(S, W, Mode);
+          })->Iterations(2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/bench_slowdown_sparc10.cpp - Paper Table 2 ------------------===//
+//
+// Regenerates the paper's SPARCstation 10 slowdown table:
+//
+//                -O2, safe  -g        -g, checked
+//   cordtest     9%         56%       529%
+//   cfrac        8%         -         -
+//   gawk         8%         48%       -
+//   gs           5%         37%       366%
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gcsafe;
+using namespace gcsafe::bench;
+using namespace gcsafe::workloads;
+
+static void BM_WorkloadMode(benchmark::State &State,
+                            const workloads::Workload *W,
+                            driver::CompileMode Mode) {
+  driver::Compilation C(W->Name, W->Source);
+  driver::CompileOptions CO;
+  CO.Mode = Mode;
+  driver::CompileResult CR = C.compile(CO);
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    vm::VMOptions VO;
+    VO.Model = vm::sparc10();
+    vm::VM Machine(CR.Module, VO);
+    auto R = Machine.run();
+    Cycles = R.Cycles;
+    benchmark::DoNotOptimize(R.Output.data());
+  }
+  State.counters["model_cycles"] =
+      benchmark::Counter(static_cast<double>(Cycles));
+}
+
+int main(int argc, char **argv) {
+  const SlowdownPaperRow Rows[] = {
+      {&cordtest(), paper(9), paper(56), paper(529)},
+      {&cfrac(), paper(8), paperNA(), paperNA()},
+      {&gawk(), paper(8), paper(48), paperNA()},
+      {&gs(), paper(5), paper(37), paper(366)},
+  };
+  printSlowdownTable(vm::sparc10(), Rows, 4);
+
+  for (const Workload *W : benchmarkSuite()) {
+    for (auto [Mode, Name] :
+         {std::pair{driver::CompileMode::O2, "O2"},
+          std::pair{driver::CompileMode::O2Safe, "O2safe"},
+          std::pair{driver::CompileMode::Debug, "g"},
+          std::pair{driver::CompileMode::DebugChecked, "gchecked"}}) {
+      benchmark::RegisterBenchmark(
+          (std::string(W->Name) + "/" + Name).c_str(),
+          [W, Mode = Mode](benchmark::State &S) {
+            BM_WorkloadMode(S, W, Mode);
+          })->Iterations(2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- examples/checker_demo.cpp - Pointer-arithmetic checking -----------===//
+//
+// Reproduces the paper's debugging anecdote: running gawk with checking
+// enabled "immediately and correctly detected a pointer arithmetic error
+// which was also an array access error", while Ghostscript — whose heap
+// objects carry prepended standard headers — reported nothing.
+//
+// Build & run:  ./build/examples/checker_demo
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace gcsafe;
+using namespace gcsafe::workloads;
+
+static void runChecked(const Workload &W) {
+  std::printf("--- %s (%s) ---\n", W.Name, W.Description);
+  vm::VMOptions VO;
+  auto R = driver::compileAndRun(W.Name, W.Source,
+                                 driver::CompileMode::DebugChecked, VO);
+  if (!R.Ok) {
+    std::printf("  run failed: %s\n", R.Error.c_str());
+    return;
+  }
+  std::printf("  output:      %s", R.Output.c_str());
+  std::printf("  checks:      %llu\n",
+              static_cast<unsigned long long>(R.ChecksPerformed));
+  std::printf("  violations:  %llu%s\n",
+              static_cast<unsigned long long>(R.CheckViolations),
+              R.CheckViolations ? "   <-- pointer arithmetic errors!" : "");
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("=== gcsafe checked mode: GC_same_obj on every pointer "
+              "operation ===\n\n");
+
+  runChecked(gawkBuggy());
+  runChecked(gawk());
+  runChecked(gs());
+
+  std::printf("The buggy gawk represents its record buffer as a pointer to "
+              "one element\nbefore the array's beginning (q = rec - 1) — "
+              "the exact class of bug the\npaper's checker caught. The "
+              "clean variants report zero violations.\n\n");
+
+  // Show the annotated source of the offending function.
+  driver::Compilation C("gawk-buggy.c", gawkBuggy().Source);
+  std::string Annotated =
+      C.annotatedSource(annotate::AnnotationMode::Checked);
+  std::string::size_type Pos = Annotated.find("long split");
+  if (Pos != std::string::npos) {
+    std::printf("=== checked-mode expansion of the buggy splitter "
+                "(excerpt) ===\n%s...\n",
+                Annotated.substr(Pos, 600).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- examples/extensions_demo.cpp - The paper's Extensions section -----===//
+//
+// "It is possible to extend this approach to a collector which considers
+// interior pointers as valid only if they originate from the stack or
+// registers ... This requires asserting that the client program stores
+// only pointers to the base of an object in the heap or in statically
+// allocated variables."
+//
+// This demo runs the same two programs under both collector modes:
+//   * base-clean:   stores only object-base pointers in the heap — works
+//                   in both modes;
+//   * interior-dep: the only surviving reference is an interior pointer
+//                   stored in a heap struct — fine in the default mode,
+//                   breaks in base-only mode.
+//
+// Build & run:  ./build/examples/extensions_demo
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+using namespace gcsafe;
+
+static const char *BaseCleanProgram = R"C(
+struct holder { char *base; };
+int main(void) {
+  struct holder *h;
+  char *buf;
+  long i; long s;
+  h = (struct holder *)gc_malloc(sizeof(struct holder));
+  buf = (char *)gc_malloc_atomic(256);
+  for (i = 0; i < 256; i++) { buf[i] = i % 100; }
+  h->base = buf;            /* base pointer stored in the heap: OK */
+  buf = 0;
+  s = 0;
+  for (i = 0; i < 100; i++) {
+    gc_malloc(32);
+    s = s + h->base[128 + i % 64];
+  }
+  print_int(s);
+  return 0;
+}
+)C";
+
+static const char *InteriorDepProgram = R"C(
+struct holder { char *mid; };
+int main(void) {
+  struct holder *h;
+  char *buf;
+  long i; long s;
+  h = (struct holder *)gc_malloc(sizeof(struct holder));
+  buf = (char *)gc_malloc_atomic(256);
+  for (i = 0; i < 256; i++) { buf[i] = i % 100; }
+  h->mid = buf + 128;       /* interior pointer stored in the heap */
+  buf = 0;
+  s = 0;
+  for (i = 0; i < 100; i++) {
+    gc_malloc(32);
+    s = s + h->mid[i % 64];
+  }
+  print_int(s);
+  return 0;
+}
+)C";
+
+static void run(const char *Label, const char *Source,
+                bool AllInteriorPointers) {
+  vm::VMOptions VO;
+  VO.GcAllocTrigger = 2;
+  VO.AllInteriorPointers = AllInteriorPointers;
+  auto R = driver::compileAndRun(Label, Source, driver::CompileMode::O2Safe,
+                                 VO);
+  std::printf("  %-28s output=%-8s freed-object accesses=%llu\n",
+              AllInteriorPointers ? "all-interior (default)"
+                                  : "base-only (Extensions)",
+              R.Ok ? R.Output.c_str() : "<error>",
+              static_cast<unsigned long long>(R.FreedAccesses));
+}
+
+int main() {
+  std::printf("=== program storing only BASE pointers in the heap ===\n");
+  run("base-clean", BaseCleanProgram, true);
+  run("base-clean", BaseCleanProgram, false);
+
+  std::printf("\n=== program whose only reference is a heap-stored "
+              "INTERIOR pointer ===\n");
+  run("interior-dep", InteriorDepProgram, true);
+  run("interior-dep", InteriorDepProgram, false);
+
+  std::printf("\nIn base-only mode the heap-stored interior pointer does "
+              "not retain the\nbuffer: it is swept and poisoned, and the "
+              "reads go to freed memory. The\npaper notes this mode "
+              "\"interacts suboptimally with C++ compilers that use\n"
+              "interior pointers as part of their multiple inheritance "
+              "implementation.\"\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+/* Sample input for gcsafe-cc: builds a linked list on the collecting
+ * allocator and sums it through pointer arithmetic. */
+
+struct node {
+  struct node *next;
+  long value;
+};
+
+long sum_list(struct node *head) {
+  long s;
+  s = 0;
+  while (head) {
+    s = s + head->value;
+    head = head->next;
+  }
+  return s;
+}
+
+int main(void) {
+  struct node *head;
+  struct node *n;
+  char *name;
+  long i;
+  head = 0;
+  for (i = 0; i < 100; i++) {
+    n = (struct node *)gc_malloc(sizeof(struct node));
+    n->value = i * 2;
+    n->next = head;
+    head = n;
+  }
+  name = (char *)gc_malloc_atomic(16);
+  name[0] = 'o'; name[1] = 'k'; name[2] = 0;
+  print_str(name);
+  print_char(32);
+  print_int(sum_list(head));
+  print_char(10);
+  return 0;
+}

@@ -1,0 +1,157 @@
+//===- annotate/Annotator.h - KEEP_LIVE annotation -------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's annotation algorithm: "replace every pointer-valued
+/// expression e that occurs as the right side of an assignment, or as the
+/// argument of a dereferencing operation, or as a function argument or
+/// result, by the expression KEEP_LIVE(e, BASE(e)). C increment and
+/// decrement operators are treated as assignments."
+///
+/// The Annotator runs in two phases:
+///  1. analysis — walk the AST, decide which expressions need annotations
+///     and with which base, producing an AnnotationMap. The map is consumed
+///     both by the textual renderer and by the IR lowering (so the VM
+///     executes exactly the decisions the preprocessor made).
+///  2. rendering — emit the annotated C source as insertions/deletions on
+///     the original text, in one of two modes:
+///       * GCSafe  — KEEP_LIVE expands to the gcc empty-asm idiom from the
+///                   paper's "An Implementation" section;
+///       * Checked — KEEP_LIVE becomes a call to GC_same_obj, and ++/--
+///                   become GC_pre_incr / GC_post_incr (the paper's
+///                   "Debugging Applications" section).
+///
+/// Implemented optimizations (the paper's "Optimizations" section):
+///  1. pure copies get no KEEP_LIVE ("there is clearly no reason to replace
+///     the assignment p = q by p = KEEP_LIVE(q, q)");
+///  2. specialized expansions for increment/decrement;
+///  3. a heuristic that replaces base pointers "by equivalent, but less
+///     rapidly varying base pointers" (the strcpy-loop exhibit);
+///  4. reduced annotation when collections are known to happen only at
+///     call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_ANNOTATE_ANNOTATOR_H
+#define GCSAFE_ANNOTATE_ANNOTATOR_H
+
+#include "annotate/Base.h"
+#include "cfront/AST.h"
+#include "rewrite/EditList.h"
+#include "support/Source.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gcsafe {
+namespace annotate {
+
+/// Output flavour of the rendered source.
+enum class AnnotationMode { GCSafe, Checked };
+
+/// When can the collector run? (optimization 4)
+enum class GcTrigger { Asynchronous, AtCallsOnly };
+
+/// Syntactic position that made an expression an annotation point.
+enum class AnnotPosition : uint8_t {
+  AssignRHS,
+  Initializer,
+  DerefArgument,
+  CallArgument,
+  ReturnValue,
+};
+
+/// One annotation decision.
+struct Annotation {
+  enum class Form : uint8_t {
+    KeepLive,       ///< Wrap Target in KEEP_LIVE(Target, base).
+    IncDec,         ///< Expand a pointer ++/-- (Target is the UnaryExpr).
+    CompoundAssign, ///< Expand a pointer += / -= (Target is the AssignExpr).
+    AddrWrap,       ///< Target is an e1[e2] / e->x access whose *address
+                    ///< computation* is wrapped: KEEP_LIVE(&Target, base).
+                    ///< This realizes the paper's "we essentially treat
+                    ///< pointer offset calculations as pointer arithmetic".
+  };
+  Form FormKind = Form::KeepLive;
+  const cfront::Expr *Target = nullptr;
+  BaseResult Base;
+  AnnotPosition Position = AnnotPosition::AssignRHS;
+};
+
+struct AnnotatorStats {
+  unsigned KeepLives = 0;
+  unsigned IncDecExpansions = 0;
+  unsigned CompoundAssignExpansions = 0;
+  unsigned TempsIntroduced = 0; ///< Generating bases materialized.
+  unsigned SkippedCopies = 0;
+  unsigned SkippedCallResults = 0;
+  unsigned SkippedNonHeap = 0;
+  unsigned SkippedAtCallsOnly = 0;
+  unsigned SlowBaseSubstitutions = 0;
+  unsigned UnhandledComplexLValues = 0;
+
+  unsigned total() const {
+    return KeepLives + IncDecExpansions + CompoundAssignExpansions;
+  }
+};
+
+/// The analysis result: every annotation, in AST pre-order.
+class AnnotationMap {
+public:
+  const std::vector<Annotation> &all() const { return Annotations; }
+  const Annotation *find(const cfront::Expr *E) const {
+    auto It = ByExpr.find(E);
+    return It == ByExpr.end() ? nullptr : &Annotations[It->second];
+  }
+  const AnnotatorStats &stats() const { return Stats; }
+
+  void add(Annotation A) {
+    ByExpr[A.Target] = Annotations.size();
+    Annotations.push_back(std::move(A));
+  }
+  AnnotatorStats &mutableStats() { return Stats; }
+
+  /// Optimization 2 setting in effect when the map was built; the renderer
+  /// uses the specialized ++/-- expansions only when true.
+  bool specializeIncDec() const { return SpecializeIncDec; }
+  void setSpecializeIncDec(bool V) { SpecializeIncDec = V; }
+
+private:
+  std::vector<Annotation> Annotations;
+  std::unordered_map<const cfront::Expr *, size_t> ByExpr;
+  AnnotatorStats Stats;
+  bool SpecializeIncDec = true;
+};
+
+struct AnnotatorOptions {
+  bool SkipCopies = true;       ///< Optimization 1.
+  bool SpecializeIncDec = true; ///< Optimization 2.
+  bool PreferSlowBases = false; ///< Optimization 3.
+  GcTrigger Trigger = GcTrigger::Asynchronous; ///< Optimization 4.
+};
+
+/// Phase 1: decide annotations for every function body in \p TU.
+AnnotationMap annotateTranslationUnit(const cfront::TranslationUnit &TU,
+                                      const AnnotatorOptions &Options = {});
+
+/// Phase 2: render the annotated source text. \p Buffer must be the buffer
+/// the AST was parsed from.
+std::string renderAnnotatedSource(const SourceBuffer &Buffer,
+                                  const AnnotationMap &Map,
+                                  AnnotationMode Mode);
+
+/// Appends the textual edits for \p Map to \p Edits without applying them
+/// (exposed for tests and for composing with other rewrites).
+void renderAnnotationEdits(const SourceBuffer &Buffer,
+                           const AnnotationMap &Map, AnnotationMode Mode,
+                           rewrite::EditList &Edits);
+
+} // namespace annotate
+} // namespace gcsafe
+
+#endif // GCSAFE_ANNOTATE_ANNOTATOR_H

@@ -1,0 +1,155 @@
+//===- annotate/Base.cpp --------------------------------------*- C++ -*-===//
+
+#include "annotate/Base.h"
+
+using namespace gcsafe;
+using namespace gcsafe::annotate;
+using namespace gcsafe::cfront;
+
+BaseResult gcsafe::annotate::computeBase(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+  case ExprKind::FloatLiteral:
+    return BaseResult::none(); // BASE(0) = NIL, and non-pointers generally
+  case ExprKind::StringLiteral:
+    // String literals live in static storage, never in the collected heap.
+    return BaseResult::none();
+  case ExprKind::DeclRef: {
+    const auto *DRE = cast<DeclRefExpr>(E);
+    const VarDecl *VD = DRE->varDecl();
+    if (VD && VD->isPossibleHeapPointer())
+      return BaseResult::var(VD); // BASE(x) = x
+    return BaseResult::none();
+  }
+  case ExprKind::Paren:
+    return computeBase(cast<ParenExpr>(E)->inner());
+  case ExprKind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    const Expr *Sub = CE->sub();
+    switch (CE->castKind()) {
+    case CastKind::ArrayDecay:
+      // decay(e) is &e[0]: same object as &e.
+      return computeBaseAddr(Sub);
+    case CastKind::FunctionDecay:
+      return BaseResult::none();
+    case CastKind::Implicit:
+    case CastKind::Explicit:
+    case CastKind::LValueToRValue:
+      // Pointer-to-pointer conversions preserve the object; a pointer
+      // minted from an integer has no base (and sema already warned).
+      if (CE->type()->isPointer() && Sub->type()->isPointer())
+        return computeBase(Sub);
+      return BaseResult::none();
+    }
+    return BaseResult::none();
+  }
+  case ExprKind::Assign: {
+    const auto *AE = cast<AssignExpr>(E);
+    const Expr *LHS = AE->lhs()->ignoreParens();
+    if (AE->op() == AssignOp::Assign) {
+      // BASE(x = e) = x if x is a pointer variable, else BASE(e).
+      if (const auto *DRE = dyn_cast<DeclRefExpr>(LHS))
+        if (const VarDecl *VD = DRE->varDecl())
+          if (VD->isPossibleHeapPointer())
+            return BaseResult::var(VD);
+      return computeBase(AE->rhs());
+    }
+    // BASE(e1 += e2) = BASE(e1); likewise -= (other compound ops are not
+    // pointer-valued).
+    return computeBase(AE->lhs());
+  }
+  case ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    switch (UE->op()) {
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      // BASE(e1++) = BASE(++e1) = BASE(e1).
+      return computeBase(UE->sub());
+    case UnaryOp::AddrOf:
+      // BASE(&e1) = BASEADDR(e1).
+      return computeBaseAddr(UE->sub());
+    case UnaryOp::Deref:
+      // Generating expression: the loaded pointer has no variable base.
+      return BaseResult::generating(E);
+    default:
+      return BaseResult::none();
+    }
+  }
+  case ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    switch (BE->op()) {
+    case BinaryOp::Add:
+      // BASE(e1 + e2) = BASE(e1) "where e1 is the expression with pointer
+      // type".
+      if (BE->lhs()->type()->isPointer())
+        return computeBase(BE->lhs());
+      if (BE->rhs()->type()->isPointer())
+        return computeBase(BE->rhs());
+      return BaseResult::none();
+    case BinaryOp::Sub:
+      if (E->type()->isPointer())
+        return computeBase(BE->lhs()); // BASE(e1 - e2) = BASE(e1)
+      return BaseResult::none();       // ptr - ptr is an integer
+    case BinaryOp::Comma:
+      return computeBase(BE->rhs()); // BASE(e1, e2) = BASE(e2)
+    default:
+      return BaseResult::none();
+    }
+  }
+  case ExprKind::Conditional:
+  case ExprKind::Call:
+    // Generating expressions; BASE "is not defined" — a temporary names
+    // their value.
+    return E->type()->isPointer() ? BaseResult::generating(E)
+                                  : BaseResult::none();
+  case ExprKind::Member:
+  case ExprKind::Index:
+    // As rvalues these are loads (generating). The paper's transformed
+    // program never sees them outside '&'; in surface form we treat a
+    // pointer-valued load the same as *e.
+    return E->type()->isPointer() ? BaseResult::generating(E)
+                                  : BaseResult::none();
+  }
+  return BaseResult::none();
+}
+
+BaseResult gcsafe::annotate::computeBaseAddr(const Expr *E) {
+  switch (E->kind()) {
+  case ExprKind::DeclRef:
+    return BaseResult::none(); // BASEADDR(x) = NIL if x is a variable
+  case ExprKind::StringLiteral:
+    return BaseResult::none();
+  case ExprKind::Paren:
+    return computeBaseAddr(cast<ParenExpr>(E)->inner());
+  case ExprKind::Index: {
+    const auto *IE = cast<IndexExpr>(E);
+    BaseResult B1 = computeBase(IE->base());
+    if (!B1.isNone())
+      return B1; // BASEADDR(e1[e2]) = BASE(e1) if not NIL
+    return computeBase(IE->index()); // else BASE(e2)
+  }
+  case ExprKind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    if (ME->isArrow())
+      return computeBase(ME->base()); // BASEADDR(e1 -> x) = BASE(e1)
+    // &e.x lies within the same object as &e.
+    return computeBaseAddr(ME->base());
+  }
+  case ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    if (UE->op() == UnaryOp::Deref)
+      return computeBase(UE->sub()); // &*e simplifies to e
+    return BaseResult::none();
+  }
+  case ExprKind::Cast: {
+    // Lvalue-ish casts do not occur in well-formed input; decay never
+    // appears where BASEADDR is requested. Be conservative.
+    const auto *CE = cast<CastExpr>(E);
+    return computeBaseAddr(CE->sub());
+  }
+  default:
+    return BaseResult::none();
+  }
+}

@@ -1,0 +1,101 @@
+//===- annotate/Base.h - The paper's BASE/BASEADDR analysis ----*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inductive BASE(e) / BASEADDR(e) definition from the paper's "An
+/// Algorithm" section: BASE(e) is "the pointer variable from which the
+/// value of e is computed, or NIL if there is no such pointer variable",
+/// defined "such that e and BASE(e) are guaranteed to point to the same
+/// object whenever e points to a heap object". BASEADDR(e) is "the possible
+/// base pointer for &e".
+///
+/// The paper's presentation assumes generating expressions (pointer
+/// dereferences, function calls, conditional expressions) have been
+/// assigned to temporaries. Our AST keeps the original surface form, so
+/// instead of a temporary's name the analysis can also return the
+/// *generating subexpression itself*; the annotator materializes a
+/// temporary for it when one is required (using a statement expression,
+/// just like the paper's own gcc-specific output).
+///
+/// Paper rules implemented here (NIL == BaseKind::None):
+///   BASE(0)             = NIL
+///   BASE(x)             = x          if x is a variable and possible heap ptr
+///   BASE(x = e)         = x          if x is a pointer variable
+///   BASE(x = e)         = BASE(e)    if x is not a pointer variable
+///   BASE(e1 += e2)      = BASE(e1);  likewise -=
+///   BASE(e1++/++e1/...) = BASE(e1)
+///   BASE(e1 + e2)       = BASE(e1)   where e1 is the pointer-typed operand
+///   BASE(e1 - e2)       = BASE(e1)
+///   BASE(e1, e2)        = BASE(e2)
+///   BASE(&e1)           = BASEADDR(e1)
+///   BASEADDR(x)         = NIL        if x is a variable
+///   BASEADDR(e1[e2])    = BASE(e1)   if BASE(e1) is not NIL
+///   BASEADDR(e1[e2])    = BASE(e2)   if BASE(e1) is NIL
+///   BASEADDR(e1 -> x)   = BASE(e1)
+/// plus the cases the surface syntax needs: parentheses, pointer-preserving
+/// casts, array decay (decay(e) == &e[0], so BASE = BASEADDR(e)), `e.x`
+/// member access (BASEADDR(e.x) = BASEADDR(e)) and `*e` as an lvalue
+/// (BASEADDR(*e) = BASE(e)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_ANNOTATE_BASE_H
+#define GCSAFE_ANNOTATE_BASE_H
+
+#include "cfront/AST.h"
+
+namespace gcsafe {
+namespace annotate {
+
+/// What the BASE recursion bottomed out at.
+enum class BaseKind : uint8_t {
+  /// NIL: the value is provably not a live heap-object pointer needing
+  /// protection (integer constants, string literals, addresses of
+  /// variables, integers cast to pointers).
+  None,
+  /// A pointer variable; `Var` is set.
+  Var,
+  /// A generating expression (dereference/call/conditional — or a
+  /// heap/record load in surface form); `GenExpr` is set. The annotator
+  /// must introduce a temporary to name it.
+  Generating,
+};
+
+struct BaseResult {
+  BaseKind Kind = BaseKind::None;
+  const cfront::VarDecl *Var = nullptr;
+  const cfront::Expr *GenExpr = nullptr;
+
+  static BaseResult none() { return BaseResult(); }
+  static BaseResult var(const cfront::VarDecl *V) {
+    BaseResult R;
+    R.Kind = BaseKind::Var;
+    R.Var = V;
+    return R;
+  }
+  static BaseResult generating(const cfront::Expr *E) {
+    BaseResult R;
+    R.Kind = BaseKind::Generating;
+    R.GenExpr = E;
+    return R;
+  }
+
+  bool isNone() const { return Kind == BaseKind::None; }
+};
+
+/// Computes BASE(e). \p E should be pointer-valued (the result for other
+/// expressions is None).
+BaseResult computeBase(const cfront::Expr *E);
+
+/// Computes BASEADDR(e): the base pointer for &e. \p E must be an lvalue
+/// (or string literal).
+BaseResult computeBaseAddr(const cfront::Expr *E);
+
+} // namespace annotate
+} // namespace gcsafe
+
+#endif // GCSAFE_ANNOTATE_BASE_H

@@ -1,0 +1,257 @@
+//===- annotate/SourceCheck.cpp -------------------------------*- C++ -*-===//
+
+#include "annotate/SourceCheck.h"
+
+#include <string>
+
+using namespace gcsafe;
+using namespace gcsafe::annotate;
+using namespace gcsafe::cfront;
+
+bool gcsafe::annotate::typeContainsPointers(const Type *T) {
+  switch (T->kind()) {
+  case TypeKind::Pointer:
+    return true;
+  case TypeKind::Array:
+    return typeContainsPointers(cast<ArrayType>(T)->element());
+  case TypeKind::Record: {
+    const auto *RT = cast<RecordType>(T);
+    for (const RecordType::Field &F : RT->fields())
+      if (typeContainsPointers(F.Ty))
+        return true;
+    return false;
+  }
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// The pointee type of an argument expression, looking through explicit
+/// casts and array decay to the type the *program* manipulates (memcpy
+/// callers cast to void*; the interesting type is underneath).
+const Type *underlyingPointee(const Expr *E) {
+  while (true) {
+    if (const auto *PE = dyn_cast<ParenExpr>(E)) {
+      E = PE->inner();
+      continue;
+    }
+    if (const auto *CE = dyn_cast<CastExpr>(E)) {
+      if (CE->castKind() == CastKind::ArrayDecay) {
+        const Type *Sub = CE->sub()->type();
+        if (const auto *AT = dyn_cast<ArrayType>(Sub))
+          return AT->element();
+      }
+      E = CE->sub();
+      continue;
+    }
+    break;
+  }
+  if (const auto *PT = dyn_cast<PointerType>(E->type()))
+    return PT->pointee();
+  if (const auto *AT = dyn_cast<ArrayType>(E->type()))
+    return AT->element();
+  return nullptr;
+}
+
+class CallWalker {
+public:
+  CallWalker(DiagnosticsEngine &Diags, SourceCheckStats &Stats)
+      : Diags(Diags), Stats(Stats) {}
+
+  void visitExpr(const Expr *E) {
+    if (const auto *CE = dyn_cast<CallExpr>(E))
+      checkCall(CE);
+    forEachChild(E, [&](const Expr *Child) { visitExpr(Child); });
+  }
+
+  void visitStmt(const Stmt *S);
+
+private:
+  template <typename Callable>
+  static void forEachChild(const Expr *E, Callable Fn) {
+    switch (E->kind()) {
+    case ExprKind::Paren:
+      Fn(cast<ParenExpr>(E)->inner());
+      return;
+    case ExprKind::Unary:
+      Fn(cast<UnaryExpr>(E)->sub());
+      return;
+    case ExprKind::Binary:
+      Fn(cast<BinaryExpr>(E)->lhs());
+      Fn(cast<BinaryExpr>(E)->rhs());
+      return;
+    case ExprKind::Assign:
+      Fn(cast<AssignExpr>(E)->lhs());
+      Fn(cast<AssignExpr>(E)->rhs());
+      return;
+    case ExprKind::Conditional:
+      Fn(cast<ConditionalExpr>(E)->cond());
+      Fn(cast<ConditionalExpr>(E)->thenExpr());
+      Fn(cast<ConditionalExpr>(E)->elseExpr());
+      return;
+    case ExprKind::Call: {
+      const auto *CE = cast<CallExpr>(E);
+      Fn(CE->callee());
+      for (const Expr *Arg : CE->args())
+        Fn(Arg);
+      return;
+    }
+    case ExprKind::Cast:
+      Fn(cast<CastExpr>(E)->sub());
+      return;
+    case ExprKind::Member:
+      Fn(cast<MemberExpr>(E)->base());
+      return;
+    case ExprKind::Index:
+      Fn(cast<IndexExpr>(E)->base());
+      Fn(cast<IndexExpr>(E)->index());
+      return;
+    default:
+      return;
+    }
+  }
+
+  void warn(const Expr *E, const std::string &Message) {
+    Diags.warning(SourceLocation(E->range().Begin), Message);
+  }
+
+  void checkCall(const CallExpr *CE) {
+    const FunctionDecl *FD = CE->directCallee();
+    if (!FD)
+      return;
+    std::string_view Name = FD->name();
+    const auto &Args = CE->args();
+
+    if ((Name == "scanf" || Name == "fscanf" || Name == "sscanf") &&
+        !Args.empty()) {
+      // The format is the last non-vararg fixed argument by convention:
+      // scanf(fmt,...), fscanf(f,fmt,...), sscanf(s,fmt,...).
+      size_t FmtIdx = Name == "scanf" ? 0 : 1;
+      if (FmtIdx < Args.size()) {
+        const Expr *Fmt = Args[FmtIdx]->ignoreParensAndImplicitCasts();
+        if (const auto *SL = dyn_cast<StringLiteralExpr>(Fmt)) {
+          if (SL->value().find("%p") != std::string_view::npos) {
+            ++Stats.ScanfPercentP;
+            warn(CE, "pointer input via scanf %p can hide a pointer from "
+                     "the garbage collector");
+          }
+        }
+      }
+      return;
+    }
+
+    if ((Name == "fread" || Name == "fwrite") && !Args.empty()) {
+      const Type *Elem = underlyingPointee(Args[0]);
+      if (Elem && typeContainsPointers(Elem)) {
+        ++Stats.FreadPointerful;
+        warn(CE, std::string(Name) +
+                     " on a pointer-containing type can hide pointers from "
+                     "the garbage collector");
+      }
+      return;
+    }
+
+    if ((Name == "memcpy" || Name == "memmove") && Args.size() >= 2) {
+      const Type *DstElem = underlyingPointee(Args[0]);
+      const Type *SrcElem = underlyingPointee(Args[1]);
+      if (!DstElem || !SrcElem)
+        return;
+      bool DstPtrs = typeContainsPointers(DstElem);
+      bool SrcPtrs = typeContainsPointers(SrcElem);
+      if (DstElem != SrcElem && (DstPtrs || SrcPtrs)) {
+        ++Stats.MemcpyMismatch;
+        warn(CE, std::string(Name) +
+                     " with mismatched argument types can hide pointers "
+                     "from the garbage collector");
+      }
+      return;
+    }
+  }
+
+  DiagnosticsEngine &Diags;
+  SourceCheckStats &Stats;
+};
+
+void CallWalker::visitStmt(const Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      visitStmt(Sub);
+    return;
+  case StmtKind::Decl:
+    for (const VarDecl *VD : cast<DeclStmt>(S)->decls())
+      if (VD->init())
+        visitExpr(VD->init());
+    return;
+  case StmtKind::Expr:
+    if (const Expr *E = cast<ExprStmt>(S)->expr())
+      visitExpr(E);
+    return;
+  case StmtKind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    visitExpr(IS->cond());
+    visitStmt(IS->thenStmt());
+    if (IS->elseStmt())
+      visitStmt(IS->elseStmt());
+    return;
+  }
+  case StmtKind::While: {
+    const auto *WS = cast<WhileStmt>(S);
+    visitExpr(WS->cond());
+    visitStmt(WS->body());
+    return;
+  }
+  case StmtKind::Do: {
+    const auto *DS = cast<DoStmt>(S);
+    visitStmt(DS->body());
+    visitExpr(DS->cond());
+    return;
+  }
+  case StmtKind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    if (FS->init())
+      visitStmt(FS->init());
+    if (FS->cond())
+      visitExpr(FS->cond());
+    if (FS->inc())
+      visitExpr(FS->inc());
+    visitStmt(FS->body());
+    return;
+  }
+  case StmtKind::Return:
+    if (const Expr *V = cast<ReturnStmt>(S)->value())
+      visitExpr(V);
+    return;
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  case StmtKind::Switch: {
+    const auto *SS = cast<SwitchStmt>(S);
+    visitExpr(SS->cond());
+    visitStmt(SS->body());
+    return;
+  }
+  case StmtKind::Case:
+    visitStmt(cast<CaseStmt>(S)->sub());
+    return;
+  case StmtKind::Default:
+    visitStmt(cast<DefaultStmt>(S)->sub());
+    return;
+  }
+}
+
+} // namespace
+
+SourceCheckStats
+gcsafe::annotate::runSourceChecks(const TranslationUnit &TU,
+                                  DiagnosticsEngine &Diags) {
+  SourceCheckStats Stats;
+  CallWalker Walker(Diags, Stats);
+  for (const Decl *D : TU.Decls)
+    if (const auto *FD = dyn_cast<FunctionDecl>(D))
+      if (FD->body())
+        Walker.visitStmt(FD->body());
+  return Stats;
+}

@@ -1,0 +1,63 @@
+//===- annotate/SourceCheck.h - Hidden-pointer hazard checks ---*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Source Checking assumption 2: "Pointers are not hidden from
+/// the garbage collector by writing them to files and reading them back in,
+/// or by writing them to collector invisible (or misaligned) memory
+/// locations. To our knowledge, this is possible in a strictly conforming
+/// ANSI C program only via pointer input with either a scanf variant and %p
+/// format or with fread into a pointer-containing type, or with a call to
+/// memcpy or memmove with arguments whose types don't match. Thus this
+/// should be easily checkable, though we currently don't do so."
+///
+/// We do so. runSourceChecks walks every call site and warns on:
+///   * scanf/fscanf/sscanf with a "%p" conversion in a literal format;
+///   * fread into (or fwrite from) memory whose element type contains
+///     pointers;
+///   * memcpy/memmove whose destination and source argument expressions
+///     have different pointee types (after stripping explicit casts), or
+///     where exactly one side contains pointers.
+///
+/// (The int-to-pointer conversion warning of assumption 1 is emitted during
+/// type checking; see Sema::convertTo.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_ANNOTATE_SOURCECHECK_H
+#define GCSAFE_ANNOTATE_SOURCECHECK_H
+
+#include "cfront/AST.h"
+#include "support/Diagnostics.h"
+
+namespace gcsafe {
+namespace annotate {
+
+/// Statistics from one check run (also handy in tests).
+struct SourceCheckStats {
+  unsigned ScanfPercentP = 0;
+  unsigned FreadPointerful = 0;
+  unsigned MemcpyMismatch = 0;
+
+  unsigned total() const {
+    return ScanfPercentP + FreadPointerful + MemcpyMismatch;
+  }
+};
+
+/// Emits warnings through \p Diags for every hidden-pointer hazard found in
+/// \p TU.
+SourceCheckStats runSourceChecks(const cfront::TranslationUnit &TU,
+                                 DiagnosticsEngine &Diags);
+
+/// True if objects of type \p T contain pointers anywhere (through records
+/// and arrays).
+bool typeContainsPointers(const cfront::Type *T);
+
+} // namespace annotate
+} // namespace gcsafe
+
+#endif // GCSAFE_ANNOTATE_SOURCECHECK_H

@@ -1,0 +1,37 @@
+//===- cfront/AST.cpp -----------------------------------------*- C++ -*-===//
+
+#include "cfront/AST.h"
+
+using namespace gcsafe;
+using namespace gcsafe::cfront;
+
+const Expr *Expr::ignoreParens() const {
+  const Expr *E = this;
+  while (const auto *PE = dyn_cast<ParenExpr>(E))
+    E = PE->inner();
+  return E;
+}
+
+const Expr *Expr::ignoreParensAndImplicitCasts() const {
+  const Expr *E = this;
+  while (true) {
+    if (const auto *PE = dyn_cast<ParenExpr>(E)) {
+      E = PE->inner();
+      continue;
+    }
+    if (const auto *CE = dyn_cast<CastExpr>(E)) {
+      if (CE->castKind() != CastKind::Explicit) {
+        E = CE->sub();
+        continue;
+      }
+    }
+    return E;
+  }
+}
+
+FunctionDecl *CallExpr::directCallee() const {
+  const Expr *E = Callee->ignoreParensAndImplicitCasts();
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(E))
+    return dyn_cast<FunctionDecl>(DRE->decl());
+  return nullptr;
+}

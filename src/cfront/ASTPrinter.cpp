@@ -1,0 +1,346 @@
+//===- cfront/ASTPrinter.cpp ----------------------------------*- C++ -*-===//
+
+#include "cfront/ASTPrinter.h"
+
+#include <sstream>
+
+using namespace gcsafe;
+using namespace gcsafe::cfront;
+
+namespace {
+
+void indentTo(std::ostringstream &OS, unsigned Indent) {
+  for (unsigned I = 0; I < Indent; ++I)
+    OS << "  ";
+}
+
+const char *unaryOpName(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Plus: return "+";
+  case UnaryOp::Minus: return "-";
+  case UnaryOp::BitNot: return "~";
+  case UnaryOp::LogicalNot: return "!";
+  case UnaryOp::Deref: return "*";
+  case UnaryOp::AddrOf: return "&";
+  case UnaryOp::PreInc: return "pre++";
+  case UnaryOp::PreDec: return "pre--";
+  case UnaryOp::PostInc: return "post++";
+  case UnaryOp::PostDec: return "post--";
+  }
+  return "?";
+}
+
+const char *binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add: return "+";
+  case BinaryOp::Sub: return "-";
+  case BinaryOp::Mul: return "*";
+  case BinaryOp::Div: return "/";
+  case BinaryOp::Rem: return "%";
+  case BinaryOp::Shl: return "<<";
+  case BinaryOp::Shr: return ">>";
+  case BinaryOp::Lt: return "<";
+  case BinaryOp::Gt: return ">";
+  case BinaryOp::Le: return "<=";
+  case BinaryOp::Ge: return ">=";
+  case BinaryOp::Eq: return "==";
+  case BinaryOp::Ne: return "!=";
+  case BinaryOp::BitAnd: return "&";
+  case BinaryOp::BitXor: return "^";
+  case BinaryOp::BitOr: return "|";
+  case BinaryOp::LogicalAnd: return "&&";
+  case BinaryOp::LogicalOr: return "||";
+  case BinaryOp::Comma: return ",";
+  }
+  return "?";
+}
+
+const char *assignOpName(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::Assign: return "=";
+  case AssignOp::AddAssign: return "+=";
+  case AssignOp::SubAssign: return "-=";
+  case AssignOp::MulAssign: return "*=";
+  case AssignOp::DivAssign: return "/=";
+  case AssignOp::RemAssign: return "%=";
+  case AssignOp::ShlAssign: return "<<=";
+  case AssignOp::ShrAssign: return ">>=";
+  case AssignOp::AndAssign: return "&=";
+  case AssignOp::XorAssign: return "^=";
+  case AssignOp::OrAssign: return "|=";
+  }
+  return "?";
+}
+
+const char *castKindName(CastKind CK) {
+  switch (CK) {
+  case CastKind::Explicit: return "explicit";
+  case CastKind::Implicit: return "implicit";
+  case CastKind::ArrayDecay: return "array-decay";
+  case CastKind::FunctionDecay: return "function-decay";
+  case CastKind::LValueToRValue: return "lvalue-to-rvalue";
+  }
+  return "?";
+}
+
+void dumpExpr(std::ostringstream &OS, const Expr *E, unsigned Indent) {
+  indentTo(OS, Indent);
+  if (!E) {
+    OS << "<null expr>\n";
+    return;
+  }
+  auto Suffix = [&] {
+    OS << " : " << E->type()->str();
+    if (E->isLValue())
+      OS << " lvalue";
+    OS << "\n";
+  };
+  switch (E->kind()) {
+  case ExprKind::IntLiteral:
+    OS << "IntLiteral " << cast<IntLiteralExpr>(E)->value();
+    Suffix();
+    return;
+  case ExprKind::FloatLiteral:
+    OS << "FloatLiteral " << cast<FloatLiteralExpr>(E)->value();
+    Suffix();
+    return;
+  case ExprKind::StringLiteral:
+    OS << "StringLiteral \"" << cast<StringLiteralExpr>(E)->value() << "\"";
+    Suffix();
+    return;
+  case ExprKind::DeclRef:
+    OS << "DeclRef " << cast<DeclRefExpr>(E)->decl()->name();
+    Suffix();
+    return;
+  case ExprKind::Paren:
+    OS << "Paren";
+    Suffix();
+    dumpExpr(OS, cast<ParenExpr>(E)->inner(), Indent + 1);
+    return;
+  case ExprKind::Unary: {
+    const auto *UE = cast<UnaryExpr>(E);
+    OS << "Unary " << unaryOpName(UE->op());
+    Suffix();
+    dumpExpr(OS, UE->sub(), Indent + 1);
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *BE = cast<BinaryExpr>(E);
+    OS << "Binary " << binaryOpName(BE->op());
+    Suffix();
+    dumpExpr(OS, BE->lhs(), Indent + 1);
+    dumpExpr(OS, BE->rhs(), Indent + 1);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *AE = cast<AssignExpr>(E);
+    OS << "Assign " << assignOpName(AE->op());
+    Suffix();
+    dumpExpr(OS, AE->lhs(), Indent + 1);
+    dumpExpr(OS, AE->rhs(), Indent + 1);
+    return;
+  }
+  case ExprKind::Conditional: {
+    const auto *CE = cast<ConditionalExpr>(E);
+    OS << "Conditional";
+    Suffix();
+    dumpExpr(OS, CE->cond(), Indent + 1);
+    dumpExpr(OS, CE->thenExpr(), Indent + 1);
+    dumpExpr(OS, CE->elseExpr(), Indent + 1);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *CE = cast<CallExpr>(E);
+    OS << "Call";
+    if (const FunctionDecl *FD = CE->directCallee())
+      OS << " " << FD->name();
+    Suffix();
+    if (!CE->directCallee())
+      dumpExpr(OS, CE->callee(), Indent + 1);
+    for (const Expr *Arg : CE->args())
+      dumpExpr(OS, Arg, Indent + 1);
+    return;
+  }
+  case ExprKind::Cast: {
+    const auto *CE = cast<CastExpr>(E);
+    OS << "Cast " << castKindName(CE->castKind());
+    Suffix();
+    dumpExpr(OS, CE->sub(), Indent + 1);
+    return;
+  }
+  case ExprKind::Member: {
+    const auto *ME = cast<MemberExpr>(E);
+    OS << "Member " << (ME->isArrow() ? "->" : ".") << ME->field()->Name
+       << " @" << ME->field()->Offset;
+    Suffix();
+    dumpExpr(OS, ME->base(), Indent + 1);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *IE = cast<IndexExpr>(E);
+    OS << "Index";
+    Suffix();
+    dumpExpr(OS, IE->base(), Indent + 1);
+    dumpExpr(OS, IE->index(), Indent + 1);
+    return;
+  }
+  }
+}
+
+void dumpStmt(std::ostringstream &OS, const Stmt *S, unsigned Indent) {
+  indentTo(OS, Indent);
+  if (!S) {
+    OS << "<null stmt>\n";
+    return;
+  }
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    OS << "Compound\n";
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+      dumpStmt(OS, Sub, Indent + 1);
+    return;
+  case StmtKind::Decl:
+    OS << "DeclStmt\n";
+    for (const VarDecl *VD : cast<DeclStmt>(S)->decls()) {
+      indentTo(OS, Indent + 1);
+      OS << "Var " << VD->type()->str(std::string(VD->name())) << "\n";
+      if (VD->init())
+        dumpExpr(OS, VD->init(), Indent + 2);
+    }
+    return;
+  case StmtKind::Expr:
+    OS << "ExprStmt\n";
+    if (const Expr *E = cast<ExprStmt>(S)->expr())
+      dumpExpr(OS, E, Indent + 1);
+    return;
+  case StmtKind::If: {
+    const auto *IS = cast<IfStmt>(S);
+    OS << "If\n";
+    dumpExpr(OS, IS->cond(), Indent + 1);
+    dumpStmt(OS, IS->thenStmt(), Indent + 1);
+    if (IS->elseStmt())
+      dumpStmt(OS, IS->elseStmt(), Indent + 1);
+    return;
+  }
+  case StmtKind::While: {
+    const auto *WS = cast<WhileStmt>(S);
+    OS << "While\n";
+    dumpExpr(OS, WS->cond(), Indent + 1);
+    dumpStmt(OS, WS->body(), Indent + 1);
+    return;
+  }
+  case StmtKind::Do: {
+    const auto *DS = cast<DoStmt>(S);
+    OS << "Do\n";
+    dumpStmt(OS, DS->body(), Indent + 1);
+    dumpExpr(OS, DS->cond(), Indent + 1);
+    return;
+  }
+  case StmtKind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    OS << "For\n";
+    if (FS->init())
+      dumpStmt(OS, FS->init(), Indent + 1);
+    if (FS->cond())
+      dumpExpr(OS, FS->cond(), Indent + 1);
+    if (FS->inc())
+      dumpExpr(OS, FS->inc(), Indent + 1);
+    dumpStmt(OS, FS->body(), Indent + 1);
+    return;
+  }
+  case StmtKind::Return:
+    OS << "Return\n";
+    if (const Expr *V = cast<ReturnStmt>(S)->value())
+      dumpExpr(OS, V, Indent + 1);
+    return;
+  case StmtKind::Break:
+    OS << "Break\n";
+    return;
+  case StmtKind::Continue:
+    OS << "Continue\n";
+    return;
+  case StmtKind::Switch: {
+    const auto *SS = cast<SwitchStmt>(S);
+    OS << "Switch\n";
+    dumpExpr(OS, SS->cond(), Indent + 1);
+    dumpStmt(OS, SS->body(), Indent + 1);
+    return;
+  }
+  case StmtKind::Case: {
+    const auto *CS = cast<CaseStmt>(S);
+    OS << "Case " << CS->value() << "\n";
+    dumpStmt(OS, CS->sub(), Indent + 1);
+    return;
+  }
+  case StmtKind::Default:
+    OS << "Default\n";
+    dumpStmt(OS, cast<DefaultStmt>(S)->sub(), Indent + 1);
+    return;
+  }
+}
+
+void dumpDecl(std::ostringstream &OS, const Decl *D, unsigned Indent) {
+  indentTo(OS, Indent);
+  switch (D->kind()) {
+  case DeclKind::Var: {
+    const auto *VD = cast<VarDecl>(D);
+    OS << "GlobalVar " << VD->type()->str(std::string(VD->name())) << "\n";
+    if (VD->init())
+      dumpExpr(OS, VD->init(), Indent + 1);
+    return;
+  }
+  case DeclKind::Function: {
+    const auto *FD = cast<FunctionDecl>(D);
+    OS << "Function " << FD->name() << " : " << FD->type()->str();
+    if (FD->isBuiltin())
+      OS << " builtin";
+    if (!FD->body())
+      OS << " (declaration)";
+    OS << "\n";
+    for (const VarDecl *P : FD->params()) {
+      indentTo(OS, Indent + 1);
+      OS << "Param " << P->type()->str(std::string(P->name())) << "\n";
+    }
+    if (FD->body())
+      dumpStmt(OS, FD->body(), Indent + 1);
+    return;
+  }
+  case DeclKind::Typedef: {
+    const auto *TD = cast<TypedefDecl>(D);
+    OS << "Typedef " << TD->name() << " = " << TD->type()->str() << "\n";
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string gcsafe::cfront::printExpr(const Expr *E, unsigned Indent) {
+  std::ostringstream OS;
+  dumpExpr(OS, E, Indent);
+  return OS.str();
+}
+
+std::string gcsafe::cfront::printStmt(const Stmt *S, unsigned Indent) {
+  std::ostringstream OS;
+  dumpStmt(OS, S, Indent);
+  return OS.str();
+}
+
+std::string gcsafe::cfront::printDecl(const Decl *D, unsigned Indent) {
+  std::ostringstream OS;
+  dumpDecl(OS, D, Indent);
+  return OS.str();
+}
+
+std::string
+gcsafe::cfront::printTranslationUnit(const TranslationUnit &TU) {
+  std::ostringstream OS;
+  for (const Decl *D : TU.Decls) {
+    if (const auto *FD = dyn_cast<FunctionDecl>(D))
+      if (FD->isBuiltin())
+        continue; // keep dumps focused on user code
+    OS << printDecl(D, 0);
+  }
+  return OS.str();
+}

@@ -1,0 +1,34 @@
+//===- cfront/ASTPrinter.h - AST dumping -----------------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Indented tree dump of the typed AST, for debugging and for the
+/// `gcsafe-cc --dump-ast` tool mode. Every expression line carries its type
+/// and (for pointer-valued expressions) whether it is an lvalue — the
+/// properties the annotator's decisions depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_CFRONT_ASTPRINTER_H
+#define GCSAFE_CFRONT_ASTPRINTER_H
+
+#include "cfront/AST.h"
+
+#include <string>
+
+namespace gcsafe {
+namespace cfront {
+
+std::string printExpr(const Expr *E, unsigned Indent = 0);
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+std::string printDecl(const Decl *D, unsigned Indent = 0);
+std::string printTranslationUnit(const TranslationUnit &TU);
+
+} // namespace cfront
+} // namespace gcsafe
+
+#endif // GCSAFE_CFRONT_ASTPRINTER_H

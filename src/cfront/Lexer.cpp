@@ -1,0 +1,443 @@
+//===- cfront/Lexer.cpp ---------------------------------------*- C++ -*-===//
+
+#include "cfront/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstring>
+#include <unordered_map>
+
+using namespace gcsafe;
+using namespace gcsafe::cfront;
+
+const char *gcsafe::cfront::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof: return "end of file";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::FloatLiteral: return "floating literal";
+  case TokenKind::CharLiteral: return "character literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwChar: return "'char'";
+  case TokenKind::KwShort: return "'short'";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwLong: return "'long'";
+  case TokenKind::KwFloat: return "'float'";
+  case TokenKind::KwDouble: return "'double'";
+  case TokenKind::KwSigned: return "'signed'";
+  case TokenKind::KwUnsigned: return "'unsigned'";
+  case TokenKind::KwStruct: return "'struct'";
+  case TokenKind::KwUnion: return "'union'";
+  case TokenKind::KwEnum: return "'enum'";
+  case TokenKind::KwTypedef: return "'typedef'";
+  case TokenKind::KwStatic: return "'static'";
+  case TokenKind::KwExtern: return "'extern'";
+  case TokenKind::KwConst: return "'const'";
+  case TokenKind::KwVolatile: return "'volatile'";
+  case TokenKind::KwRegister: return "'register'";
+  case TokenKind::KwAuto: return "'auto'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwDo: return "'do'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwSwitch: return "'switch'";
+  case TokenKind::KwCase: return "'case'";
+  case TokenKind::KwDefault: return "'default'";
+  case TokenKind::KwSizeof: return "'sizeof'";
+  case TokenKind::KwGoto: return "'goto'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Period: return "'.'";
+  case TokenKind::Arrow: return "'->'";
+  case TokenKind::Ellipsis: return "'...'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::Exclaim: return "'!'";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::LessEqual: return "'<='";
+  case TokenKind::GreaterEqual: return "'>='";
+  case TokenKind::EqualEqual: return "'=='";
+  case TokenKind::ExclaimEqual: return "'!='";
+  case TokenKind::LessLess: return "'<<'";
+  case TokenKind::GreaterGreater: return "'>>'";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Equal: return "'='";
+  case TokenKind::PlusEqual: return "'+='";
+  case TokenKind::MinusEqual: return "'-='";
+  case TokenKind::StarEqual: return "'*='";
+  case TokenKind::SlashEqual: return "'/='";
+  case TokenKind::PercentEqual: return "'%='";
+  case TokenKind::AmpEqual: return "'&='";
+  case TokenKind::PipeEqual: return "'|='";
+  case TokenKind::CaretEqual: return "'^='";
+  case TokenKind::LessLessEqual: return "'<<='";
+  case TokenKind::GreaterGreaterEqual: return "'>>='";
+  }
+  return "unknown token";
+}
+
+static TokenKind keywordKind(std::string_view Text) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"void", TokenKind::KwVoid},       {"char", TokenKind::KwChar},
+      {"short", TokenKind::KwShort},     {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},       {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},   {"signed", TokenKind::KwSigned},
+      {"unsigned", TokenKind::KwUnsigned}, {"struct", TokenKind::KwStruct},
+      {"union", TokenKind::KwUnion},     {"enum", TokenKind::KwEnum},
+      {"typedef", TokenKind::KwTypedef}, {"static", TokenKind::KwStatic},
+      {"extern", TokenKind::KwExtern},   {"const", TokenKind::KwConst},
+      {"volatile", TokenKind::KwVolatile}, {"register", TokenKind::KwRegister},
+      {"auto", TokenKind::KwAuto},       {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},           {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},   {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},       {"default", TokenKind::KwDefault},
+      {"sizeof", TokenKind::KwSizeof},   {"goto", TokenKind::KwGoto},
+  };
+  auto It = Keywords.find(Text);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token Tok = lexToken();
+    Tokens.push_back(Tok);
+    if (Tok.is(TokenKind::Eof))
+      break;
+  }
+  return Tokens;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\v' ||
+        C == '\f') {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      size_t Start = Pos;
+      Pos += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (atEnd())
+        Diags.error(SourceLocation(static_cast<uint32_t>(Start)),
+                    "unterminated block comment");
+      else
+        Pos += 2;
+      continue;
+    }
+    // Preprocessor line markers and leftover directives: skip whole line.
+    if (C == '#') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, uint32_t Begin) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = SourceLocation(Begin);
+  Tok.Text = Buffer.text().substr(Begin, Pos - Begin);
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  uint32_t Begin = static_cast<uint32_t>(Pos);
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    ++Pos;
+  Token Tok = makeToken(TokenKind::Identifier, Begin);
+  Tok.Kind = keywordKind(Tok.Text);
+  return Tok;
+}
+
+Token Lexer::lexNumber() {
+  uint32_t Begin = static_cast<uint32_t>(Pos);
+  bool IsFloat = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+  } else {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (peek() == '.') {
+      IsFloat = true;
+      ++Pos;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      IsFloat = true;
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+  }
+  // Suffixes.
+  while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L' ||
+         (IsFloat && (peek() == 'f' || peek() == 'F')))
+    ++Pos;
+  return makeToken(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   Begin);
+}
+
+Token Lexer::lexCharLiteral() {
+  uint32_t Begin = static_cast<uint32_t>(Pos);
+  ++Pos; // opening quote
+  while (!atEnd() && peek() != '\'' && peek() != '\n') {
+    if (peek() == '\\')
+      ++Pos;
+    ++Pos;
+  }
+  if (peek() == '\'')
+    ++Pos;
+  else
+    Diags.error(SourceLocation(Begin), "unterminated character literal");
+  return makeToken(TokenKind::CharLiteral, Begin);
+}
+
+Token Lexer::lexStringLiteral() {
+  uint32_t Begin = static_cast<uint32_t>(Pos);
+  ++Pos; // opening quote
+  while (!atEnd() && peek() != '"' && peek() != '\n') {
+    if (peek() == '\\')
+      ++Pos;
+    ++Pos;
+  }
+  if (peek() == '"')
+    ++Pos;
+  else
+    Diags.error(SourceLocation(Begin), "unterminated string literal");
+  return makeToken(TokenKind::StringLiteral, Begin);
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  uint32_t Begin = static_cast<uint32_t>(Pos);
+  if (atEnd())
+    return makeToken(TokenKind::Eof, Begin);
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharLiteral();
+  if (C == '"')
+    return lexStringLiteral();
+
+  auto Punct = [&](TokenKind Kind, unsigned Len) {
+    Pos += Len;
+    return makeToken(Kind, Begin);
+  };
+
+  switch (C) {
+  case '(': return Punct(TokenKind::LParen, 1);
+  case ')': return Punct(TokenKind::RParen, 1);
+  case '{': return Punct(TokenKind::LBrace, 1);
+  case '}': return Punct(TokenKind::RBrace, 1);
+  case '[': return Punct(TokenKind::LBracket, 1);
+  case ']': return Punct(TokenKind::RBracket, 1);
+  case ';': return Punct(TokenKind::Semi, 1);
+  case ',': return Punct(TokenKind::Comma, 1);
+  case ':': return Punct(TokenKind::Colon, 1);
+  case '?': return Punct(TokenKind::Question, 1);
+  case '~': return Punct(TokenKind::Tilde, 1);
+  case '.':
+    if (peek(1) == '.' && peek(2) == '.')
+      return Punct(TokenKind::Ellipsis, 3);
+    return Punct(TokenKind::Period, 1);
+  case '+':
+    if (peek(1) == '+')
+      return Punct(TokenKind::PlusPlus, 2);
+    if (peek(1) == '=')
+      return Punct(TokenKind::PlusEqual, 2);
+    return Punct(TokenKind::Plus, 1);
+  case '-':
+    if (peek(1) == '-')
+      return Punct(TokenKind::MinusMinus, 2);
+    if (peek(1) == '=')
+      return Punct(TokenKind::MinusEqual, 2);
+    if (peek(1) == '>')
+      return Punct(TokenKind::Arrow, 2);
+    return Punct(TokenKind::Minus, 1);
+  case '*':
+    if (peek(1) == '=')
+      return Punct(TokenKind::StarEqual, 2);
+    return Punct(TokenKind::Star, 1);
+  case '/':
+    if (peek(1) == '=')
+      return Punct(TokenKind::SlashEqual, 2);
+    return Punct(TokenKind::Slash, 1);
+  case '%':
+    if (peek(1) == '=')
+      return Punct(TokenKind::PercentEqual, 2);
+    return Punct(TokenKind::Percent, 1);
+  case '&':
+    if (peek(1) == '&')
+      return Punct(TokenKind::AmpAmp, 2);
+    if (peek(1) == '=')
+      return Punct(TokenKind::AmpEqual, 2);
+    return Punct(TokenKind::Amp, 1);
+  case '|':
+    if (peek(1) == '|')
+      return Punct(TokenKind::PipePipe, 2);
+    if (peek(1) == '=')
+      return Punct(TokenKind::PipeEqual, 2);
+    return Punct(TokenKind::Pipe, 1);
+  case '^':
+    if (peek(1) == '=')
+      return Punct(TokenKind::CaretEqual, 2);
+    return Punct(TokenKind::Caret, 1);
+  case '!':
+    if (peek(1) == '=')
+      return Punct(TokenKind::ExclaimEqual, 2);
+    return Punct(TokenKind::Exclaim, 1);
+  case '=':
+    if (peek(1) == '=')
+      return Punct(TokenKind::EqualEqual, 2);
+    return Punct(TokenKind::Equal, 1);
+  case '<':
+    if (peek(1) == '<' && peek(2) == '=')
+      return Punct(TokenKind::LessLessEqual, 3);
+    if (peek(1) == '<')
+      return Punct(TokenKind::LessLess, 2);
+    if (peek(1) == '=')
+      return Punct(TokenKind::LessEqual, 2);
+    return Punct(TokenKind::Less, 1);
+  case '>':
+    if (peek(1) == '>' && peek(2) == '=')
+      return Punct(TokenKind::GreaterGreaterEqual, 3);
+    if (peek(1) == '>')
+      return Punct(TokenKind::GreaterGreater, 2);
+    if (peek(1) == '=')
+      return Punct(TokenKind::GreaterEqual, 2);
+    return Punct(TokenKind::Greater, 1);
+  default:
+    Diags.error(SourceLocation(Begin),
+                std::string("unexpected character '") + C + "'");
+    ++Pos;
+    return lexToken();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Literal decoding
+//===----------------------------------------------------------------------===//
+
+static long decodeEscape(const char *&P, const char *End,
+                         SourceLocation Loc, DiagnosticsEngine &Diags) {
+  assert(*P == '\\');
+  ++P;
+  if (P == End) {
+    Diags.error(Loc, "truncated escape sequence");
+    return 0;
+  }
+  char C = *P++;
+  switch (C) {
+  case 'n': return '\n';
+  case 't': return '\t';
+  case 'r': return '\r';
+  case '0': case '1': case '2': case '3':
+  case '4': case '5': case '6': case '7': {
+    long V = C - '0';
+    while (P != End && *P >= '0' && *P <= '7')
+      V = V * 8 + (*P++ - '0');
+    return V;
+  }
+  case 'x': {
+    long V = 0;
+    while (P != End && std::isxdigit(static_cast<unsigned char>(*P))) {
+      char D = *P++;
+      V = V * 16 + (std::isdigit(static_cast<unsigned char>(D))
+                        ? D - '0'
+                        : (std::tolower(D) - 'a' + 10));
+    }
+    return V;
+  }
+  case 'a': return '\a';
+  case 'b': return '\b';
+  case 'f': return '\f';
+  case 'v': return '\v';
+  case '\\': return '\\';
+  case '\'': return '\'';
+  case '"': return '"';
+  case '?': return '?';
+  default:
+    Diags.warning(Loc, std::string("unknown escape sequence '\\") + C + "'");
+    return C;
+  }
+}
+
+long gcsafe::cfront::decodeCharLiteral(const Token &Tok,
+                                       DiagnosticsEngine &Diags) {
+  std::string_view Text = Tok.Text;
+  if (Text.size() < 3) {
+    Diags.error(Tok.Loc, "empty character literal");
+    return 0;
+  }
+  const char *P = Text.data() + 1;
+  const char *End = Text.data() + Text.size() - 1;
+  if (*P == '\\')
+    return decodeEscape(P, End, Tok.Loc, Diags);
+  return static_cast<unsigned char>(*P);
+}
+
+std::string gcsafe::cfront::decodeStringLiteral(const Token &Tok,
+                                                DiagnosticsEngine &Diags) {
+  std::string_view Text = Tok.Text;
+  std::string Out;
+  if (Text.size() < 2)
+    return Out;
+  const char *P = Text.data() + 1;
+  const char *End = Text.data() + Text.size() - 1;
+  while (P < End) {
+    if (*P == '\\')
+      Out.push_back(static_cast<char>(decodeEscape(P, End, Tok.Loc, Diags)));
+    else
+      Out.push_back(*P++);
+  }
+  return Out;
+}

@@ -1,0 +1,67 @@
+//===- cfront/Lexer.h - C lexer --------------------------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the supported C subset. Like the paper's
+/// preprocessor (which runs after the normal C macro expander), it accepts
+/// already-preprocessed text: `#`-line markers are skipped, no macros.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_CFRONT_LEXER_H
+#define GCSAFE_CFRONT_LEXER_H
+
+#include "cfront/Token.h"
+#include "support/Diagnostics.h"
+#include "support/Source.h"
+
+#include <vector>
+
+namespace gcsafe {
+namespace cfront {
+
+/// Lexes an entire buffer into a token vector (terminated by an Eof token).
+class Lexer {
+public:
+  Lexer(const SourceBuffer &Buffer, DiagnosticsEngine &Diags)
+      : Buffer(Buffer), Diags(Diags) {}
+
+  /// Lexes everything; always returns a vector whose last token is Eof.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  void skipWhitespaceAndComments();
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+
+  char peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Buffer.text().size() ? Buffer.text()[I] : '\0';
+  }
+  bool atEnd() const { return Pos >= Buffer.text().size(); }
+
+  const SourceBuffer &Buffer;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+};
+
+/// Decodes the value of a lexed character literal token (handles escapes).
+/// Reports malformed literals through \p Diags.
+long decodeCharLiteral(const Token &Tok, DiagnosticsEngine &Diags);
+
+/// Decodes a string literal token's contents (without quotes, escapes
+/// processed).
+std::string decodeStringLiteral(const Token &Tok, DiagnosticsEngine &Diags);
+
+} // namespace cfront
+} // namespace gcsafe
+
+#endif // GCSAFE_CFRONT_LEXER_H

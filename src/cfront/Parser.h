@@ -1,0 +1,147 @@
+//===- cfront/Parser.h - Recursive-descent C parser ------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the supported C subset (see DESIGN.md §7).
+/// The paper's preprocessor derived its grammar "from their gcc
+/// equivalents"; ours is hand-written but covers the same constructs the
+/// annotation algorithm needs, and — critically — records the exact source
+/// character range of every expression so annotations can be applied as
+/// textual insertions on the original source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_CFRONT_PARSER_H
+#define GCSAFE_CFRONT_PARSER_H
+
+#include "cfront/AST.h"
+#include "cfront/Sema.h"
+#include "cfront/Token.h"
+
+#include <vector>
+
+namespace gcsafe {
+namespace cfront {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Sema &Actions)
+      : Tokens(std::move(Tokens)), Actions(Actions) {}
+
+  /// Parses the whole token stream into \p TU. Diagnostics go to the Sema's
+  /// engine; returns false if any error was reported.
+  bool parseTranslationUnit(TranslationUnit &TU);
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token navigation
+  //===--------------------------------------------------------------------===//
+
+  const Token &tok(unsigned Ahead = 0) const {
+    size_t I = Index + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokenKind Kind) const { return tok().is(Kind); }
+  void consume() {
+    PrevEnd = tok().endOffset();
+    if (Index + 1 < Tokens.size())
+      ++Index;
+  }
+  bool tryConsume(TokenKind Kind) {
+    if (!at(Kind))
+      return false;
+    consume();
+    return true;
+  }
+  bool expect(TokenKind Kind, const char *Context);
+  SourceLocation loc() const { return tok().Loc; }
+  uint32_t begin() const { return tok().Loc.Offset; }
+  SourceRange rangeFrom(uint32_t Begin) const {
+    return SourceRange(Begin, PrevEnd);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  struct ParamInfo {
+    std::string_view Name;
+    SourceLocation Loc;
+    const Type *Ty = nullptr;
+  };
+
+  struct DeclaratorChunk {
+    enum ChunkKind { CK_Pointer, CK_Array, CK_Function } Kind;
+    uint64_t ArraySize = 0; ///< CK_Array; 0 = unsized.
+    std::vector<ParamInfo> Params;
+    bool Variadic = false;
+  };
+
+  struct DeclaratorInfo {
+    std::string_view Name; ///< Empty for abstract declarators.
+    SourceLocation NameLoc;
+    /// Chunks in parse order; the built type applies them in reverse.
+    std::vector<DeclaratorChunk> Chunks;
+  };
+
+  enum class StorageClass { None, Typedef, Static, Extern };
+
+  bool isTypeSpecifierStart(const Token &T) const;
+  bool isDeclarationStart() const { return isTypeSpecifierStart(tok()); }
+
+  const Type *parseDeclSpecifiers(StorageClass &SC);
+  const Type *parseStructOrUnionSpecifier();
+  const Type *parseEnumSpecifier();
+  void parseDeclaratorSyntax(DeclaratorInfo &D, bool Abstract);
+  void parseDirectDeclarator(DeclaratorInfo &D, bool Abstract);
+  void parseDeclaratorSuffixes(DeclaratorInfo &D);
+  std::vector<ParamInfo> parseParameterList(bool &Variadic);
+  const Type *buildDeclaratorType(const Type *Base, const DeclaratorInfo &D);
+  const Type *parseTypeName();
+
+  void parseExternalDeclaration(TranslationUnit &TU);
+  void parseFunctionDefinition(TranslationUnit &TU, const Type *RetTy,
+                               const DeclaratorInfo &D);
+  Stmt *parseLocalDeclaration();
+  Expr *parseInitializer(VarDecl *VD);
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  Stmt *parseStatement();
+  CompoundStmt *parseCompoundStatement();
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Expr *parseExpression();  ///< Includes the comma operator.
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseCastExpression();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  /// True if '(' at current position begins a cast / type name.
+  bool startsTypeName(unsigned Ahead) const;
+
+  std::vector<Token> Tokens;
+  Sema &Actions;
+  size_t Index = 0;
+  uint32_t PrevEnd = 0;
+  /// Return type of the function currently being parsed (for converting
+  /// return values); null at file scope.
+  const Type *CurFnRetTy = nullptr;
+};
+
+} // namespace cfront
+} // namespace gcsafe
+
+#endif // GCSAFE_CFRONT_PARSER_H

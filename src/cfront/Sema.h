@@ -1,0 +1,164 @@
+//===- cfront/Sema.h - Semantic analysis actions ---------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking and AST construction, driven by the parser ("it parses and
+/// partially type-checks the source"). Sema owns the scope stack, performs
+/// the standard conversions (array decay, usual arithmetic conversions,
+/// pointer arithmetic typing), and emits the paper's source-checking
+/// warnings — most importantly "warnings when nonpointer values are
+/// directly converted to pointers" (assumption 1 of the paper's Source
+/// Checking section).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_CFRONT_SEMA_H
+#define GCSAFE_CFRONT_SEMA_H
+
+#include "cfront/AST.h"
+#include "cfront/Token.h"
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace gcsafe {
+namespace cfront {
+
+/// One lexical scope: ordinary identifiers (variables, functions,
+/// typedefs, enum constants) and struct/union tags live in separate
+/// namespaces, as in C.
+class Scope {
+public:
+  explicit Scope(Scope *Parent) : Parent(Parent) {}
+
+  Scope *parent() const { return Parent; }
+
+  Decl *lookupOrdinaryLocal(std::string_view Name) const;
+  RecordType *lookupTagLocal(std::string_view Name) const;
+  long *lookupEnumConstantLocal(std::string_view Name);
+
+  void declareOrdinary(std::string_view Name, Decl *D) {
+    Ordinary.emplace(Name, D);
+  }
+  void declareTag(std::string_view Name, RecordType *RT) {
+    Tags.emplace(Name, RT);
+  }
+  void declareEnumConstant(std::string_view Name, long Value) {
+    EnumConstants.emplace(Name, Value);
+  }
+
+private:
+  Scope *Parent;
+  std::unordered_map<std::string_view, Decl *> Ordinary;
+  std::unordered_map<std::string_view, RecordType *> Tags;
+  std::unordered_map<std::string_view, long> EnumConstants;
+};
+
+class Sema {
+public:
+  Sema(TypeContext &Types, DiagnosticsEngine &Diags, Arena &NodeArena);
+  ~Sema();
+
+  TypeContext &types() { return Types; }
+  DiagnosticsEngine &diags() { return Diags; }
+  Arena &arena() { return NodeArena; }
+
+  //===--------------------------------------------------------------------===//
+  // Scopes and lookup
+  //===--------------------------------------------------------------------===//
+
+  void pushScope();
+  void popScope();
+  Scope *currentScope() { return Scopes.back().get(); }
+  bool atGlobalScope() const { return Scopes.size() == 1; }
+
+  Decl *lookupOrdinary(std::string_view Name) const;
+  RecordType *lookupTag(std::string_view Name, bool CurrentScopeOnly) const;
+  /// Returns the enum-constant value for \p Name if it names one.
+  const long *lookupEnumConstant(std::string_view Name) const;
+  bool isTypedefName(std::string_view Name) const;
+
+  void declareVar(VarDecl *VD);
+  void declareFunction(FunctionDecl *FD);
+  void declareTypedef(TypedefDecl *TD);
+  void declareTag(std::string_view Name, RecordType *RT);
+  void declareEnumConstant(std::string_view Name, long Value);
+
+  /// Injects the VM runtime's builtin function declarations (allocation
+  /// functions, printing, assertion and PRNG helpers) into the global scope
+  /// and \p TU.
+  void declareRuntimeBuiltins(TranslationUnit &TU);
+
+  //===--------------------------------------------------------------------===//
+  // Expression actions (called by the parser)
+  //===--------------------------------------------------------------------===//
+
+  Expr *actOnIntLiteral(const Token &Tok);
+  Expr *actOnFloatLiteral(const Token &Tok);
+  Expr *actOnCharLiteral(const Token &Tok);
+  Expr *actOnStringLiteral(const Token &Tok);
+  Expr *actOnDeclRef(const Token &NameTok);
+  Expr *actOnParen(Expr *Inner, SourceRange R);
+  Expr *actOnUnary(UnaryOp Op, Expr *Sub, SourceRange R, SourceLocation Loc);
+  Expr *actOnBinary(BinaryOp Op, Expr *LHS, Expr *RHS, SourceRange R,
+                    SourceLocation Loc);
+  Expr *actOnAssign(AssignOp Op, Expr *LHS, Expr *RHS, SourceRange R,
+                    SourceLocation Loc);
+  Expr *actOnConditional(Expr *Cond, Expr *Then, Expr *Else, SourceRange R,
+                         SourceLocation Loc);
+  Expr *actOnCall(Expr *Callee, std::vector<Expr *> Args, SourceRange R,
+                  SourceLocation Loc);
+  Expr *actOnExplicitCast(const Type *To, Expr *Sub, SourceRange R,
+                          SourceLocation Loc);
+  Expr *actOnMember(Expr *Base, const Token &NameTok, bool IsArrow,
+                    SourceRange R);
+  Expr *actOnIndex(Expr *Base, Expr *Index, SourceRange R,
+                   SourceLocation Loc);
+  Expr *actOnSizeOf(const Type *T, SourceRange R, SourceLocation Loc);
+
+  /// Builds a synthetic integer literal (used for sizeof folding and error
+  /// recovery).
+  Expr *makeIntLiteral(long Value, const Type *Ty, SourceRange R);
+
+  //===--------------------------------------------------------------------===//
+  // Conversions
+  //===--------------------------------------------------------------------===//
+
+  /// Array-to-pointer and function-to-pointer decay.
+  Expr *decay(Expr *E);
+
+  /// Converts \p E to type \p To, inserting an implicit cast if needed and
+  /// diagnosing suspicious conversions (nonzero integer to pointer).
+  Expr *convertTo(Expr *E, const Type *To, SourceLocation Loc);
+
+  /// Checks that \p E is usable as a branch condition (scalar type).
+  Expr *checkCondition(Expr *E, SourceLocation Loc);
+
+  /// Constant-folds an integer constant expression; reports an error and
+  /// returns 0 if \p E is not one. Used for array bounds, case labels and
+  /// enum values.
+  long evaluateIntConstant(const Expr *E, SourceLocation Loc);
+
+private:
+  const Type *integerPromote(const Type *T) const;
+  const Type *usualArithmetic(Expr *&LHS, Expr *&RHS, SourceLocation Loc);
+  Expr *implicitCast(Expr *E, const Type *To);
+  Expr *errorExpr(SourceRange R);
+
+  TypeContext &Types;
+  DiagnosticsEngine &Diags;
+  Arena &NodeArena;
+  std::vector<std::unique_ptr<Scope>> Scopes;
+};
+
+} // namespace cfront
+} // namespace gcsafe
+
+#endif // GCSAFE_CFRONT_SEMA_H

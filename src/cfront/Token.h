@@ -1,0 +1,67 @@
+//===- cfront/Token.h - C token definitions --------------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_CFRONT_TOKEN_H
+#define GCSAFE_CFRONT_TOKEN_H
+
+#include "support/Source.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace gcsafe {
+namespace cfront {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwSigned, KwUnsigned, KwStruct, KwUnion, KwEnum, KwTypedef,
+  KwStatic, KwExtern, KwConst, KwVolatile, KwRegister, KwAuto,
+  KwIf, KwElse, KwWhile, KwDo, KwFor, KwReturn, KwBreak, KwContinue,
+  KwSwitch, KwCase, KwDefault, KwSizeof, KwGoto,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question,
+  Period, Arrow, Ellipsis,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Exclaim,
+  Less, Greater, LessEqual, GreaterEqual, EqualEqual, ExclaimEqual,
+  LessLess, GreaterGreater,
+  AmpAmp, PipePipe,
+  PlusPlus, MinusMinus,
+  Equal, PlusEqual, MinusEqual, StarEqual, SlashEqual, PercentEqual,
+  AmpEqual, PipeEqual, CaretEqual, LessLessEqual, GreaterGreaterEqual,
+};
+
+/// Returns a human-readable spelling for diagnostics ("'+='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text is a view into the source buffer, so end position
+/// is Loc.Offset + Text.size().
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLocation Loc;
+  std::string_view Text;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  uint32_t endOffset() const {
+    return Loc.Offset + static_cast<uint32_t>(Text.size());
+  }
+};
+
+} // namespace cfront
+} // namespace gcsafe
+
+#endif // GCSAFE_CFRONT_TOKEN_H

@@ -1,0 +1,277 @@
+//===- cfront/Type.cpp ----------------------------------------*- C++ -*-===//
+
+#include "cfront/Type.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace gcsafe;
+using namespace gcsafe::cfront;
+
+bool Type::isVoid() const {
+  const auto *BT = dyn_cast<BuiltinType>(this);
+  return BT && BT->builtinKind() == BuiltinKind::Void;
+}
+
+bool Type::isInteger() const {
+  const auto *BT = dyn_cast<BuiltinType>(this);
+  if (!BT)
+    return false;
+  switch (BT->builtinKind()) {
+  case BuiltinKind::Char:
+  case BuiltinKind::UChar:
+  case BuiltinKind::Short:
+  case BuiltinKind::UShort:
+  case BuiltinKind::Int:
+  case BuiltinKind::UInt:
+  case BuiltinKind::Long:
+  case BuiltinKind::ULong:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Type::isSignedInteger() const {
+  const auto *BT = dyn_cast<BuiltinType>(this);
+  if (!BT)
+    return false;
+  switch (BT->builtinKind()) {
+  case BuiltinKind::Char:
+  case BuiltinKind::Short:
+  case BuiltinKind::Int:
+  case BuiltinKind::Long:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Type::isUnsignedInteger() const {
+  return isInteger() && !isSignedInteger();
+}
+
+bool Type::isFloating() const {
+  const auto *BT = dyn_cast<BuiltinType>(this);
+  return BT && BT->builtinKind() == BuiltinKind::Double;
+}
+
+bool Type::isObjectPointer() const {
+  const auto *PT = dyn_cast<PointerType>(this);
+  return PT && !PT->pointee()->isFunction();
+}
+
+uint64_t Type::size() const {
+  switch (kind()) {
+  case TypeKind::Builtin:
+    switch (cast<BuiltinType>(this)->builtinKind()) {
+    case BuiltinKind::Void:
+      return 0;
+    case BuiltinKind::Char:
+    case BuiltinKind::UChar:
+      return 1;
+    case BuiltinKind::Short:
+    case BuiltinKind::UShort:
+      return 2;
+    case BuiltinKind::Int:
+    case BuiltinKind::UInt:
+      return 4;
+    case BuiltinKind::Long:
+    case BuiltinKind::ULong:
+    case BuiltinKind::Double:
+      return 8;
+    }
+    return 0;
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(this);
+    return AT->element()->size() * AT->numElements();
+  }
+  case TypeKind::Function:
+    return 0;
+  case TypeKind::Record:
+    return cast<RecordType>(this)->recordSize();
+  }
+  return 0;
+}
+
+uint64_t Type::align() const {
+  switch (kind()) {
+  case TypeKind::Builtin: {
+    uint64_t S = size();
+    return S ? S : 1;
+  }
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array:
+    return cast<ArrayType>(this)->element()->align();
+  case TypeKind::Function:
+    return 1;
+  case TypeKind::Record:
+    return cast<RecordType>(this)->recordAlign();
+  }
+  return 1;
+}
+
+const RecordType::Field *RecordType::findField(std::string_view FieldName) const {
+  for (const Field &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+void RecordType::complete(std::vector<Field> NewFields) {
+  assert(!Complete && "record completed twice");
+  Fields = std::move(NewFields);
+  uint64_t Offset = 0;
+  for (Field &F : Fields) {
+    uint64_t A = F.Ty->align();
+    if (A > Align)
+      Align = A;
+    if (IsUnion) {
+      F.Offset = 0;
+      if (F.Ty->size() > Offset)
+        Offset = F.Ty->size();
+    } else {
+      Offset = (Offset + A - 1) & ~(A - 1);
+      F.Offset = Offset;
+      Offset += F.Ty->size();
+    }
+  }
+  Size = (Offset + Align - 1) & ~(Align - 1);
+  if (Size == 0)
+    Size = Align; // empty records still occupy storage
+  Complete = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Type printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a C declarator string inside-out.
+void printTypeImpl(const Type *T, std::string &Decl) {
+  switch (T->kind()) {
+  case TypeKind::Builtin: {
+    const char *Name = "";
+    switch (cast<BuiltinType>(T)->builtinKind()) {
+    case BuiltinKind::Void: Name = "void"; break;
+    case BuiltinKind::Char: Name = "char"; break;
+    case BuiltinKind::UChar: Name = "unsigned char"; break;
+    case BuiltinKind::Short: Name = "short"; break;
+    case BuiltinKind::UShort: Name = "unsigned short"; break;
+    case BuiltinKind::Int: Name = "int"; break;
+    case BuiltinKind::UInt: Name = "unsigned int"; break;
+    case BuiltinKind::Long: Name = "long"; break;
+    case BuiltinKind::ULong: Name = "unsigned long"; break;
+    case BuiltinKind::Double: Name = "double"; break;
+    }
+    Decl = Decl.empty() ? Name : std::string(Name) + " " + Decl;
+    return;
+  }
+  case TypeKind::Pointer: {
+    Decl = "*" + Decl;
+    const Type *Pointee = cast<PointerType>(T)->pointee();
+    if (Pointee->isArray() || Pointee->isFunction())
+      Decl = "(" + Decl + ")";
+    printTypeImpl(Pointee, Decl);
+    return;
+  }
+  case TypeKind::Array: {
+    const auto *AT = cast<ArrayType>(T);
+    Decl += "[" + std::to_string(AT->numElements()) + "]";
+    printTypeImpl(AT->element(), Decl);
+    return;
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(T);
+    std::string Params;
+    for (size_t I = 0; I < FT->params().size(); ++I) {
+      if (I)
+        Params += ", ";
+      Params += FT->params()[I]->str();
+    }
+    if (FT->isVariadic())
+      Params += Params.empty() ? "..." : ", ...";
+    if (Params.empty())
+      Params = "void";
+    Decl += "(" + Params + ")";
+    printTypeImpl(FT->returnType(), Decl);
+    return;
+  }
+  case TypeKind::Record: {
+    const auto *RT = cast<RecordType>(T);
+    std::string Name = std::string(RT->isUnion() ? "union " : "struct ") +
+                       std::string(RT->name());
+    Decl = Decl.empty() ? Name : Name + " " + Decl;
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Type::str(std::string_view Name) const {
+  std::string Decl(Name);
+  printTypeImpl(this, Decl);
+  return Decl;
+}
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+TypeContext::TypeContext() {
+  auto MakeBuiltin = [&](BuiltinKind BK) -> const Type * {
+    Builtins.push_back(std::make_unique<BuiltinType>(BK));
+    return Builtins.back().get();
+  };
+  VoidTy = MakeBuiltin(BuiltinKind::Void);
+  CharTy = MakeBuiltin(BuiltinKind::Char);
+  UCharTy = MakeBuiltin(BuiltinKind::UChar);
+  ShortTy = MakeBuiltin(BuiltinKind::Short);
+  UShortTy = MakeBuiltin(BuiltinKind::UShort);
+  IntTy = MakeBuiltin(BuiltinKind::Int);
+  UIntTy = MakeBuiltin(BuiltinKind::UInt);
+  LongTy = MakeBuiltin(BuiltinKind::Long);
+  ULongTy = MakeBuiltin(BuiltinKind::ULong);
+  DoubleTy = MakeBuiltin(BuiltinKind::Double);
+}
+
+const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  auto It = PointerCache.find(Pointee);
+  if (It != PointerCache.end())
+    return It->second;
+  Pointers.push_back(std::make_unique<PointerType>(Pointee));
+  const PointerType *PT = Pointers.back().get();
+  PointerCache[Pointee] = PT;
+  return PT;
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *Element,
+                                      uint64_t NumElements) {
+  auto Key = std::make_pair(Element, NumElements);
+  auto It = ArrayCache.find(Key);
+  if (It != ArrayCache.end())
+    return It->second;
+  Arrays.push_back(std::make_unique<ArrayType>(Element, NumElements));
+  const ArrayType *AT = Arrays.back().get();
+  ArrayCache[Key] = AT;
+  return AT;
+}
+
+const FunctionType *TypeContext::function(const Type *Ret,
+                                          std::vector<const Type *> Params,
+                                          bool Variadic) {
+  // Function types are not uniqued; identity comparison is not relied on.
+  Functions.push_back(
+      std::make_unique<FunctionType>(Ret, std::move(Params), Variadic));
+  return Functions.back().get();
+}
+
+RecordType *TypeContext::createRecord(bool IsUnion, std::string Name) {
+  Records.push_back(std::make_unique<RecordType>(IsUnion, std::move(Name)));
+  return Records.back().get();
+}

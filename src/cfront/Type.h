@@ -1,0 +1,224 @@
+//===- cfront/Type.h - C type system ---------------------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for the supported C subset, uniqued by a TypeContext. Sizes model
+/// an LP64 target (char 1, short 2, int 4, long/pointer 8, double 8), the
+/// layout the VM uses. Enums are represented as int; `float` is widened to
+/// double.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_CFRONT_TYPE_H
+#define GCSAFE_CFRONT_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcsafe {
+namespace cfront {
+
+class Type;
+
+enum class TypeKind : uint8_t {
+  Builtin,
+  Pointer,
+  Array,
+  Function,
+  Record,
+};
+
+enum class BuiltinKind : uint8_t {
+  Void,
+  Char,   // signed 8-bit
+  UChar,
+  Short,
+  UShort,
+  Int,
+  UInt,
+  Long,
+  ULong,
+  Double,
+};
+
+/// Base of the type hierarchy. Types are immutable (except record
+/// completion) and uniqued; compare with pointer equality.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isVoid() const;
+  bool isInteger() const;
+  bool isSignedInteger() const;
+  bool isUnsignedInteger() const;
+  bool isFloating() const;
+  bool isArithmetic() const { return isInteger() || isFloating(); }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isFunction() const { return Kind == TypeKind::Function; }
+  bool isRecord() const { return Kind == TypeKind::Record; }
+  bool isScalar() const { return isArithmetic() || isPointer(); }
+
+  /// True for pointer-to-object types (not pointer-to-function). These are
+  /// the "possible heap pointer" types of the BASE analysis.
+  bool isObjectPointer() const;
+
+  /// Size and alignment in bytes; 0 for void/function/incomplete types.
+  uint64_t size() const;
+  uint64_t align() const;
+
+  /// Renders the type in C syntax; with \p Name, renders a declarator
+  /// ("char *p", "int (*f)(long)").
+  std::string str(std::string_view Name = "") const;
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+  ~Type() = default;
+
+private:
+  TypeKind Kind;
+};
+
+class BuiltinType : public Type {
+public:
+  explicit BuiltinType(BuiltinKind BK) : Type(TypeKind::Builtin), BK(BK) {}
+  BuiltinKind builtinKind() const { return BK; }
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Builtin; }
+
+private:
+  BuiltinKind BK;
+};
+
+class PointerType : public Type {
+public:
+  explicit PointerType(const Type *Pointee)
+      : Type(TypeKind::Pointer), Pointee(Pointee) {}
+  const Type *pointee() const { return Pointee; }
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Pointer; }
+
+private:
+  const Type *Pointee;
+};
+
+class ArrayType : public Type {
+public:
+  ArrayType(const Type *Element, uint64_t NumElements)
+      : Type(TypeKind::Array), Element(Element), NumElements(NumElements) {}
+  const Type *element() const { return Element; }
+  uint64_t numElements() const { return NumElements; }
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Array; }
+
+private:
+  const Type *Element;
+  uint64_t NumElements;
+};
+
+class FunctionType : public Type {
+public:
+  FunctionType(const Type *Ret, std::vector<const Type *> Params,
+               bool Variadic)
+      : Type(TypeKind::Function), Ret(Ret), Params(std::move(Params)),
+        Variadic(Variadic) {}
+  const Type *returnType() const { return Ret; }
+  const std::vector<const Type *> &params() const { return Params; }
+  bool isVariadic() const { return Variadic; }
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Function;
+  }
+
+private:
+  const Type *Ret;
+  std::vector<const Type *> Params;
+  bool Variadic;
+};
+
+/// struct/union. Created incomplete for forward references and completed
+/// when the definition is seen.
+class RecordType : public Type {
+public:
+  struct Field {
+    std::string Name;
+    const Type *Ty = nullptr;
+    uint64_t Offset = 0;
+  };
+
+  RecordType(bool IsUnion, std::string Name)
+      : Type(TypeKind::Record), IsUnion(IsUnion), Name(std::move(Name)) {}
+
+  bool isUnion() const { return IsUnion; }
+  std::string_view name() const { return Name; }
+  bool isComplete() const { return Complete; }
+  const std::vector<Field> &fields() const { return Fields; }
+  const Field *findField(std::string_view FieldName) const;
+  uint64_t recordSize() const { return Size; }
+  uint64_t recordAlign() const { return Align; }
+
+  /// Completes the record, computing field offsets and the record layout.
+  void complete(std::vector<Field> NewFields);
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Record; }
+
+private:
+  bool IsUnion;
+  bool Complete = false;
+  std::string Name;
+  std::vector<Field> Fields;
+  uint64_t Size = 0;
+  uint64_t Align = 1;
+};
+
+/// Owns and uniques all types of one compilation.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *voidType() const { return VoidTy; }
+  const Type *charType() const { return CharTy; }
+  const Type *ucharType() const { return UCharTy; }
+  const Type *shortType() const { return ShortTy; }
+  const Type *ushortType() const { return UShortTy; }
+  const Type *intType() const { return IntTy; }
+  const Type *uintType() const { return UIntTy; }
+  const Type *longType() const { return LongTy; }
+  const Type *ulongType() const { return ULongTy; }
+  const Type *doubleType() const { return DoubleTy; }
+
+  const PointerType *pointerTo(const Type *Pointee);
+  const ArrayType *arrayOf(const Type *Element, uint64_t NumElements);
+  const FunctionType *function(const Type *Ret,
+                               std::vector<const Type *> Params,
+                               bool Variadic);
+
+  /// Creates a new (incomplete) record type; records are not uniqued.
+  RecordType *createRecord(bool IsUnion, std::string Name);
+
+private:
+  std::vector<std::unique_ptr<BuiltinType>> Builtins;
+  std::vector<std::unique_ptr<PointerType>> Pointers;
+  std::vector<std::unique_ptr<ArrayType>> Arrays;
+  std::vector<std::unique_ptr<FunctionType>> Functions;
+  std::vector<std::unique_ptr<RecordType>> Records;
+
+  std::map<const Type *, const PointerType *> PointerCache;
+  std::map<std::pair<const Type *, uint64_t>, const ArrayType *> ArrayCache;
+
+  const Type *VoidTy, *CharTy, *UCharTy, *ShortTy, *UShortTy, *IntTy, *UIntTy,
+      *LongTy, *ULongTy, *DoubleTy;
+};
+
+} // namespace cfront
+} // namespace gcsafe
+
+#endif // GCSAFE_CFRONT_TYPE_H

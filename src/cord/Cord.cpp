@@ -1,0 +1,369 @@
+//===- cord/Cord.cpp ------------------------------------------*- C++ -*-===//
+
+#include "cord/Cord.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+using namespace gcsafe;
+using namespace gcsafe::cord;
+
+//===----------------------------------------------------------------------===//
+// Cord queries (non-allocating)
+//===----------------------------------------------------------------------===//
+
+char Cord::charAt(size_t Index) const {
+  const CordRep *R = Rep;
+  assert(R && Index < R->Length && "charAt out of range");
+  while (true) {
+    switch (R->Kind) {
+    case CordRep::NK_Leaf:
+      return R->leafData()[Index];
+    case CordRep::NK_Concat: {
+      size_t LeftLen = R->Left->Length;
+      if (Index < LeftLen) {
+        R = R->Left;
+      } else {
+        Index -= LeftLen;
+        R = R->Right;
+      }
+      break;
+    }
+    case CordRep::NK_Substring:
+      Index += R->Start;
+      R = R->Base;
+      break;
+    }
+  }
+}
+
+static void visitSegments(const CordRep *R, size_t Skip, size_t Take,
+                          const std::function<void(std::string_view)> &Fn) {
+  while (Take != 0) {
+    switch (R->Kind) {
+    case CordRep::NK_Leaf:
+      Fn(std::string_view(R->leafData() + Skip, Take));
+      return;
+    case CordRep::NK_Concat: {
+      size_t LeftLen = R->Left->Length;
+      if (Skip >= LeftLen) {
+        Skip -= LeftLen;
+        R = R->Right;
+        break;
+      }
+      size_t LeftTake = std::min(Take, LeftLen - Skip);
+      visitSegments(R->Left, Skip, LeftTake, Fn);
+      Take -= LeftTake;
+      Skip = 0;
+      R = R->Right;
+      break;
+    }
+    case CordRep::NK_Substring:
+      Skip += R->Start;
+      R = R->Base;
+      break;
+    }
+  }
+}
+
+void Cord::forEachSegment(
+    const std::function<void(std::string_view)> &Fn) const {
+  if (Rep)
+    visitSegments(Rep, 0, Rep->Length, Fn);
+}
+
+std::string Cord::str() const {
+  std::string Out;
+  Out.reserve(length());
+  forEachSegment([&](std::string_view Seg) { Out.append(Seg); });
+  return Out;
+}
+
+int Cord::compare(const Cord &RHS) const {
+  CordIterator A(*this), B(RHS);
+  while (!A.done() && !B.done()) {
+    char CA = A.current(), CB = B.current();
+    if (CA != CB)
+      return static_cast<unsigned char>(CA) < static_cast<unsigned char>(CB)
+                 ? -1
+                 : 1;
+    A.advance();
+    B.advance();
+  }
+  if (A.done() && B.done())
+    return 0;
+  return A.done() ? -1 : 1;
+}
+
+size_t Cord::find(std::string_view Needle, size_t From) const {
+  if (Needle.empty())
+    return From <= length() ? From : npos;
+  if (From >= length() || length() - From < Needle.size())
+    return npos;
+  // Naive scan with a rolling window over the iterator; needles are short
+  // in practice and segments make KMP bookkeeping unattractive.
+  CordIterator It(*this);
+  for (size_t Skip = 0; Skip < From; ++Skip)
+    It.advance();
+  size_t Pos = From;
+  std::string Window;
+  while (!It.done()) {
+    Window.push_back(It.current());
+    It.advance();
+    if (Window.size() > Needle.size())
+      Window.erase(Window.begin());
+    if (Window.size() == Needle.size() && Window == Needle)
+      return Pos + 1 - Needle.size();
+    ++Pos;
+  }
+  return npos;
+}
+
+uint64_t Cord::hash() const {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  forEachSegment([&](std::string_view Seg) {
+    for (char Ch : Seg) {
+      H ^= static_cast<unsigned char>(Ch);
+      H *= 1099511628211ull;
+    }
+  });
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// CordIterator
+//===----------------------------------------------------------------------===//
+
+CordIterator::CordIterator(const Cord &C) {
+  Remaining = C.length();
+  if (Remaining)
+    descend(C.rep(), 0, Remaining);
+}
+
+void CordIterator::descend(const CordRep *Rep, size_t Skip, size_t Take) {
+  while (true) {
+    switch (Rep->Kind) {
+    case CordRep::NK_Leaf:
+      Cur = Rep->leafData() + Skip;
+      SegEnd = Cur + Take;
+      return;
+    case CordRep::NK_Concat: {
+      size_t LeftLen = Rep->Left->Length;
+      if (Skip >= LeftLen) {
+        Skip -= LeftLen;
+        Rep = Rep->Right;
+        break;
+      }
+      size_t LeftTake = std::min(Take, LeftLen - Skip);
+      if (LeftTake < Take) {
+        assert(StackSize < MaxStack && "cord too deep for iterator");
+        Stack[StackSize++] = {Rep->Right, 0, Take - LeftTake};
+      }
+      Take = LeftTake;
+      Rep = Rep->Left;
+      break;
+    }
+    case CordRep::NK_Substring:
+      Skip += Rep->Start;
+      Rep = Rep->Base;
+      break;
+    }
+  }
+}
+
+void CordIterator::refill() {
+  assert(StackSize > 0 && "refill with empty stack");
+  Frame F = Stack[--StackSize];
+  descend(F.Rep, F.Skip, F.Take);
+}
+
+void CordIterator::advance() {
+  assert(Remaining > 0 && "advance past end");
+  ++Cur;
+  --Remaining;
+  if (Cur == SegEnd && Remaining)
+    refill();
+}
+
+//===----------------------------------------------------------------------===//
+// CordHeap (allocating operations)
+//===----------------------------------------------------------------------===//
+
+const CordRep *CordHeap::newLeaf(std::string_view Text) {
+  assert(!Text.empty() && "leaves are non-empty");
+  // Leaf payloads contain no pointers; atomic allocation keeps the
+  // collector from scanning string bytes.
+  void *Mem = C.allocateAtomic(sizeof(CordRep) + Text.size());
+  auto *Rep = new (Mem) CordRep();
+  Rep->Kind = CordRep::NK_Leaf;
+  Rep->Depth = 0;
+  Rep->Length = static_cast<uint32_t>(Text.size());
+  std::memcpy(Rep->leafData(), Text.data(), Text.size());
+  return Rep;
+}
+
+const CordRep *CordHeap::newConcat(const CordRep *L, const CordRep *R) {
+  PinScope Pin(*this, {L, R});
+  void *Mem = C.allocate(sizeof(CordRep));
+  auto *Rep = new (Mem) CordRep();
+  Rep->Kind = CordRep::NK_Concat;
+  Rep->Depth = static_cast<uint8_t>(1 + std::max(L->Depth, R->Depth));
+  Rep->Length = L->Length + R->Length;
+  Rep->Left = L;
+  Rep->Right = R;
+  return Rep;
+}
+
+const CordRep *CordHeap::newSubstring(const CordRep *Base, uint32_t Start,
+                                      uint32_t Len) {
+  PinScope Pin(*this, {Base});
+  void *Mem = C.allocate(sizeof(CordRep));
+  auto *Rep = new (Mem) CordRep();
+  Rep->Kind = CordRep::NK_Substring;
+  Rep->Depth = static_cast<uint8_t>(Base->Depth + 1);
+  Rep->Length = Len;
+  Rep->Base = Base;
+  Rep->Start = Start;
+  return Rep;
+}
+
+Cord CordHeap::fromString(std::string_view Text) {
+  if (Text.empty())
+    return Cord();
+  return Cord(newLeaf(Text));
+}
+
+Cord CordHeap::concat(Cord A, Cord B) {
+  if (A.empty())
+    return B;
+  if (B.empty())
+    return A;
+  // Keep both operands alive across any collection triggered below.
+  PinScope Pin(*this, {A.rep(), B.rep()});
+  size_t Total = A.length() + B.length();
+  if (Total <= ShortLimit) {
+    char Buf[ShortLimit];
+    size_t N = 0;
+    auto Copy = [&](std::string_view Seg) {
+      std::memcpy(Buf + N, Seg.data(), Seg.size());
+      N += Seg.size();
+    };
+    A.forEachSegment(Copy);
+    B.forEachSegment(Copy);
+    return Cord(newLeaf(std::string_view(Buf, N)));
+  }
+  const CordRep *Rep = newConcat(A.rep(), B.rep());
+  if (Rep->Depth > MaxDepth)
+    Rep = balanceRep(Rep);
+  return Cord(Rep);
+}
+
+Cord CordHeap::substr(Cord A, size_t Pos, size_t Len) {
+  size_t ALen = A.length();
+  if (Pos >= ALen)
+    return Cord();
+  Len = std::min(Len, ALen - Pos);
+  if (Len == 0)
+    return Cord();
+  if (Pos == 0 && Len == ALen)
+    return A;
+  PinScope Pin(*this, {A.rep()});
+  const CordRep *Base = A.rep();
+  // Collapse substring-of-substring chains.
+  while (Base->Kind == CordRep::NK_Substring) {
+    Pos += Base->Start;
+    Base = Base->Base;
+  }
+  if (Len <= ShortLimit) {
+    // Materialize short substrings as flat leaves.
+    char Buf[ShortLimit];
+    size_t N = 0;
+    visitSegments(Base, Pos, Len, [&](std::string_view Seg) {
+      std::memcpy(Buf + N, Seg.data(), Seg.size());
+      N += Seg.size();
+    });
+    return Cord(newLeaf(std::string_view(Buf, N)));
+  }
+  return Cord(newSubstring(Base, static_cast<uint32_t>(Pos),
+                           static_cast<uint32_t>(Len)));
+}
+
+const CordRep *CordHeap::buildBalanced(const CordRep *const *Leaves,
+                                       size_t N) {
+  assert(N > 0);
+  if (N == 1)
+    return Leaves[0];
+  size_t Mid = N / 2;
+  const CordRep *L = buildBalanced(Leaves, Mid);
+  PinScope Pin(*this, {L});
+  const CordRep *R = buildBalanced(Leaves + Mid, N - Mid);
+  return newConcat(L, R);
+}
+
+const CordRep *CordHeap::balanceRep(const CordRep *Rep) {
+  PinScope Pin(*this, {Rep});
+  std::vector<const CordRep *> Pieces;
+  // Collect the leaf-level pieces left to right. Substring windows over
+  // leaves become fresh substring nodes so no characters are copied.
+  struct Collector {
+    CordHeap &H;
+    PinScope &Pin;
+    std::vector<const CordRep *> &Pieces;
+    void collect(const CordRep *R, size_t Skip, size_t Take) {
+      while (Take != 0) {
+        switch (R->Kind) {
+        case CordRep::NK_Leaf:
+          if (Skip == 0 && Take == R->Length) {
+            Pieces.push_back(R);
+          } else {
+            const CordRep *Sub = H.newSubstring(
+                R, static_cast<uint32_t>(Skip), static_cast<uint32_t>(Take));
+            Pin.pin(Sub);
+            Pieces.push_back(Sub);
+          }
+          return;
+        case CordRep::NK_Concat: {
+          size_t LeftLen = R->Left->Length;
+          if (Skip >= LeftLen) {
+            Skip -= LeftLen;
+            R = R->Right;
+            break;
+          }
+          size_t LeftTake = std::min(Take, LeftLen - Skip);
+          collect(R->Left, Skip, LeftTake);
+          Take -= LeftTake;
+          Skip = 0;
+          R = R->Right;
+          break;
+        }
+        case CordRep::NK_Substring:
+          Skip += R->Start;
+          R = R->Base;
+          break;
+        }
+      }
+    }
+  };
+  Collector Walker{*this, Pin, Pieces};
+  Walker.collect(Rep, 0, Rep->Length);
+  return buildBalanced(Pieces.data(), Pieces.size());
+}
+
+Cord CordHeap::balance(Cord A) {
+  if (A.empty() || A.rep()->Kind == CordRep::NK_Leaf)
+    return A;
+  return Cord(balanceRep(A.rep()));
+}
+
+Cord CordHeap::repeat(Cord A, size_t Count) {
+  Cord Result;
+  PinScope Pin(*this, {A.rep()});
+  for (size_t I = 0; I < Count; ++I) {
+    Result = concat(Result, A);
+    // Keep the accumulator alive across the next concat's allocations.
+    Pin.pin(Result.rep());
+  }
+  return Result;
+}

@@ -1,0 +1,255 @@
+//===- cord/Cord.h - Rope strings on the conservative GC -------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cord ("rope") string package in the style of the one distributed with
+/// the Boehm collector, which the paper's `cordtest` benchmark exercises
+/// ("5 iterations of the test normally distributed with our 'cord' string
+/// package. This was run with our garbage collector.").
+///
+/// Cords are immutable trees of string segments allocated in a Collector:
+///   * Leaf      — a flat character array (atomic allocation),
+///   * Concat    — concatenation of two cords,
+///   * Substring — a window into another cord.
+///
+/// All allocating operations go through a CordHeap bound to a Collector;
+/// intermediate nodes are pinned in an internal root set so collections
+/// triggered mid-operation are safe. Query operations (length, charAt,
+/// iteration, comparison, flattening to std::string) never allocate in the
+/// collected heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_CORD_CORD_H
+#define GCSAFE_CORD_CORD_H
+
+#include "gc/Collector.h"
+#include "gc/Roots.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace gcsafe {
+namespace cord {
+
+/// Tree node. Lives in the collected heap; never mutated after creation.
+struct CordRep {
+  enum NodeKind : uint8_t { NK_Leaf, NK_Concat, NK_Substring };
+
+  NodeKind Kind;
+  uint8_t Depth; ///< 0 for leaves; 1 + max(child depths) otherwise.
+  uint32_t Length;
+
+  // NK_Concat:
+  const CordRep *Left = nullptr;
+  const CordRep *Right = nullptr;
+  // NK_Substring:
+  const CordRep *Base = nullptr;
+  uint32_t Start = 0;
+  // NK_Leaf: characters follow the node in the same allocation.
+  const char *leafData() const {
+    return reinterpret_cast<const char *>(this + 1);
+  }
+  char *leafData() { return reinterpret_cast<char *>(this + 1); }
+};
+
+/// Value handle for a cord; null rep means the empty cord.
+class Cord {
+public:
+  Cord() = default;
+  explicit Cord(const CordRep *Rep) : Rep(Rep) {}
+
+  const CordRep *rep() const { return Rep; }
+  bool empty() const { return Rep == nullptr; }
+  size_t length() const { return Rep ? Rep->Length : 0; }
+  unsigned depth() const { return Rep ? Rep->Depth : 0; }
+
+  /// Character at \p Index; asserts in range.
+  char charAt(size_t Index) const;
+
+  /// Calls \p Fn for each contiguous segment, left to right.
+  void forEachSegment(
+      const std::function<void(std::string_view)> &Fn) const;
+
+  /// Flattens into an std::string (outside the collected heap).
+  std::string str() const;
+
+  /// Lexicographic comparison; returns <0, 0, >0.
+  int compare(const Cord &RHS) const;
+
+  bool operator==(const Cord &RHS) const { return compare(RHS) == 0; }
+
+  /// Index of the first occurrence of \p Needle at or after \p From, or
+  /// npos. Does not allocate; naive scan over the iterator.
+  static constexpr size_t npos = ~size_t(0);
+  size_t find(std::string_view Needle, size_t From = 0) const;
+
+  /// FNV-1a hash of the contents (allocation-free).
+  uint64_t hash() const;
+
+private:
+  const CordRep *Rep = nullptr;
+};
+
+/// Forward iterator over the characters of a cord. Does not allocate in the
+/// collected heap; the cord must stay rooted while iterating.
+class CordIterator {
+public:
+  explicit CordIterator(const Cord &C);
+
+  bool done() const { return Remaining == 0; }
+  char current() const { return *Cur; }
+  void advance();
+  size_t remaining() const { return Remaining; }
+
+private:
+  void descend(const CordRep *Rep, size_t Skip, size_t Take);
+  void refill();
+
+  struct Frame {
+    const CordRep *Rep;
+    size_t Skip; ///< Characters of this subtree to skip.
+    size_t Take; ///< Characters of this subtree to produce.
+  };
+  static constexpr unsigned MaxStack = 96;
+  Frame Stack[MaxStack];
+  unsigned StackSize = 0;
+  const char *Cur = nullptr;
+  const char *SegEnd = nullptr;
+  size_t Remaining = 0;
+};
+
+/// Allocating cord operations, bound to one Collector.
+class CordHeap {
+public:
+  explicit CordHeap(gc::Collector &C) : C(C), Pins(C) {}
+
+  gc::Collector &collector() { return C; }
+
+  /// Builds a leaf cord by copying \p Text.
+  Cord fromString(std::string_view Text);
+
+  /// Concatenates; short operands are merged into a flat leaf, and the
+  /// result is rebalanced if it becomes too deep.
+  Cord concat(Cord A, Cord B);
+
+  /// Substring [\p Pos, \p Pos + \p Len) of \p A, clamped to its length.
+  Cord substr(Cord A, size_t Pos, size_t Len);
+
+  /// Rebuilds \p A as a balanced tree over its leaf segments.
+  Cord balance(Cord A);
+
+  /// Builds a cord of \p Count copies of \p A (used by stress tests).
+  Cord repeat(Cord A, size_t Count);
+
+  /// Maximum depth before concat() rebalances.
+  static constexpr unsigned MaxDepth = 40;
+  /// Concats with a combined length at or below this become flat leaves.
+  static constexpr size_t ShortLimit = 32;
+
+private:
+  const CordRep *newLeaf(std::string_view Text);
+  const CordRep *newConcat(const CordRep *L, const CordRep *R);
+  const CordRep *newSubstring(const CordRep *Base, uint32_t Start,
+                              uint32_t Len);
+  const CordRep *balanceRep(const CordRep *Rep);
+  const CordRep *buildBalanced(const CordRep *const *Leaves, size_t N);
+
+  /// RAII pin of a rep for the duration of an allocating operation.
+  class PinScope {
+  public:
+    PinScope(CordHeap &H, std::initializer_list<const CordRep *> Reps)
+        : H(H), Count(0) {
+      for (const CordRep *R : Reps)
+        if (R) {
+          H.Pins.push(const_cast<CordRep *>(R));
+          ++Count;
+        }
+    }
+    ~PinScope() {
+      for (unsigned I = 0; I < Count; ++I)
+        H.Pins.pop();
+    }
+    void pin(const CordRep *R) {
+      if (R) {
+        H.Pins.push(const_cast<CordRep *>(R));
+        ++Count;
+      }
+    }
+
+  private:
+    CordHeap &H;
+    unsigned Count;
+  };
+
+  gc::Collector &C;
+  gc::RootVector Pins;
+};
+
+/// Incremental cord construction with amortized appends: characters and
+/// short strings accumulate in a flat buffer that is flushed into the cord
+/// as leaves (the role CORD_ec plays in the original package). The
+/// accumulated cord is pinned against collection for the builder's
+/// lifetime.
+class CordBuilder {
+public:
+  explicit CordBuilder(CordHeap &Heap) : Heap(Heap), Pin(Heap.collector()) {
+    Pin.push(nullptr);
+  }
+
+  void appendChar(char Ch) {
+    Buffer.push_back(Ch);
+    if (Buffer.size() >= FlushThreshold)
+      flush();
+  }
+
+  void append(std::string_view Text) {
+    Buffer.append(Text);
+    if (Buffer.size() >= FlushThreshold)
+      flush();
+  }
+
+  void append(Cord C) {
+    flush();
+    Acc = Heap.concat(Acc, C);
+    Pin[0] = const_cast<CordRep *>(Acc.rep());
+  }
+
+  /// Finishes and returns the built cord; the builder resets to empty.
+  Cord take() {
+    flush();
+    Cord Result = Acc;
+    Acc = Cord();
+    Pin[0] = nullptr;
+    return Result;
+  }
+
+  size_t length() const { return Acc.length() + Buffer.size(); }
+
+  static constexpr size_t FlushThreshold = 128;
+
+private:
+  void flush() {
+    if (Buffer.empty())
+      return;
+    Acc = Heap.concat(Acc, Heap.fromString(Buffer));
+    Pin[0] = const_cast<CordRep *>(Acc.rep());
+    Buffer.clear();
+  }
+
+  CordHeap &Heap;
+  gc::RootVector Pin;
+  Cord Acc;
+  std::string Buffer;
+};
+
+} // namespace cord
+} // namespace gcsafe
+
+#endif // GCSAFE_CORD_CORD_H

@@ -1,0 +1,173 @@
+//===- driver/Pipeline.cpp ------------------------------------*- C++ -*-===//
+
+#include "driver/Pipeline.h"
+
+#include "annotate/SourceCheck.h"
+#include "cfront/Lexer.h"
+#include "ir/Verify.h"
+
+#include <cassert>
+
+using namespace gcsafe;
+using namespace gcsafe::driver;
+
+const char *gcsafe::driver::compileModeName(CompileMode Mode) {
+  switch (Mode) {
+  case CompileMode::O2: return "-O2";
+  case CompileMode::O2Safe: return "-O2 safe";
+  case CompileMode::O2SafePost: return "-O2 safe+postproc";
+  case CompileMode::Debug: return "-g";
+  case CompileMode::DebugChecked: return "-g checked";
+  }
+  return "?";
+}
+
+Compilation::Compilation(std::string Name, std::string Source)
+    : Buffer(std::move(Name), std::move(Source)) {
+  Actions = std::make_unique<cfront::Sema>(Types, Diags, NodeArena);
+}
+
+Compilation::~Compilation() = default;
+
+bool Compilation::parse() {
+  if (Parsed)
+    return ParseOk;
+  Parsed = true;
+  Actions->declareRuntimeBuiltins(TU);
+  cfront::Lexer Lex(Buffer, Diags);
+  cfront::Parser P(Lex.lexAll(), *Actions);
+  P.parseTranslationUnit(TU);
+  ParseOk = !Diags.hasErrors();
+  if (ParseOk)
+    annotate::runSourceChecks(TU, Diags); // hidden-pointer hazard warnings
+  return ParseOk;
+}
+
+annotate::AnnotationMap
+Compilation::annotate(const annotate::AnnotatorOptions &Options) {
+  parse();
+  return annotate::annotateTranslationUnit(TU, Options);
+}
+
+std::string
+Compilation::annotatedSource(annotate::AnnotationMode Mode,
+                             const annotate::AnnotatorOptions &Options) {
+  annotate::AnnotationMap Map = annotate(Options);
+  return annotate::renderAnnotatedSource(Buffer, Map, Mode);
+}
+
+CompileResult Compilation::compile(const CompileOptions &Options) {
+  CompileResult Result;
+  if (!parse()) {
+    Result.Errors = renderedDiagnostics();
+    return Result;
+  }
+
+  annotate::AnnotationMap Map;
+  bool NeedsAnnotations = Options.Mode == CompileMode::O2Safe ||
+                          Options.Mode == CompileMode::O2SafePost ||
+                          Options.Mode == CompileMode::DebugChecked;
+  if (NeedsAnnotations) {
+    Map = annotate::annotateTranslationUnit(TU, Options.Annot);
+    Result.AnnotStats = Map.stats();
+  }
+
+  ir::LowerOptions LO;
+  switch (Options.Mode) {
+  case CompileMode::O2:
+    break;
+  case CompileMode::O2Safe:
+  case CompileMode::O2SafePost:
+    LO.SafetyMode = ir::LowerOptions::Safety::KeepLive;
+    LO.Annotations = &Map;
+    break;
+  case CompileMode::Debug:
+    LO.AllVarsInMemory = true;
+    break;
+  case CompileMode::DebugChecked:
+    LO.AllVarsInMemory = true;
+    LO.SafetyMode = ir::LowerOptions::Safety::Checked;
+    LO.Annotations = &Map;
+    break;
+  }
+
+  Result.Module = ir::lowerTranslationUnit(TU, LO, Diags);
+  if (Diags.hasErrors()) {
+    Result.Errors = renderedDiagnostics();
+    return Result;
+  }
+
+  opt::OptPipelineOptions PO;
+  PO.Level = (Options.Mode == CompileMode::Debug ||
+              Options.Mode == CompileMode::DebugChecked)
+                 ? opt::OptLevel::O0
+                 : opt::OptLevel::O2;
+  PO.Postprocess = Options.Mode == CompileMode::O2SafePost;
+  Result.OptStats = opt::optimizeModule(Result.Module, PO);
+
+#ifndef NDEBUG
+  {
+    std::vector<std::string> VerifyErrors;
+    bool Verified = ir::verifyModule(Result.Module, VerifyErrors);
+    assert(Verified && "optimized module failed IR verification");
+    (void)Verified;
+  }
+#endif
+
+  for (const ir::Function &F : Result.Module.Functions)
+    if (F.Name != "__globals_init")
+      Result.CodeSizeUnits += ir::functionSizeUnits(F);
+
+  Result.Ok = true;
+  return Result;
+}
+
+RoundTripResult gcsafe::driver::roundTripChecked(
+    const std::string &Name, const std::string &Source,
+    const vm::VMOptions &VMOpts, const annotate::AnnotatorOptions &Annot) {
+  RoundTripResult Result;
+
+  Compilation First(Name, Source);
+  if (!First.parse()) {
+    Result.Error = "original source failed to parse:\n" +
+                   First.renderedDiagnostics();
+    return Result;
+  }
+  Result.RenderedSource =
+      First.annotatedSource(annotate::AnnotationMode::Checked, Annot);
+
+  Compilation Second(Name + ".checked.c", Result.RenderedSource);
+  CompileOptions CO;
+  CO.Mode = CompileMode::Debug; // plain -g; the checks are source calls now
+  CompileResult CR = Second.compile(CO);
+  if (!CR.Ok) {
+    Result.Error = "rendered checked source failed to compile:\n" +
+                   CR.Errors + "\n--- rendered source ---\n" +
+                   Result.RenderedSource;
+    return Result;
+  }
+  vm::VM Machine(CR.Module, VMOpts);
+  Result.Run = Machine.run();
+  Result.Ok = Result.Run.Ok;
+  if (!Result.Ok)
+    Result.Error = Result.Run.Error;
+  return Result;
+}
+
+vm::RunResult gcsafe::driver::compileAndRun(
+    const std::string &Name, const std::string &Source, CompileMode Mode,
+    const vm::VMOptions &VMOpts, const annotate::AnnotatorOptions &Annot) {
+  Compilation C(Name, Source);
+  CompileOptions CO;
+  CO.Mode = Mode;
+  CO.Annot = Annot;
+  CompileResult CR = C.compile(CO);
+  if (!CR.Ok) {
+    vm::RunResult R;
+    R.Ok = false;
+    R.Error = "compilation failed:\n" + CR.Errors;
+    return R;
+  }
+  vm::VM Machine(CR.Module, VMOpts);
+  return Machine.run();
+}

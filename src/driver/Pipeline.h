@@ -1,0 +1,134 @@
+//===- driver/Pipeline.h - End-to-end compilation pipelines ----*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composes the frontend, annotator, lowering, optimizer and VM into the
+/// compilation modes the paper measures:
+///
+///   O2           — optimized, *not* GC-safe (the baseline each table's
+///                  slowdown percentages are relative to);
+///   O2Safe       — "-O, safe": optimized with KEEP_LIVE annotations;
+///   O2SafePost   — O2Safe plus the peephole postprocessor (the paper's
+///                  "A Postprocessor" results);
+///   Debug        — "-g": fully debuggable, all variables in memory,
+///                  inherently GC-safe;
+///   DebugChecked — "-g, checked": debuggable plus GC_same_obj /
+///                  GC_pre_incr pointer-arithmetic checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_DRIVER_PIPELINE_H
+#define GCSAFE_DRIVER_PIPELINE_H
+
+#include "annotate/Annotator.h"
+#include "cfront/Parser.h"
+#include "cfront/Sema.h"
+#include "ir/IR.h"
+#include "ir/Lower.h"
+#include "opt/Passes.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+
+namespace gcsafe {
+namespace driver {
+
+enum class CompileMode {
+  O2,
+  O2Safe,
+  O2SafePost,
+  Debug,
+  DebugChecked,
+};
+
+const char *compileModeName(CompileMode Mode);
+
+struct CompileOptions {
+  CompileMode Mode = CompileMode::O2;
+  annotate::AnnotatorOptions Annot;
+};
+
+struct CompileResult {
+  bool Ok = false;
+  std::string Errors;
+  ir::Module Module;
+  unsigned CodeSizeUnits = 0; ///< Processed code only (no runtime).
+  annotate::AnnotatorStats AnnotStats;
+  opt::PassStats OptStats;
+};
+
+/// One source file's frontend state; reusable across modes (the AST is
+/// parsed once, annotated and lowered per mode).
+class Compilation {
+public:
+  Compilation(std::string Name, std::string Source);
+  Compilation(const Compilation &) = delete;
+  Compilation &operator=(const Compilation &) = delete;
+  ~Compilation();
+
+  /// Lex + parse + typecheck; returns false on errors.
+  bool parse();
+
+  const cfront::TranslationUnit &tu() const { return TU; }
+  const SourceBuffer &buffer() const { return Buffer; }
+  DiagnosticsEngine &diags() { return Diags; }
+  std::string renderedDiagnostics() const { return Diags.render(Buffer); }
+
+  /// Runs the annotator and renders the annotated C source (the paper's
+  /// preprocessor output).
+  std::string annotatedSource(annotate::AnnotationMode Mode,
+                              const annotate::AnnotatorOptions &Options = {});
+
+  /// Runs the annotator alone (for inspection/tests).
+  annotate::AnnotationMap annotate(const annotate::AnnotatorOptions &Options = {});
+
+  /// Full middle-end for one mode.
+  CompileResult compile(const CompileOptions &Options);
+
+private:
+  SourceBuffer Buffer;
+  DiagnosticsEngine Diags;
+  Arena NodeArena;
+  cfront::TypeContext Types;
+  std::unique_ptr<cfront::Sema> Actions;
+  cfront::TranslationUnit TU;
+  bool Parsed = false;
+  bool ParseOk = false;
+};
+
+/// Convenience: parse, compile in \p Mode, run under \p VMOpts. On frontend
+/// or middle-end failure returns a RunResult with Ok=false and the
+/// diagnostics in Error.
+vm::RunResult compileAndRun(const std::string &Name,
+                            const std::string &Source, CompileMode Mode,
+                            const vm::VMOptions &VMOpts = {},
+                            const annotate::AnnotatorOptions &Annot = {});
+
+/// The source-level checking path, end to end: annotate in Checked mode,
+/// render the (plain ANSI C) preprocessor output, re-parse it with a fresh
+/// frontend as if it were any user program, compile it debuggable, and run
+/// it — the GC_same_obj / GC_pre_incr / GC_post_incr calls in the rendered
+/// text drive the collector's checker at run time. This validates the
+/// paper's claim that "it should be possible to make the output in
+/// source-code-checking mode usable with any ANSI C compiler".
+struct RoundTripResult {
+  bool Ok = false;
+  std::string Error;
+  std::string RenderedSource;
+  vm::RunResult Run;
+};
+
+RoundTripResult roundTripChecked(const std::string &Name,
+                                 const std::string &Source,
+                                 const vm::VMOptions &VMOpts = {},
+                                 const annotate::AnnotatorOptions &Annot = {});
+
+} // namespace driver
+} // namespace gcsafe
+
+#endif // GCSAFE_DRIVER_PIPELINE_H

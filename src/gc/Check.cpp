@@ -1,0 +1,41 @@
+//===- gc/Check.cpp -------------------------------------------*- C++ -*-===//
+
+#include "gc/Check.h"
+
+using namespace gcsafe;
+using namespace gcsafe::gc;
+
+void PointerCheck::reportViolation(const void *Derived, const void *Base,
+                                   const char *Context) {
+  Violations.push_back(
+      {Derived, Base, Context ? std::string(Context) : std::string()});
+  if (Handler)
+    Handler(Violations.back());
+}
+
+const void *PointerCheck::sameObj(const void *P, const void *Base,
+                                  const char *Context) {
+  ++CheckCount;
+  void *BaseObj = C.baseOf(Base);
+  if (!BaseObj)
+    return P; // Base is not a heap pointer: nothing to check.
+  if (C.baseOf(P) != BaseObj)
+    reportViolation(P, Base, Context);
+  return P;
+}
+
+void *PointerCheck::preIncr(void **PP, ptrdiff_t Delta, const char *Context) {
+  void *Old = *PP;
+  void *New = static_cast<char *>(Old) + Delta;
+  sameObj(New, Old, Context);
+  *PP = New;
+  return New;
+}
+
+void *PointerCheck::postIncr(void **PP, ptrdiff_t Delta, const char *Context) {
+  void *Old = *PP;
+  void *New = static_cast<char *>(Old) + Delta;
+  sameObj(New, Old, Context);
+  *PP = New;
+  return Old;
+}

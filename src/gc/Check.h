@@ -1,0 +1,96 @@
+//===- gc/Check.h - Pointer-arithmetic checking primitives -----*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime functions the checked-mode preprocessor output calls in
+/// place of KEEP_LIVE:
+///
+///   GC_same_obj(p, base)  — checks that p still points to the object base
+///                           points to, and returns p. Being a real
+///                           external call, it simultaneously has the
+///                           intended KEEP_LIVE effect.
+///   GC_pre_incr(&p, n)    — p += n with the same check; returns new p.
+///   GC_post_incr(&p, n)   — p += n with the same check; returns old p.
+///
+/// Violations are routed to a handler; the default records them, so a
+/// debugging session can keep running (the paper's gawk experiment
+/// "immediately and correctly detected a pointer arithmetic error").
+/// Checking only applies to heap pointers: if the base operand does not
+/// point into the collected heap (stack, statics, a pointer from a foreign
+/// allocator, null), the check is skipped — this is why the paper could run
+/// cfrac and gawk "linked with the default malloc/free implementation.
+/// Hence pointer arithmetic checking was not operational."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_GC_CHECK_H
+#define GCSAFE_GC_CHECK_H
+
+#include "gc/Collector.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gcsafe {
+namespace gc {
+
+/// One detected pointer-arithmetic violation.
+struct CheckViolation {
+  const void *Derived = nullptr; ///< The out-of-object pointer.
+  const void *Base = nullptr;    ///< The pointer it was derived from.
+  std::string Context;           ///< Optional source context tag.
+};
+
+/// Stateful checker bound to one collector. Thread-compatible (no internal
+/// locking), matching the single-threaded VM.
+class PointerCheck {
+public:
+  explicit PointerCheck(Collector &C) : C(C) {}
+
+  /// Installs a handler called on each violation (after recording). Pass an
+  /// empty function to restore record-only behaviour.
+  void setViolationHandler(std::function<void(const CheckViolation &)> Fn) {
+    Handler = std::move(Fn);
+  }
+
+  /// GC_same_obj: returns \p P; reports a violation if \p Base points into
+  /// a heap object but \p P does not point into the same one.
+  const void *sameObj(const void *P, const void *Base,
+                      const char *Context = nullptr);
+
+  /// GC_pre_incr: *PP += Delta (byte delta) with a same-object check
+  /// against the original value; returns the new value.
+  void *preIncr(void **PP, ptrdiff_t Delta, const char *Context = nullptr);
+
+  /// GC_post_incr: *PP += Delta with the same check; returns the original
+  /// value.
+  void *postIncr(void **PP, ptrdiff_t Delta, const char *Context = nullptr);
+
+  size_t checkCount() const { return CheckCount; }
+  size_t violationCount() const { return Violations.size(); }
+  const std::vector<CheckViolation> &violations() const { return Violations; }
+  void reset() {
+    CheckCount = 0;
+    Violations.clear();
+  }
+
+private:
+  void reportViolation(const void *Derived, const void *Base,
+                       const char *Context);
+
+  Collector &C;
+  std::function<void(const CheckViolation &)> Handler;
+  std::vector<CheckViolation> Violations;
+  size_t CheckCount = 0;
+};
+
+} // namespace gc
+} // namespace gcsafe
+
+#endif // GCSAFE_GC_CHECK_H

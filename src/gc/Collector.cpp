@@ -1,0 +1,526 @@
+//===- gc/Collector.cpp ---------------------------------------*- C++ -*-===//
+
+#include "gc/Collector.h"
+
+#include <cassert>
+#include <csetjmp>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace gcsafe;
+using namespace gcsafe::gc;
+
+namespace {
+constexpr size_t SegmentPages = 256; // 1 MiB segments
+} // namespace
+
+Collector::Collector(CollectorConfig ConfigIn) : Config(ConfigIn) {}
+
+Collector::~Collector() {
+  for (Segment &S : Segments)
+    std::free(S.Base);
+  for (PageDescriptor *D : AllPages)
+    delete D;
+}
+
+size_t Collector::paddedSize(size_t Size) const {
+  if (Size == 0)
+    Size = 1;
+  if (Config.OnePastEndSlack)
+    Size += 1;
+  return (Size + GranuleSize - 1) & ~(GranuleSize - 1);
+}
+
+void Collector::maybeCollect() {
+  if (DisableDepth || InCollection)
+    return;
+  bool CountHit =
+      Config.AllocCountTrigger && AllocsSinceGC >= Config.AllocCountTrigger;
+  bool BytesHit = BytesSinceGC >= Config.BytesTrigger;
+  if (CountHit || BytesHit)
+    collect();
+}
+
+void *Collector::allocate(size_t Size) { return allocateImpl(Size, false); }
+
+void *Collector::allocateAtomic(size_t Size) {
+  return allocateImpl(Size, true);
+}
+
+void *Collector::allocateImpl(size_t Size, bool Atomic) {
+  ++AllocsSinceGC;
+  ++Stats.AllocationCount;
+  Stats.BytesRequested += Size;
+  maybeCollect();
+  size_t Padded = paddedSize(Size);
+  BytesSinceGC += Padded;
+  void *Result = Padded <= MaxSmallSize ? allocateSmall(Padded, Atomic)
+                                        : allocateLarge(Padded, Atomic);
+  std::memset(Result, 0, Padded);
+  return Result;
+}
+
+void *Collector::allocateSmall(size_t Padded, bool Atomic) {
+  size_t Class = Padded / GranuleSize - 1;
+  assert(Class < NumSizeClasses && "bad size class");
+
+  // The free list for a class may hold slots from both atomic and normal
+  // pages; re-check the page kind and skip mismatches by re-initializing a
+  // fresh page instead. To keep the lists homogeneous we simply use the
+  // page's own atomic flag: a slot popped from a page of the wrong
+  // atomicity is pushed back and a new page is initialized. In practice the
+  // lists are rebuilt every sweep, so we keep it simple and search.
+  FreeSlot **Prev = &FreeLists[Class];
+  for (FreeSlot *Slot = *Prev; Slot; Prev = &Slot->Next, Slot = Slot->Next) {
+    PageDescriptor *Desc = Table.lookup(Slot);
+    assert(Desc && Desc->Kind == PageKind::PK_Small);
+    if (Desc->Atomic != Atomic)
+      continue;
+    *Prev = Slot->Next;
+    unsigned SlotIdx = static_cast<unsigned>(
+        (reinterpret_cast<char *>(Slot) - Desc->PageStart) / Desc->ObjSize);
+    Desc->setAllocBit(SlotIdx);
+    return Slot;
+  }
+
+  PageDescriptor *Desc = takeFreePage();
+  initSmallPage(Desc, Padded, Atomic);
+  // initSmallPage pushed all slots; pop the first.
+  FreeSlot *Slot = FreeLists[Class];
+  assert(Slot && "freshly initialized page has no free slots");
+  FreeLists[Class] = Slot->Next;
+  unsigned SlotIdx = static_cast<unsigned>(
+      (reinterpret_cast<char *>(Slot) - Desc->PageStart) / Desc->ObjSize);
+  Desc->setAllocBit(SlotIdx);
+  return Slot;
+}
+
+void Collector::initSmallPage(PageDescriptor *Desc, size_t ObjSize,
+                              bool Atomic) {
+  Desc->Kind = PageKind::PK_Small;
+  Desc->Atomic = Atomic;
+  Desc->ObjSize = static_cast<uint16_t>(ObjSize);
+  Desc->ObjCount = static_cast<uint16_t>(PageSize / ObjSize);
+  Desc->LargePages = 0;
+  Desc->LargeSize = 0;
+  Desc->LargeHead = nullptr;
+  for (uint64_t &W : Desc->AllocBits)
+    W = 0;
+  Desc->clearMarkBits();
+
+  size_t Class = ObjSize / GranuleSize - 1;
+  for (unsigned I = 0; I < Desc->ObjCount; ++I) {
+    auto *Slot = reinterpret_cast<FreeSlot *>(Desc->PageStart + I * ObjSize);
+    Slot->Next = FreeLists[Class];
+    FreeLists[Class] = Slot;
+  }
+}
+
+void *Collector::allocateLarge(size_t Padded, bool Atomic) {
+  size_t NPages = (Padded + PageSize - 1) / PageSize;
+  std::vector<PageDescriptor *> Descs;
+  char *Run = takePageRun(NPages, Descs);
+  PageDescriptor *Head = Descs[0];
+  Head->Kind = PageKind::PK_LargeStart;
+  Head->Atomic = Atomic;
+  Head->LargePages = static_cast<uint32_t>(NPages);
+  Head->LargeSize = Padded;
+  Head->LargeHead = nullptr;
+  for (uint64_t &W : Head->AllocBits)
+    W = 0;
+  Head->clearMarkBits();
+  Head->setAllocBit(0);
+  for (size_t I = 1; I < NPages; ++I) {
+    PageDescriptor *Cont = Descs[I];
+    Cont->Kind = PageKind::PK_LargeCont;
+    Cont->Atomic = Atomic;
+    Cont->LargeHead = Head;
+  }
+  return Run;
+}
+
+PageDescriptor *Collector::takeFreePage() {
+  if (FreePageList) {
+    PageDescriptor *Desc = FreePageList;
+    FreePageList = Desc->NextFree;
+    Desc->NextFree = nullptr;
+    return Desc;
+  }
+  std::vector<PageDescriptor *> Descs;
+  takePageRun(1, Descs);
+  return Descs[0];
+}
+
+char *Collector::takePageRun(size_t NPages,
+                             std::vector<PageDescriptor *> &Descs) {
+  // Try to bump-allocate from the most recent segment.
+  Segment *Seg = nullptr;
+  if (!Segments.empty() &&
+      Segments.back().NextFreePage + NPages <= Segments.back().Pages)
+    Seg = &Segments.back();
+  if (!Seg) {
+    size_t Pages = NPages > SegmentPages ? NPages : SegmentPages;
+    char *Base =
+        static_cast<char *>(std::aligned_alloc(PageSize, Pages * PageSize));
+    if (!Base) {
+      std::fprintf(stderr, "gcsafe: out of memory\n");
+      std::abort();
+    }
+    Segments.push_back({Base, Pages, 0});
+    Seg = &Segments.back();
+  }
+  char *Run = Seg->Base + Seg->NextFreePage * PageSize;
+  Seg->NextFreePage += NPages;
+  Stats.HeapPages += NPages;
+  for (size_t I = 0; I < NPages; ++I) {
+    auto *Desc = new PageDescriptor();
+    Desc->PageStart = Run + I * PageSize;
+    AllPages.push_back(Desc);
+    Table.insert(Desc->PageStart, Desc);
+    Descs.push_back(Desc);
+  }
+  return Run;
+}
+
+void *Collector::baseOf(const void *P) const {
+  const PageDescriptor *Desc = Table.lookup(P);
+  if (!Desc)
+    return nullptr;
+  uintptr_t A = reinterpret_cast<uintptr_t>(P);
+  switch (Desc->Kind) {
+  case PageKind::PK_Free:
+    return nullptr;
+  case PageKind::PK_Small: {
+    unsigned Slot = static_cast<unsigned>(
+        (A - reinterpret_cast<uintptr_t>(Desc->PageStart)) / Desc->ObjSize);
+    if (Slot >= Desc->ObjCount || !Desc->allocBit(Slot))
+      return nullptr;
+    return Desc->PageStart + size_t(Slot) * Desc->ObjSize;
+  }
+  case PageKind::PK_LargeStart:
+    return Desc->allocBit(0) ? Desc->PageStart : nullptr;
+  case PageKind::PK_LargeCont: {
+    const PageDescriptor *Head = Desc->LargeHead;
+    if (!Head || !Head->allocBit(0))
+      return nullptr;
+    // Reject addresses past the object's padded size (trailing slack of the
+    // final page).
+    uintptr_t Off = A - reinterpret_cast<uintptr_t>(Head->PageStart);
+    if (Off >= Head->LargeSize)
+      return nullptr;
+    return Head->PageStart;
+  }
+  }
+  return nullptr;
+}
+
+bool Collector::pointsToFreedObject(const void *P) const {
+  const PageDescriptor *Desc = Table.lookup(P);
+  if (!Desc)
+    return false;
+  uintptr_t A = reinterpret_cast<uintptr_t>(P);
+  switch (Desc->Kind) {
+  case PageKind::PK_Free:
+    return true; // page was heap, now reclaimed
+  case PageKind::PK_Small: {
+    unsigned Slot = static_cast<unsigned>(
+        (A - reinterpret_cast<uintptr_t>(Desc->PageStart)) / Desc->ObjSize);
+    return Slot < Desc->ObjCount && !Desc->allocBit(Slot);
+  }
+  case PageKind::PK_LargeStart:
+    return !Desc->allocBit(0);
+  case PageKind::PK_LargeCont:
+    return !Desc->LargeHead || !Desc->LargeHead->allocBit(0);
+  }
+  return false;
+}
+
+bool Collector::sameObject(const void *P, const void *Q) const {
+  void *BP = baseOf(P);
+  return BP != nullptr && BP == baseOf(Q);
+}
+
+size_t Collector::objectSize(const void *P) const {
+  const PageDescriptor *Desc = Table.lookup(P);
+  if (!Desc)
+    return 0;
+  if (Desc->Kind == PageKind::PK_Small)
+    return baseOf(P) ? Desc->ObjSize : 0;
+  if (Desc->Kind == PageKind::PK_LargeStart ||
+      Desc->Kind == PageKind::PK_LargeCont)
+    return baseOf(P) ? (Desc->Kind == PageKind::PK_LargeCont
+                            ? Desc->LargeHead->LargeSize
+                            : Desc->LargeSize)
+                     : 0;
+  return 0;
+}
+
+void Collector::addStaticRoots(const void *Begin, const void *End) {
+  StaticRoots.push_back(
+      {static_cast<const char *>(Begin), static_cast<const char *>(End)});
+}
+
+void Collector::removeStaticRoots(const void *Begin) {
+  for (size_t I = 0; I < StaticRoots.size(); ++I) {
+    if (StaticRoots[I].Begin == Begin) {
+      StaticRoots.erase(StaticRoots.begin() + I);
+      return;
+    }
+  }
+}
+
+int Collector::addRootScanner(RootScanFn Fn) {
+  int Token = NextScannerToken++;
+  RootScanners.emplace_back(Token, std::move(Fn));
+  return Token;
+}
+
+void Collector::removeRootScanner(int Token) {
+  for (size_t I = 0; I < RootScanners.size(); ++I) {
+    if (RootScanners[I].first == Token) {
+      RootScanners.erase(RootScanners.begin() + I);
+      return;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Marking
+//===----------------------------------------------------------------------===//
+
+class Collector::MarkVisitor : public RootVisitor {
+public:
+  explicit MarkVisitor(Collector &C) : C(C) {}
+  void visitRange(const void *Begin, const void *End) override {
+    C.markRange(static_cast<const char *>(Begin),
+                static_cast<const char *>(End), /*FromHeap=*/false);
+  }
+  void visitWord(uintptr_t Word) override {
+    C.markAddress(Word, /*FromHeap=*/false);
+  }
+
+private:
+  Collector &C;
+};
+
+void Collector::markAddress(uintptr_t Addr, bool FromHeap) {
+  PageDescriptor *Desc = Table.lookup(reinterpret_cast<void *>(Addr));
+  if (!Desc)
+    return;
+  char *Base = nullptr;
+  size_t Size = 0;
+  bool Atomic = false;
+  PageDescriptor *BitsDesc = nullptr;
+  unsigned BitSlot = 0;
+
+  switch (Desc->Kind) {
+  case PageKind::PK_Free:
+    return;
+  case PageKind::PK_Small: {
+    unsigned Slot = static_cast<unsigned>(
+        (Addr - reinterpret_cast<uintptr_t>(Desc->PageStart)) / Desc->ObjSize);
+    if (Slot >= Desc->ObjCount || !Desc->allocBit(Slot))
+      return;
+    Base = Desc->PageStart + size_t(Slot) * Desc->ObjSize;
+    Size = Desc->ObjSize;
+    Atomic = Desc->Atomic;
+    BitsDesc = Desc;
+    BitSlot = Slot;
+    break;
+  }
+  case PageKind::PK_LargeStart:
+  case PageKind::PK_LargeCont: {
+    PageDescriptor *Head =
+        Desc->Kind == PageKind::PK_LargeStart ? Desc : Desc->LargeHead;
+    if (!Head || !Head->allocBit(0))
+      return;
+    uintptr_t Off = Addr - reinterpret_cast<uintptr_t>(Head->PageStart);
+    if (Off >= Head->LargeSize)
+      return;
+    Base = Head->PageStart;
+    Size = Head->LargeSize;
+    Atomic = Head->Atomic;
+    BitsDesc = Head;
+    BitSlot = 0;
+    break;
+  }
+  }
+
+  // Base-pointers-only mode: words found in the heap are only treated as
+  // pointers when they address the first byte of the object.
+  if (FromHeap && !Config.AllInteriorPointers &&
+      Addr != reinterpret_cast<uintptr_t>(Base))
+    return;
+
+  if (BitsDesc->markBit(BitSlot))
+    return;
+  BitsDesc->setMarkBit(BitSlot);
+  if (!Atomic)
+    MarkStack.push_back({Base, Size});
+}
+
+void Collector::markRange(const char *Begin, const char *End, bool FromHeap) {
+  uintptr_t B = reinterpret_cast<uintptr_t>(Begin);
+  uintptr_t E = reinterpret_cast<uintptr_t>(End);
+  B = (B + sizeof(uintptr_t) - 1) & ~(sizeof(uintptr_t) - 1);
+  for (; B + sizeof(uintptr_t) <= E; B += sizeof(uintptr_t)) {
+    uintptr_t Word;
+    std::memcpy(&Word, reinterpret_cast<const void *>(B), sizeof(Word));
+    markAddress(Word, FromHeap);
+  }
+}
+
+void Collector::drainMarkStack() {
+  while (!MarkStack.empty()) {
+    MarkItem Item = MarkStack.back();
+    MarkStack.pop_back();
+    markRange(Item.Begin, Item.Begin + Item.Size, /*FromHeap=*/true);
+  }
+}
+
+void Collector::scanMachineStack() {
+  if (!StackBottom)
+    return;
+  // Spill callee-saved registers into a jmp_buf so register-resident
+  // pointers are visible on the stack, then conservatively scan from the
+  // current frame to the recorded stack bottom.
+  std::jmp_buf Env;
+  setjmp(Env);
+  markRange(reinterpret_cast<const char *>(&Env),
+            reinterpret_cast<const char *>(StackBottom),
+            /*FromHeap=*/false);
+}
+
+void Collector::collect() {
+  if (DisableDepth || InCollection)
+    return;
+  InCollection = true;
+
+  for (PageDescriptor *Desc : AllPages)
+    Desc->clearMarkBits();
+
+  for (const RootRange &R : StaticRoots)
+    markRange(R.Begin, R.End, /*FromHeap=*/false);
+  MarkVisitor Visitor(*this);
+  for (auto &Scanner : RootScanners)
+    Scanner.second(Visitor);
+  if (Config.ScanMachineStack)
+    scanMachineStack();
+  drainMarkStack();
+
+  sweep();
+
+  ++Stats.Collections;
+  BytesSinceGC = 0;
+  AllocsSinceGC = 0;
+  InCollection = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Sweeping
+//===----------------------------------------------------------------------===//
+
+void Collector::sweep() {
+  for (FreeSlot *&List : FreeLists)
+    List = nullptr;
+
+  size_t LiveBytes = 0;
+  size_t Freed = 0;
+
+  for (PageDescriptor *Desc : AllPages) {
+    switch (Desc->Kind) {
+    case PageKind::PK_Free:
+    case PageKind::PK_LargeCont:
+      break;
+    case PageKind::PK_Small: {
+      unsigned Live = 0;
+      for (unsigned Slot = 0; Slot < Desc->ObjCount; ++Slot) {
+        if (Desc->allocBit(Slot) && !Desc->markBit(Slot)) {
+          Desc->clearAllocBit(Slot);
+          ++Freed;
+          if (Config.PoisonOnFree)
+            std::memset(Desc->PageStart + size_t(Slot) * Desc->ObjSize,
+                        PoisonByte, Desc->ObjSize);
+        }
+        if (Desc->allocBit(Slot))
+          ++Live;
+      }
+      if (Live == 0) {
+        Desc->Kind = PageKind::PK_Free;
+        Desc->NextFree = FreePageList;
+        FreePageList = Desc;
+        break;
+      }
+      LiveBytes += size_t(Live) * Desc->ObjSize;
+      size_t Class = Desc->ObjSize / GranuleSize - 1;
+      for (unsigned Slot = 0; Slot < Desc->ObjCount; ++Slot) {
+        if (Desc->allocBit(Slot))
+          continue;
+        auto *Free = reinterpret_cast<FreeSlot *>(Desc->PageStart +
+                                                  size_t(Slot) * Desc->ObjSize);
+        Free->Next = FreeLists[Class];
+        FreeLists[Class] = Free;
+      }
+      break;
+    }
+    case PageKind::PK_LargeStart: {
+      if (!Desc->allocBit(0))
+        break;
+      if (Desc->markBit(0)) {
+        LiveBytes += Desc->LargeSize;
+        break;
+      }
+      ++Freed;
+      if (Config.PoisonOnFree)
+        std::memset(Desc->PageStart, PoisonByte, Desc->LargeSize);
+      Desc->clearAllocBit(0);
+      size_t NPages = Desc->LargePages;
+      for (size_t I = 0; I < NPages; ++I) {
+        PageDescriptor *PD = Table.lookup(Desc->PageStart + I * PageSize);
+        assert(PD && "large run page missing from table");
+        PD->Kind = PageKind::PK_Free;
+        PD->LargeHead = nullptr;
+        PD->NextFree = FreePageList;
+        FreePageList = PD;
+      }
+      break;
+    }
+    }
+  }
+
+  Stats.LiveBytesAfterLastGC = LiveBytes;
+  Stats.FreedObjectsLastGC = Freed;
+}
+
+void Collector::deallocate(void *P) {
+  void *Base = baseOf(P);
+  if (!Base)
+    return;
+  PageDescriptor *Desc = Table.lookup(Base);
+  if (Desc->Kind == PageKind::PK_Small) {
+    unsigned Slot = static_cast<unsigned>(
+        (static_cast<char *>(Base) - Desc->PageStart) / Desc->ObjSize);
+    Desc->clearAllocBit(Slot);
+    if (Config.PoisonOnFree)
+      std::memset(Base, PoisonByte, Desc->ObjSize);
+    size_t Class = Desc->ObjSize / GranuleSize - 1;
+    auto *Free = reinterpret_cast<FreeSlot *>(Base);
+    Free->Next = FreeLists[Class];
+    FreeLists[Class] = Free;
+    return;
+  }
+  if (Desc->Kind == PageKind::PK_LargeStart) {
+    if (Config.PoisonOnFree)
+      std::memset(Base, PoisonByte, Desc->LargeSize);
+    Desc->clearAllocBit(0);
+    size_t NPages = Desc->LargePages;
+    for (size_t I = 0; I < NPages; ++I) {
+      PageDescriptor *PD = Table.lookup(Desc->PageStart + I * PageSize);
+      PD->Kind = PageKind::PK_Free;
+      PD->LargeHead = nullptr;
+      PD->NextFree = FreePageList;
+      FreePageList = PD;
+    }
+  }
+}

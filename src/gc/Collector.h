@@ -1,0 +1,239 @@
+//===- gc/Collector.h - Conservative mark-sweep collector ------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative, non-moving mark-sweep garbage collector in the style of
+/// [BoehmWeiser88] / [Boehm95], providing the substrate the paper assumes:
+///
+///  * any address corresponding to some place inside a heap allocated
+///    object is recognized as a valid pointer (interior pointers), with an
+///    optional base-pointers-only mode for heap-resident pointers (the
+///    paper's "Extensions" section);
+///  * every heap object is allocated with at least one extra byte at the
+///    end, so one-past-the-end pointers keep the object alive;
+///  * GC_base-style mapping from any interior address to the object start,
+///    backed by the fixed-height-2 page table (see gc/Heap.h), which is what
+///    makes the paper's GC_same_obj checking fast;
+///  * client-defined root sets (static ranges and callback scanners), plus
+///    optional conservative scanning of the machine stack;
+///  * sweep-time poisoning of freed objects so premature collection is
+///    observable in tests and demos.
+///
+/// Collector instances are independent; the virtual machine owns one with a
+/// custom root scanner over its frames, while native clients (the cord
+/// library) use one with registered roots or machine-stack scanning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_GC_COLLECTOR_H
+#define GCSAFE_GC_COLLECTOR_H
+
+#include "gc/Heap.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gcsafe {
+namespace gc {
+
+/// Byte written over freed objects when poisoning is enabled.
+constexpr unsigned char PoisonByte = 0xDD;
+
+/// Tuning and behaviour switches for one Collector instance.
+struct CollectorConfig {
+  /// Collect after this many allocation calls (0 = disabled). Used by the
+  /// VM to schedule adversarial collections.
+  size_t AllocCountTrigger = 0;
+
+  /// Collect after this many bytes allocated since the last collection.
+  size_t BytesTrigger = 4 * 1024 * 1024;
+
+  /// Overwrite freed objects with PoisonByte during sweep.
+  bool PoisonOnFree = true;
+
+  /// Pad every object by one byte before size-class rounding so a pointer
+  /// one past the end still lies inside the object's slot (the paper's
+  /// "allocating all heap objects with at least one extra byte at the
+  /// end").
+  bool OnePastEndSlack = true;
+
+  /// Recognize pointers to the interior of objects found in the heap. When
+  /// false, heap-resident words must point to the first byte of an object
+  /// to keep it alive; roots may still hold interior pointers (the paper's
+  /// Extensions mode).
+  bool AllInteriorPointers = true;
+
+  /// Conservatively scan the machine stack of the collecting thread from
+  /// the stack bottom recorded at construction (or via setStackBottom).
+  bool ScanMachineStack = false;
+};
+
+/// Counters exposed for tests and benchmarks.
+struct CollectorStats {
+  size_t Collections = 0;
+  size_t AllocationCount = 0;
+  size_t BytesRequested = 0;      ///< Cumulative user-requested bytes.
+  size_t HeapPages = 0;           ///< Pages ever obtained from the OS.
+  size_t LiveBytesAfterLastGC = 0;
+  size_t FreedObjectsLastGC = 0;
+};
+
+/// Passed to registered root scanners; report pointer-holding memory
+/// through it.
+class RootVisitor {
+public:
+  virtual ~RootVisitor() = default;
+  /// Conservatively scans the aligned words of [\p Begin, \p End).
+  virtual void visitRange(const void *Begin, const void *End) = 0;
+  /// Treats \p Word as a potential pointer.
+  virtual void visitWord(uintptr_t Word) = 0;
+};
+
+using RootScanFn = std::function<void(RootVisitor &)>;
+
+/// The collector. See file comment.
+class Collector {
+public:
+  explicit Collector(CollectorConfig Config = CollectorConfig());
+  Collector(const Collector &) = delete;
+  Collector &operator=(const Collector &) = delete;
+  ~Collector();
+
+  /// Allocates \p Size bytes of zeroed, pointer-containing memory. May
+  /// trigger a collection first. Never returns null (aborts on OOM).
+  void *allocate(size_t Size);
+
+  /// Allocates \p Size bytes the collector will not scan for pointers
+  /// (strings, numeric arrays).
+  void *allocateAtomic(size_t Size);
+
+  /// Forces a full mark-sweep collection now (no-op while disabled).
+  void collect();
+
+  /// Explicit deallocation (GC_free): immediately frees the object \p P
+  /// points into. Provided for completeness; clients normally never call
+  /// it.
+  void deallocate(void *P);
+
+  /// Returns the start of the heap object containing \p P, or null if \p P
+  /// does not point into a live heap object. Interior pointers are always
+  /// accepted here, in every mode (this is the GC_base operation the
+  /// checker relies on).
+  void *baseOf(const void *P) const;
+
+  /// True if \p P points into a live heap object.
+  bool isHeapPointer(const void *P) const { return baseOf(P) != nullptr; }
+
+  /// True if \p P points into heap memory whose object has been freed
+  /// (swept or explicitly deallocated). Used by the VM to detect premature
+  /// collection: a GC-safety failure manifests as a load from a freed,
+  /// poisoned object.
+  bool pointsToFreedObject(const void *P) const;
+
+  /// True if \p P and \p Q point into the same live heap object (the
+  /// predicate behind the paper's GC_same_obj).
+  bool sameObject(const void *P, const void *Q) const;
+
+  /// Returns the usable (padded) size of the object containing \p P; 0 if
+  /// \p P is not a heap pointer. The padding is why the paper calls its
+  /// checking "not completely accurate, since the garbage collector rounds
+  /// up object sizes".
+  size_t objectSize(const void *P) const;
+
+  /// Registers [\p Begin, \p End) as a permanent root range.
+  void addStaticRoots(const void *Begin, const void *End);
+
+  /// Removes a root range previously registered with the same \p Begin.
+  void removeStaticRoots(const void *Begin);
+
+  /// Registers a callback invoked during marking to report additional
+  /// roots; returns a token for removeRootScanner.
+  int addRootScanner(RootScanFn Fn);
+  void removeRootScanner(int Token);
+
+  /// Nested disable/enable of automatic and explicit collections.
+  void disableCollection() { ++DisableDepth; }
+  void enableCollection() {
+    if (DisableDepth)
+      --DisableDepth;
+  }
+
+  /// Records the high end of the machine stack for ScanMachineStack mode.
+  void setStackBottom(const void *Bottom) { StackBottom = Bottom; }
+
+  const CollectorStats &stats() const { return Stats; }
+  const CollectorConfig &config() const { return Config; }
+  void setAllocCountTrigger(size_t N) { Config.AllocCountTrigger = N; }
+
+  /// Test hook: the page table.
+  const PageTable &pageTable() const { return Table; }
+
+private:
+  struct Segment {
+    char *Base = nullptr;
+    size_t Pages = 0;
+    size_t NextFreePage = 0;
+  };
+
+  struct FreeSlot {
+    FreeSlot *Next;
+  };
+
+  class MarkVisitor;
+
+  size_t paddedSize(size_t Size) const;
+  void *allocateSmall(size_t Padded, bool Atomic);
+  void *allocateLarge(size_t Padded, bool Atomic);
+  void *allocateImpl(size_t Size, bool Atomic);
+  void maybeCollect();
+  PageDescriptor *takeFreePage();
+  char *takePageRun(size_t NPages, std::vector<PageDescriptor *> &Descs);
+  void initSmallPage(PageDescriptor *Desc, size_t ObjSize, bool Atomic);
+
+  void markAddress(uintptr_t Addr, bool FromHeap);
+  void markRange(const char *Begin, const char *End, bool FromHeap);
+  void drainMarkStack();
+  void scanMachineStack();
+  void sweep();
+  void rebuildFreeLists();
+
+  CollectorConfig Config;
+  CollectorStats Stats;
+  PageTable Table;
+  std::vector<Segment> Segments;
+  std::vector<PageDescriptor *> AllPages; // every descriptor ever created
+  PageDescriptor *FreePageList = nullptr;
+  FreeSlot *FreeLists[NumSizeClasses] = {};
+
+  struct RootRange {
+    const char *Begin;
+    const char *End;
+  };
+  std::vector<RootRange> StaticRoots;
+  std::vector<std::pair<int, RootScanFn>> RootScanners;
+  int NextScannerToken = 1;
+
+  struct MarkItem {
+    char *Begin;
+    size_t Size;
+  };
+  std::vector<MarkItem> MarkStack;
+
+  size_t BytesSinceGC = 0;
+  size_t AllocsSinceGC = 0;
+  unsigned DisableDepth = 0;
+  bool InCollection = false;
+  const void *StackBottom = nullptr;
+};
+
+} // namespace gc
+} // namespace gcsafe
+
+#endif // GCSAFE_GC_COLLECTOR_H

@@ -1,0 +1,49 @@
+//===- gc/Heap.cpp --------------------------------------------*- C++ -*-===//
+
+#include "gc/Heap.h"
+
+#include <cassert>
+
+using namespace gcsafe;
+using namespace gcsafe::gc;
+
+PageTable::~PageTable() {
+  for (TopEntry *&Head : Top) {
+    while (Head) {
+      TopEntry *Next = Head->Next;
+      delete Head;
+      Head = Next;
+    }
+  }
+}
+
+PageTable::TopEntry *PageTable::findOrCreate(uintptr_t Key) {
+  TopEntry *&Head = Top[hashKey(Key)];
+  for (TopEntry *E = Head; E; E = E->Next)
+    if (E->Key == Key)
+      return E;
+  auto *E = new TopEntry();
+  E->Key = Key;
+  E->Next = Head;
+  Head = E;
+  ++EntryCount;
+  return E;
+}
+
+void PageTable::insert(const void *PageAddr, PageDescriptor *Desc) {
+  uintptr_t A = reinterpret_cast<uintptr_t>(PageAddr);
+  assert((A & (PageSize - 1)) == 0 && "page address not aligned");
+  uintptr_t Key = A >> (PageSizeLog + ChunkPagesLog);
+  TopEntry *E = findOrCreate(Key);
+  E->Pages[(A >> PageSizeLog) & (ChunkPages - 1)] = Desc;
+}
+
+void PageTable::erase(const void *PageAddr) {
+  uintptr_t A = reinterpret_cast<uintptr_t>(PageAddr);
+  uintptr_t Key = A >> (PageSizeLog + ChunkPagesLog);
+  TopEntry *E = Top[hashKey(Key)];
+  while (E && E->Key != Key)
+    E = E->Next;
+  if (E)
+    E->Pages[(A >> PageSizeLog) & (ChunkPages - 1)] = nullptr;
+}

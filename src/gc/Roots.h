@@ -1,0 +1,86 @@
+//===- gc/Roots.h - Convenience root holders -------------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII helpers for making native C++ pointers visible to a Collector
+/// without machine-stack scanning: a fixed-capacity RootScope for locals
+/// and a growable RootVector for collections of references. These play the
+/// role of the GC-roots ("machine stack, registers, and statically
+/// allocated memory") for native clients in tests, examples and the cord
+/// library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_GC_ROOTS_H
+#define GCSAFE_GC_ROOTS_H
+
+#include "gc/Collector.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace gcsafe {
+namespace gc {
+
+/// A growable array of void* roots registered with a collector for its
+/// lifetime. The backing store lives in the C++ heap, outside the collected
+/// heap, so the collector scans it as a root range.
+class RootVector {
+public:
+  explicit RootVector(Collector &C) : C(C) {
+    Token = C.addRootScanner([this](RootVisitor &V) {
+      if (!Slots.empty())
+        V.visitRange(Slots.data(), Slots.data() + Slots.size());
+    });
+  }
+  RootVector(const RootVector &) = delete;
+  RootVector &operator=(const RootVector &) = delete;
+  ~RootVector() { C.removeRootScanner(Token); }
+
+  void push(void *P) { Slots.push_back(P); }
+  void pop() { Slots.pop_back(); }
+  void clear() { Slots.clear(); }
+  size_t size() const { return Slots.size(); }
+  void *&operator[](size_t I) { return Slots[I]; }
+  void *operator[](size_t I) const { return Slots[I]; }
+
+private:
+  Collector &C;
+  std::vector<void *> Slots;
+  int Token = 0;
+};
+
+/// A typed single-pointer root: keeps one object alive while in scope.
+template <typename T> class Root {
+public:
+  Root(Collector &C, T *Init = nullptr) : C(C), Ptr(Init) {
+    Token = C.addRootScanner([this](RootVisitor &V) {
+      V.visitWord(reinterpret_cast<uintptr_t>(Ptr));
+    });
+  }
+  Root(const Root &) = delete;
+  Root &operator=(const Root &) = delete;
+  ~Root() { C.removeRootScanner(Token); }
+
+  T *get() const { return Ptr; }
+  T *operator->() const { return Ptr; }
+  T &operator*() const { return *Ptr; }
+  Root &operator=(T *P) {
+    Ptr = P;
+    return *this;
+  }
+
+private:
+  Collector &C;
+  T *Ptr;
+  int Token = 0;
+};
+
+} // namespace gc
+} // namespace gcsafe
+
+#endif // GCSAFE_GC_ROOTS_H

@@ -1,0 +1,209 @@
+//===- ir/IR.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "ir/IR.h"
+
+#include <sstream>
+
+using namespace gcsafe;
+using namespace gcsafe::ir;
+
+static const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov: return "mov";
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::Mul: return "mul";
+  case Opcode::DivS: return "divs";
+  case Opcode::DivU: return "divu";
+  case Opcode::RemS: return "rems";
+  case Opcode::RemU: return "remu";
+  case Opcode::And: return "and";
+  case Opcode::Or: return "or";
+  case Opcode::Xor: return "xor";
+  case Opcode::Shl: return "shl";
+  case Opcode::ShrA: return "shra";
+  case Opcode::ShrL: return "shrl";
+  case Opcode::Neg: return "neg";
+  case Opcode::Not: return "not";
+  case Opcode::FAdd: return "fadd";
+  case Opcode::FSub: return "fsub";
+  case Opcode::FMul: return "fmul";
+  case Opcode::FDiv: return "fdiv";
+  case Opcode::FNeg: return "fneg";
+  case Opcode::CmpEq: return "cmpeq";
+  case Opcode::CmpNe: return "cmpne";
+  case Opcode::CmpLtS: return "cmplts";
+  case Opcode::CmpLeS: return "cmples";
+  case Opcode::CmpGtS: return "cmpgts";
+  case Opcode::CmpGeS: return "cmpges";
+  case Opcode::CmpLtU: return "cmpltu";
+  case Opcode::CmpLeU: return "cmpleu";
+  case Opcode::CmpGtU: return "cmpgtu";
+  case Opcode::CmpGeU: return "cmpgeu";
+  case Opcode::FCmpEq: return "fcmpeq";
+  case Opcode::FCmpNe: return "fcmpne";
+  case Opcode::FCmpLt: return "fcmplt";
+  case Opcode::FCmpLe: return "fcmple";
+  case Opcode::FCmpGt: return "fcmpgt";
+  case Opcode::FCmpGe: return "fcmpge";
+  case Opcode::SExt: return "sext";
+  case Opcode::ZExt: return "zext";
+  case Opcode::SIToFP: return "sitofp";
+  case Opcode::FPToSI: return "fptosi";
+  case Opcode::Load: return "load";
+  case Opcode::Store: return "store";
+  case Opcode::LoadIdx: return "loadidx";
+  case Opcode::StoreIdx: return "storeidx";
+  case Opcode::AddrLocal: return "addrlocal";
+  case Opcode::AddrGlobal: return "addrglobal";
+  case Opcode::Jmp: return "jmp";
+  case Opcode::Br: return "br";
+  case Opcode::Ret: return "ret";
+  case Opcode::Call: return "call";
+  case Opcode::KeepLive: return "keep_live";
+  case Opcode::CheckSameObj: return "check_same_obj";
+  case Opcode::Kill: return "kill";
+  case Opcode::Nop: return "nop";
+  }
+  return "?";
+}
+
+static const char *builtinName(Builtin B) {
+  switch (B) {
+  case Builtin::None: return "<none>";
+  case Builtin::GcMalloc: return "gc_malloc";
+  case Builtin::GcMallocAtomic: return "gc_malloc_atomic";
+  case Builtin::GcCollect: return "gc_collect";
+  case Builtin::Malloc: return "malloc";
+  case Builtin::Calloc: return "calloc";
+  case Builtin::Realloc: return "realloc";
+  case Builtin::Free: return "free";
+  case Builtin::PrintInt: return "print_int";
+  case Builtin::PrintChar: return "print_char";
+  case Builtin::PrintStr: return "print_str";
+  case Builtin::PrintDouble: return "print_double";
+  case Builtin::AssertTrue: return "assert_true";
+  case Builtin::RandSeed: return "rand_seed";
+  case Builtin::RandNext: return "rand_next";
+  case Builtin::SameObj: return "GC_same_obj";
+  case Builtin::PreIncr: return "GC_pre_incr";
+  case Builtin::PostIncr: return "GC_post_incr";
+  }
+  return "?";
+}
+
+static void printValue(std::ostringstream &OS, const Value &V) {
+  switch (V.Kind) {
+  case Value::ValueKind::None:
+    OS << "_";
+    return;
+  case Value::ValueKind::Reg:
+    OS << "r" << V.Reg;
+    return;
+  case Value::ValueKind::Imm:
+    OS << V.Imm;
+    return;
+  case Value::ValueKind::FImm:
+    OS << V.FImm;
+    return;
+  }
+}
+
+static void printInst(std::ostringstream &OS, const Instruction &I) {
+  OS << "  " << opcodeName(I.Op);
+  if (I.Op == Opcode::Load || I.Op == Opcode::LoadIdx || I.Op == Opcode::Store ||
+      I.Op == Opcode::StoreIdx || I.Op == Opcode::SExt || I.Op == Opcode::ZExt)
+    OS << int(I.Size);
+  OS << " ";
+  if (I.Dst != NoReg)
+    OS << "r" << I.Dst << " = ";
+  switch (I.Op) {
+  case Opcode::Jmp:
+    OS << "b" << I.Blk1;
+    break;
+  case Opcode::Br:
+    printValue(OS, I.A);
+    OS << ", b" << I.Blk1 << ", b" << I.Blk2;
+    break;
+  case Opcode::Call:
+    if (I.BuiltinCallee != Builtin::None)
+      OS << builtinName(I.BuiltinCallee);
+    else
+      OS << "fn" << I.Callee;
+    OS << "(";
+    for (size_t J = 0; J < I.Args.size(); ++J) {
+      if (J)
+        OS << ", ";
+      printValue(OS, I.Args[J]);
+    }
+    OS << ")";
+    break;
+  case Opcode::AddrLocal:
+    OS << "frame+" << I.Aux;
+    break;
+  case Opcode::AddrGlobal:
+    OS << "globals+" << I.Aux;
+    break;
+  default: {
+    bool First = true;
+    for (const Value *V : {&I.A, &I.B, &I.C}) {
+      if (V->isNone())
+        continue;
+      if (!First)
+        OS << ", ";
+      printValue(OS, *V);
+      First = false;
+    }
+    break;
+  }
+  }
+  OS << "\n";
+}
+
+std::string gcsafe::ir::printFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << "func " << F.Name << " (regs=" << F.NumRegs
+     << ", frame=" << F.FrameSize << ")\n";
+  for (size_t B = 0; B < F.Blocks.size(); ++B) {
+    OS << "b" << B;
+    if (!F.Blocks[B].Name.empty())
+      OS << " ; " << F.Blocks[B].Name;
+    OS << ":\n";
+    for (const Instruction &I : F.Blocks[B].Insts)
+      printInst(OS, I);
+  }
+  return OS.str();
+}
+
+std::string gcsafe::ir::printModule(const Module &M) {
+  std::ostringstream OS;
+  for (const GlobalVar &G : M.Globals)
+    OS << "global " << G.Name << " size=" << G.Size
+       << (G.PointerFree ? " atomic" : "") << "\n";
+  for (const Function &F : M.Functions)
+    OS << printFunction(F) << "\n";
+  return OS.str();
+}
+
+unsigned gcsafe::ir::instructionSizeUnits(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::KeepLive: // empty asm sequence
+  case Opcode::Kill:     // bookkeeping only
+  case Opcode::Nop:
+    return 0;
+  case Opcode::Call:
+    return 2; // call + delay/arg shuffling
+  case Opcode::CheckSameObj:
+    return 3; // argument setup + call + result move
+  default:
+    return 1;
+  }
+}
+
+unsigned gcsafe::ir::functionSizeUnits(const Function &F) {
+  unsigned Units = 0;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instruction &I : B.Insts)
+      Units += instructionSizeUnits(I);
+  return Units;
+}

@@ -1,0 +1,56 @@
+//===- ir/Lower.h - AST to IR lowering -------------------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the type-checked AST to the register IR. Three configurations
+/// reproduce the paper's compilation modes:
+///
+///   * optimized (`-O`): scalar locals live in virtual registers; the
+///     optimizer then runs, including the pointer-disguising passes.
+///   * debuggable (`-g`): AllVarsInMemory — "the values of all logically
+///     visible variables are explicitly stored ... at all program points",
+///     which also makes the code trivially GC-safe.
+///   * safe / checked: like optimized, but the AnnotationMap produced by
+///     the annotator is honoured — every annotated expression value passes
+///     through a KeepLive (safe) or CheckSameObj (checked) instruction, and
+///     pointer ++/--/+=/-= get the same treatment natively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_IR_LOWER_H
+#define GCSAFE_IR_LOWER_H
+
+#include "annotate/Annotator.h"
+#include "cfront/AST.h"
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+namespace gcsafe {
+namespace ir {
+
+struct LowerOptions {
+  /// Keep every variable in a frame slot and reload on each use (-g).
+  bool AllVarsInMemory = false;
+
+  enum class Safety : uint8_t { None, KeepLive, Checked };
+  Safety SafetyMode = Safety::None;
+
+  /// Annotation decisions to honour (KEEP_LIVE wraps and optimization-3
+  /// base substitutions). May be null when SafetyMode is None.
+  const annotate::AnnotationMap *Annotations = nullptr;
+};
+
+/// Lowers \p TU into a Module. Reports unsupported constructs through
+/// \p Diags; the returned module is usable iff no errors were added.
+Module lowerTranslationUnit(const cfront::TranslationUnit &TU,
+                            const LowerOptions &Opts,
+                            DiagnosticsEngine &Diags);
+
+} // namespace ir
+} // namespace gcsafe
+
+#endif // GCSAFE_IR_LOWER_H

@@ -1,0 +1,173 @@
+//===- ir/Verify.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/Verify.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace gcsafe;
+using namespace gcsafe::ir;
+
+namespace {
+
+void successorsOf(const BasicBlock &B, std::vector<uint32_t> &Out) {
+  Out.clear();
+  if (B.Insts.empty())
+    return;
+  const Instruction &T = B.Insts.back();
+  if (T.Op == Opcode::Jmp) {
+    Out.push_back(T.Blk1);
+  } else if (T.Op == Opcode::Br) {
+    Out.push_back(T.Blk1);
+    Out.push_back(T.Blk2);
+  }
+}
+
+struct Reporter {
+  const Function &F;
+  std::vector<std::string> &Errors;
+
+  void report(uint32_t Block, size_t Index, const std::string &Message) {
+    std::ostringstream OS;
+    OS << F.Name << ": b" << Block << "[" << Index << "]: " << Message;
+    Errors.push_back(OS.str());
+  }
+};
+
+} // namespace
+
+bool gcsafe::ir::verifyFunction(const Function &F,
+                                std::vector<std::string> &Errors) {
+  size_t Before = Errors.size();
+  Reporter R{F, Errors};
+  size_t NumBlocks = F.Blocks.size();
+
+  if (NumBlocks == 0) {
+    Errors.push_back(F.Name + ": function has no blocks");
+    return false;
+  }
+
+  // Reachability.
+  std::vector<bool> Reachable(NumBlocks, false);
+  {
+    std::vector<uint32_t> Work{0};
+    Reachable[0] = true;
+    std::vector<uint32_t> Succs;
+    while (!Work.empty()) {
+      uint32_t B = Work.back();
+      Work.pop_back();
+      if (B >= NumBlocks)
+        continue;
+      successorsOf(F.Blocks[B], Succs);
+      for (uint32_t S : Succs)
+        if (S < NumBlocks && !Reachable[S]) {
+          Reachable[S] = true;
+          Work.push_back(S);
+        }
+    }
+  }
+
+  // Which registers are defined anywhere (params count).
+  std::vector<bool> EverDefined(F.NumRegs, false);
+  for (uint32_t P : F.ParamRegs) {
+    if (P >= F.NumRegs)
+      Errors.push_back(F.Name + ": parameter register out of range");
+    else
+      EverDefined[P] = true;
+  }
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instruction &I : B.Insts)
+      if (I.Dst != NoReg && I.Dst < F.NumRegs)
+        EverDefined[I.Dst] = true;
+
+  for (uint32_t BId = 0; BId < NumBlocks; ++BId) {
+    const BasicBlock &B = F.Blocks[BId];
+
+    if (Reachable[BId]) {
+      if (B.Insts.empty()) {
+        R.report(BId, 0, "reachable block is empty");
+        continue;
+      }
+      if (!B.Insts.back().isTerminator())
+        R.report(BId, B.Insts.size() - 1,
+                 "reachable block does not end in a terminator");
+    }
+
+    // Track in-block kills to detect use-after-kill.
+    std::vector<bool> Killed(F.NumRegs, false);
+
+    for (size_t Idx = 0; Idx < B.Insts.size(); ++Idx) {
+      const Instruction &I = B.Insts[Idx];
+
+      if (I.isTerminator() && Idx + 1 != B.Insts.size())
+        R.report(BId, Idx, "terminator in the middle of a block");
+
+      if ((I.Op == Opcode::Jmp || I.Op == Opcode::Br) &&
+          (I.Blk1 >= NumBlocks ||
+           (I.Op == Opcode::Br && I.Blk2 >= NumBlocks)))
+        R.report(BId, Idx, "branch target out of range");
+
+      if (I.Dst != NoReg) {
+        if (I.Dst >= F.NumRegs)
+          R.report(BId, Idx, "destination register out of range");
+        else
+          Killed[I.Dst] = false;
+      }
+
+      auto CheckUse = [&](const Value &V, const char *What) {
+        if (!V.isReg())
+          return;
+        if (V.Reg >= F.NumRegs) {
+          R.report(BId, Idx, std::string(What) + " register out of range");
+          return;
+        }
+        if (!EverDefined[V.Reg])
+          R.report(BId, Idx,
+                   std::string(What) + " reads r" + std::to_string(V.Reg) +
+                       " which is never defined");
+        if (Killed[V.Reg])
+          R.report(BId, Idx,
+                   std::string(What) + " reads r" + std::to_string(V.Reg) +
+                       " after a kill without redefinition");
+      };
+
+      if (I.Op == Opcode::Kill) {
+        if (!I.A.isReg())
+          R.report(BId, Idx, "kill of a non-register operand");
+        else if (I.A.Reg >= F.NumRegs)
+          R.report(BId, Idx, "kill register out of range");
+        else
+          Killed[I.A.Reg] = true;
+        continue;
+      }
+
+      CheckUse(I.A, "operand A");
+      CheckUse(I.B, "operand B");
+      CheckUse(I.C, "operand C");
+      for (const Value &V : I.Args)
+        CheckUse(V, "call argument");
+
+      if ((I.Op == Opcode::KeepLive || I.Op == Opcode::CheckSameObj)) {
+        if (I.Dst == NoReg)
+          R.report(BId, Idx, "keep_live/check without a destination");
+        if (I.A.isNone())
+          R.report(BId, Idx, "keep_live/check without a value operand");
+      }
+    }
+  }
+
+  return Errors.size() == Before;
+}
+
+bool gcsafe::ir::verifyModule(const Module &M,
+                              std::vector<std::string> &Errors) {
+  bool Ok = true;
+  for (const Function &F : M.Functions)
+    Ok = verifyFunction(F, Errors) && Ok;
+  if (M.MainIndex >= 0 &&
+      static_cast<size_t>(M.MainIndex) >= M.Functions.size()) {
+    Errors.push_back("module main index out of range");
+    Ok = false;
+  }
+  return Ok;
+}

@@ -1,0 +1,46 @@
+//===- ir/Verify.h - IR structural verifier --------------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural invariants every well-formed function must satisfy, checked
+/// after lowering and after each optimizer pipeline in tests:
+///
+///  * every reachable block ends in exactly one terminator, and no
+///    terminator appears mid-block;
+///  * branch targets are in range;
+///  * every register operand is < NumRegs;
+///  * every use of a register is dominated by a definition (parameters
+///    count as entry definitions);
+///  * Kill instructions only name registers, and no instruction reads a
+///    register after a Kill without an intervening redefinition (within a
+///    block);
+///  * KeepLive/CheckSameObj have a destination and a first operand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_IR_VERIFY_H
+#define GCSAFE_IR_VERIFY_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace gcsafe {
+namespace ir {
+
+/// Verifies \p F; appends human-readable violation messages to \p Errors.
+/// Returns true when no violations were found.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Verifies every function; returns true if the whole module is clean.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace ir
+} // namespace gcsafe
+
+#endif // GCSAFE_IR_VERIFY_H

@@ -1,0 +1,74 @@
+//===- rewrite/EditList.cpp -----------------------------------*- C++ -*-===//
+
+#include "rewrite/EditList.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gcsafe;
+using namespace gcsafe::rewrite;
+
+void EditList::insertBefore(uint32_t Pos, std::string Text) {
+  Edits.push_back({Pos, 0, EditKind::InsertBefore,
+                   static_cast<uint32_t>(Edits.size()), std::move(Text)});
+}
+
+void EditList::insertAfter(uint32_t Pos, std::string Text) {
+  Edits.push_back({Pos, 0, EditKind::InsertAfter,
+                   static_cast<uint32_t>(Edits.size()), std::move(Text)});
+}
+
+void EditList::remove(uint32_t Pos, uint32_t Len) {
+  Edits.push_back({Pos, Len, EditKind::Replace,
+                   static_cast<uint32_t>(Edits.size()), std::string()});
+}
+
+void EditList::replace(uint32_t Pos, uint32_t Len, std::string Text) {
+  Edits.push_back({Pos, Len, EditKind::Replace,
+                   static_cast<uint32_t>(Edits.size()), std::move(Text)});
+}
+
+std::vector<const EditList::Edit *> EditList::sortedEdits() const {
+  std::vector<const Edit *> Sorted;
+  Sorted.reserve(Edits.size());
+  for (const Edit &E : Edits)
+    Sorted.push_back(&E);
+  std::sort(Sorted.begin(), Sorted.end(), [](const Edit *A, const Edit *B) {
+    if (A->Pos != B->Pos)
+      return A->Pos < B->Pos;
+    if (A->Kind != B->Kind)
+      return static_cast<int>(A->Kind) < static_cast<int>(B->Kind);
+    if (A->Kind == EditKind::InsertAfter)
+      return A->Seq > B->Seq; // innermost closer first
+    return A->Seq < B->Seq;   // outermost opener first
+  });
+  return Sorted;
+}
+
+void EditList::forEachSorted(
+    const std::function<void(uint32_t, uint32_t, const std::string &)> &Fn)
+    const {
+  for (const Edit *E : sortedEdits())
+    Fn(E->Pos, E->DeleteLen, E->Text);
+}
+
+std::string EditList::apply(std::string_view Source) const {
+  std::vector<const Edit *> Sorted = sortedEdits();
+
+  std::string Out;
+  Out.reserve(Source.size() + Source.size() / 4);
+  size_t Cursor = 0;
+  for (const Edit *E : Sorted) {
+    assert(E->Pos <= Source.size() && "edit past end of source");
+    assert(E->Pos >= Cursor && "overlapping edits");
+    Out.append(Source.substr(Cursor, E->Pos - Cursor));
+    Cursor = E->Pos;
+    Out.append(E->Text);
+    if (E->DeleteLen) {
+      assert(Cursor + E->DeleteLen <= Source.size() && "deletion past end");
+      Cursor += E->DeleteLen;
+    }
+  }
+  Out.append(Source.substr(Cursor));
+  return Out;
+}

@@ -1,0 +1,90 @@
+//===- rewrite/EditList.h - Sorted textual edits ---------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's preprocessor "generates a list of insertions and deletions,
+/// sorted by character position in the original source string. After
+/// parsing is complete, the insertions and deletions are applied to the
+/// original source." EditList is that mechanism.
+///
+/// Nesting discipline: annotations wrap expression ranges, so several edits
+/// can land on the same character position. At equal positions, closing
+/// insertions (InsertAfter) are emitted before opening insertions
+/// (InsertBefore); among closers the latest-recorded comes first (innermost
+/// wrap closes first) and among openers the earliest-recorded comes first
+/// (outermost wrap opens first). Recording wraps in pre-order therefore
+/// yields correctly nested output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_REWRITE_EDITLIST_H
+#define GCSAFE_REWRITE_EDITLIST_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcsafe {
+namespace rewrite {
+
+class EditList {
+public:
+  /// Inserts \p Text before position \p Pos (an "opening" edit).
+  void insertBefore(uint32_t Pos, std::string Text);
+
+  /// Inserts \p Text after position \p Pos, i.e. at \p Pos treated as the
+  /// end of a wrapped range (a "closing" edit).
+  void insertAfter(uint32_t Pos, std::string Text);
+
+  /// Deletes \p Len characters starting at \p Pos.
+  void remove(uint32_t Pos, uint32_t Len);
+
+  /// Replaces \p Len characters at \p Pos with \p Text.
+  void replace(uint32_t Pos, uint32_t Len, std::string Text);
+
+  /// Applies all edits to \p Source and returns the rewritten text.
+  /// Overlapping deletions are a client bug and assert.
+  std::string apply(std::string_view Source) const;
+
+  size_t size() const { return Edits.size(); }
+  bool empty() const { return Edits.empty(); }
+  void clear() { Edits.clear(); }
+
+  /// Visits every edit in application order (sorted by character position,
+  /// with the same nesting discipline apply() uses) — the paper's "list of
+  /// insertions and deletions, sorted by character position in the
+  /// original source string", made inspectable.
+  /// \p Fn receives (position, deleted-length, inserted-text).
+  void forEachSorted(
+      const std::function<void(uint32_t, uint32_t, const std::string &)> &Fn)
+      const;
+
+private:
+  /// Order of application at equal positions: closing insertions, then
+  /// opening insertions, then replacements (so a wrap's prefix precedes a
+  /// replacement of text starting at the same offset).
+  enum class EditKind : uint8_t { InsertAfter, InsertBefore, Replace };
+
+  struct Edit {
+    uint32_t Pos;
+    uint32_t DeleteLen;
+    EditKind Kind;
+    uint32_t Seq;
+    std::string Text;
+  };
+
+  std::vector<const Edit *> sortedEdits() const;
+
+  std::vector<Edit> Edits;
+};
+
+} // namespace rewrite
+} // namespace gcsafe
+
+#endif // GCSAFE_REWRITE_EDITLIST_H

@@ -1,0 +1,46 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ---------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style opt-in RTTI. Classes participate by providing
+/// `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SUPPORT_CASTING_H
+#define GCSAFE_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace gcsafe {
+
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace gcsafe
+
+#endif // GCSAFE_SUPPORT_CASTING_H

@@ -1,0 +1,40 @@
+//===- support/Diagnostics.cpp --------------------------------*- C++ -*-===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace gcsafe;
+
+static const char *levelName(DiagLevel Level) {
+  switch (Level) {
+  case DiagLevel::Note:
+    return "note";
+  case DiagLevel::Warning:
+    return "warning";
+  case DiagLevel::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticsEngine::render(const SourceBuffer &Buffer) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid()) {
+      LineColumn LC = Buffer.lineColumn(D.Loc);
+      OS << Buffer.name() << ':' << LC.Line << ':' << LC.Column << ": ";
+    } else {
+      OS << Buffer.name() << ": ";
+    }
+    OS << levelName(D.Level) << ": " << D.Message << '\n';
+  }
+  return OS.str();
+}
+
+bool DiagnosticsEngine::anyMessageContains(std::string_view Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}

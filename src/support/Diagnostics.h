@@ -1,0 +1,77 @@
+//===- support/Diagnostics.h - Diagnostics engine --------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. The frontend and the annotator report errors,
+/// warnings (e.g. the paper's "nonpointer value converted to pointer"
+/// warning) and notes through this interface; clients inspect or print the
+/// accumulated list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SUPPORT_DIAGNOSTICS_H
+#define GCSAFE_SUPPORT_DIAGNOSTICS_H
+
+#include "support/Source.h"
+
+#include <string>
+#include <vector>
+
+namespace gcsafe {
+
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagLevel Level = DiagLevel::Error;
+  SourceLocation Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for one compilation.
+class DiagnosticsEngine {
+public:
+  void report(DiagLevel Level, SourceLocation Loc, std::string Message) {
+    if (Level == DiagLevel::Error)
+      ++ErrorCount;
+    else if (Level == DiagLevel::Warning)
+      ++WarningCount;
+    Diags.push_back({Level, Loc, std::move(Message)});
+  }
+
+  void error(SourceLocation Loc, std::string Message) {
+    report(DiagLevel::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLocation Loc, std::string Message) {
+    report(DiagLevel::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLocation Loc, std::string Message) {
+    report(DiagLevel::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return ErrorCount != 0; }
+  unsigned errorCount() const { return ErrorCount; }
+  unsigned warningCount() const { return WarningCount; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "file:line:col: level: message" lines using
+  /// \p Buffer for location mapping. Intended for tool output.
+  std::string render(const SourceBuffer &Buffer) const;
+
+  /// Returns true if any diagnostic message contains \p Needle. Handy in
+  /// tests.
+  bool anyMessageContains(std::string_view Needle) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned ErrorCount = 0;
+  unsigned WarningCount = 0;
+};
+
+} // namespace gcsafe
+
+#endif // GCSAFE_SUPPORT_DIAGNOSTICS_H

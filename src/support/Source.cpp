@@ -1,0 +1,33 @@
+//===- support/Source.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Source.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gcsafe;
+
+SourceBuffer::SourceBuffer(std::string NameIn, std::string TextIn)
+    : Name(std::move(NameIn)), Text(std::move(TextIn)) {
+  LineStarts.push_back(0);
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Text.size()); I != E; ++I)
+    if (Text[I] == '\n')
+      LineStarts.push_back(I + 1);
+}
+
+LineColumn SourceBuffer::lineColumn(SourceLocation Loc) const {
+  assert(Loc.isValid() && Loc.Offset <= Text.size() && "offset out of range");
+  auto It = std::upper_bound(LineStarts.begin(), LineStarts.end(), Loc.Offset);
+  unsigned Line = static_cast<unsigned>(It - LineStarts.begin());
+  uint32_t LineStart = LineStarts[Line - 1];
+  return {Line, Loc.Offset - LineStart + 1};
+}
+
+std::string_view SourceBuffer::lineText(SourceLocation Loc) const {
+  LineColumn LC = lineColumn(Loc);
+  uint32_t Start = LineStarts[LC.Line - 1];
+  uint32_t End = Start;
+  while (End < Text.size() && Text[End] != '\n')
+    ++End;
+  return std::string_view(Text).substr(Start, End - Start);
+}

@@ -1,0 +1,71 @@
+//===- support/Source.h - Source buffers and locations ---------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source text management. The annotator works, like the paper's
+/// preprocessor, on the original source string via character positions, so
+/// locations are plain byte offsets into a SourceBuffer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SUPPORT_SOURCE_H
+#define GCSAFE_SUPPORT_SOURCE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gcsafe {
+
+/// A byte offset into the source buffer of the current compilation.
+/// Offset ~0u means "unknown location".
+struct SourceLocation {
+  uint32_t Offset = ~0u;
+
+  SourceLocation() = default;
+  explicit SourceLocation(uint32_t Off) : Offset(Off) {}
+
+  bool isValid() const { return Offset != ~0u; }
+  bool operator==(const SourceLocation &RHS) const = default;
+  bool operator<(const SourceLocation &RHS) const {
+    return Offset < RHS.Offset;
+  }
+};
+
+/// Line/column pair computed on demand from a SourceLocation (1-based).
+struct LineColumn {
+  unsigned Line = 0;
+  unsigned Column = 0;
+};
+
+/// Owns the text of one input file and maps offsets to line/column.
+class SourceBuffer {
+public:
+  SourceBuffer(std::string Name, std::string Text);
+
+  std::string_view name() const { return Name; }
+  std::string_view text() const { return Text; }
+  size_t size() const { return Text.size(); }
+
+  /// Maps \p Loc to a 1-based line/column pair; asserts the offset is in
+  /// range (one past the end is allowed for EOF diagnostics).
+  LineColumn lineColumn(SourceLocation Loc) const;
+
+  /// Returns the full text of the line containing \p Loc, without the
+  /// trailing newline. Useful for diagnostics.
+  std::string_view lineText(SourceLocation Loc) const;
+
+private:
+  std::string Name;
+  std::string Text;
+  std::vector<uint32_t> LineStarts; // offset of first char of each line
+};
+
+} // namespace gcsafe
+
+#endif // GCSAFE_SUPPORT_SOURCE_H

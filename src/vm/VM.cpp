@@ -1,0 +1,605 @@
+//===- vm/VM.cpp ----------------------------------------------*- C++ -*-===//
+
+#include "vm/VM.h"
+
+#include "opt/CFG.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace gcsafe;
+using namespace gcsafe::vm;
+using namespace gcsafe::ir;
+
+namespace {
+double bitsToDouble(uint64_t Bits) {
+  double D;
+  std::memcpy(&D, &Bits, sizeof(D));
+  return D;
+}
+uint64_t doubleToBits(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+constexpr int64_t FuncPtrBase = 0x10000;
+} // namespace
+
+VM::VM(const Module &MIn, VMOptions Options) : M(MIn), Opts(std::move(Options)) {
+  gc::CollectorConfig GC;
+  GC.AllocCountTrigger = Opts.GcAllocTrigger;
+  GC.PoisonOnFree = true;
+  GC.AllInteriorPointers = Opts.AllInteriorPointers;
+  C = std::make_unique<gc::Collector>(GC);
+  Check = std::make_unique<gc::PointerCheck>(*C);
+
+  Globals.assign(M.GlobalsSize ? M.GlobalsSize : 1, 0);
+  for (const GlobalVar &G : M.Globals)
+    if (!G.InitData.empty())
+      std::memcpy(Globals.data() + G.Offset, G.InitData.data(),
+                  G.InitData.size());
+  Stack.assign(Opts.StackSize, 0);
+
+  // GC-roots: "the machine stack, registers, and statically allocated
+  // memory".
+  C->addRootScanner([this](gc::RootVisitor &V) {
+    V.visitRange(Globals.data(), Globals.data() + Globals.size());
+    V.visitRange(Stack.data(), Stack.data() + StackTop);
+    for (const Frame &Fr : Frames)
+      if (!Fr.Regs.empty())
+        V.visitRange(Fr.Regs.data(), Fr.Regs.data() + Fr.Regs.size());
+  });
+}
+
+VM::~VM() = default;
+
+void VM::fail(const std::string &Message) {
+  if (!Halted) {
+    Result.Ok = false;
+    Result.Error = Message;
+    Halted = true;
+  }
+}
+
+uint64_t VM::evalValue(const Frame &Fr, const Value &V) const {
+  switch (V.Kind) {
+  case Value::ValueKind::None:
+    return 0;
+  case Value::ValueKind::Reg:
+    return Fr.Regs[V.Reg];
+  case Value::ValueKind::Imm:
+    return static_cast<uint64_t>(V.Imm);
+  case Value::ValueKind::FImm:
+    return doubleToBits(V.FImm);
+  }
+  return 0;
+}
+
+const std::vector<unsigned> &VM::pressurePenalties(const Function &F) {
+  auto It = PressureCache.find(&F);
+  if (It != PressureCache.end())
+    return It->second;
+  std::vector<unsigned> Penalties(F.Blocks.size(), 0);
+  opt::CFGInfo CFG(F);
+  opt::Liveness LV(F, CFG);
+  for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+    unsigned P = LV.maxPressure(B);
+    Penalties[B] =
+        P > Opts.Model.NumRegs ? (P - Opts.Model.NumRegs) * Opts.Model.CyclesSpill
+                               : 0;
+  }
+  return PressureCache.emplace(&F, std::move(Penalties)).first->second;
+}
+
+void VM::enterBlock(Frame &Fr, uint32_t Block) {
+  Fr.Block = Block;
+  Fr.IP = 0;
+  unsigned Penalty = pressurePenalties(*Fr.F)[Block];
+  Result.Cycles += Penalty;
+  Result.SpillCycles += Penalty;
+}
+
+void VM::pushFrame(const Function &F, const std::vector<uint64_t> &Args,
+                   uint32_t RetDst) {
+  Frame Fr;
+  Fr.F = &F;
+  Fr.Regs.assign(F.NumRegs, 0);
+  for (size_t I = 0; I < F.ParamRegs.size() && I < Args.size(); ++I)
+    Fr.Regs[F.ParamRegs[I]] = Args[I];
+  uint64_t Base = (StackTop + 15) & ~uint64_t(15);
+  if (Base + F.FrameSize > Stack.size()) {
+    fail("VM stack overflow");
+    return;
+  }
+  std::memset(Stack.data() + Base, 0, F.FrameSize);
+  Fr.FrameBase = Base;
+  StackTop = Base + F.FrameSize;
+  Fr.RetDst = RetDst;
+  Frames.push_back(std::move(Fr));
+  enterBlock(Frames.back(), 0);
+  Result.Cycles += Opts.Model.CyclesCall;
+}
+
+unsigned VM::instructionCycles(const Instruction &I) const {
+  const MachineModel &MM = Opts.Model;
+  switch (I.Op) {
+  case Opcode::KeepLive: // empty assembly sequence (or a real call in the
+                         // naive implementation)
+    return Opts.KeepLiveCostsCall ? MM.CyclesCall : 0;
+  case Opcode::Kill:
+  case Opcode::Nop:
+    return 0;
+  case Opcode::Mov:
+    return MM.CyclesMov;
+  case Opcode::Mul:
+    return MM.CyclesMul;
+  case Opcode::DivS: case Opcode::DivU:
+  case Opcode::RemS: case Opcode::RemU:
+    return MM.CyclesDiv;
+  case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul: case Opcode::FDiv:
+  case Opcode::FNeg:
+  case Opcode::FCmpEq: case Opcode::FCmpNe: case Opcode::FCmpLt:
+  case Opcode::FCmpLe: case Opcode::FCmpGt: case Opcode::FCmpGe:
+  case Opcode::SIToFP: case Opcode::FPToSI:
+    return MM.CyclesFloat;
+  case Opcode::Load:
+  case Opcode::LoadIdx: // the fused addition is free
+    return MM.CyclesLoad;
+  case Opcode::Store:
+  case Opcode::StoreIdx:
+    return MM.CyclesStore;
+  case Opcode::Jmp:
+  case Opcode::Br:
+    return MM.CyclesBranch;
+  case Opcode::Ret:
+  case Opcode::Call:
+    return MM.CyclesCall;
+  case Opcode::CheckSameObj:
+    return MM.CyclesCheck;
+  default:
+    return MM.CyclesAlu;
+  }
+}
+
+bool VM::checkMemoryAccess(uint64_t Addr, const char *What) {
+  if (Addr < 0x1000) {
+    fail(std::string("null/small-pointer dereference in ") + What);
+    return false;
+  }
+  if (Opts.DetectFreedAccess &&
+      C->pointsToFreedObject(reinterpret_cast<const void *>(Addr)))
+    ++Result.FreedAccesses;
+  return true;
+}
+
+void VM::runBuiltin(Frame &Fr, const Instruction &I) {
+  auto Arg = [&](size_t Idx) -> uint64_t {
+    return Idx < I.Args.size() ? evalValue(Fr, I.Args[Idx]) : 0;
+  };
+  auto SetDst = [&](uint64_t V) {
+    if (I.Dst != NoReg)
+      Fr.Regs[I.Dst] = V;
+  };
+
+  switch (I.BuiltinCallee) {
+  case Builtin::GcMalloc:
+  case Builtin::Malloc: {
+    Result.Cycles += Opts.Model.CyclesAllocator;
+    uint64_t Size = Arg(0);
+    ++Result.AllocCount;
+    Result.AllocBytes += Size;
+    SetDst(reinterpret_cast<uint64_t>(C->allocate(Size)));
+    return;
+  }
+  case Builtin::GcMallocAtomic: {
+    Result.Cycles += Opts.Model.CyclesAllocator;
+    uint64_t Size = Arg(0);
+    ++Result.AllocCount;
+    Result.AllocBytes += Size;
+    SetDst(reinterpret_cast<uint64_t>(C->allocateAtomic(Size)));
+    return;
+  }
+  case Builtin::Calloc: {
+    Result.Cycles += Opts.Model.CyclesAllocator;
+    uint64_t Size = Arg(0) * Arg(1);
+    ++Result.AllocCount;
+    Result.AllocBytes += Size;
+    SetDst(reinterpret_cast<uint64_t>(C->allocate(Size)));
+    return;
+  }
+  case Builtin::Realloc: {
+    Result.Cycles += Opts.Model.CyclesAllocator;
+    uint64_t Old = Arg(0);
+    uint64_t Size = Arg(1);
+    ++Result.AllocCount;
+    Result.AllocBytes += Size;
+    void *New = C->allocate(Size);
+    if (Old) {
+      size_t OldSize = C->objectSize(reinterpret_cast<void *>(Old));
+      size_t CopyLen = OldSize < Size ? OldSize : Size;
+      std::memcpy(New, reinterpret_cast<void *>(Old), CopyLen);
+    }
+    SetDst(reinterpret_cast<uint64_t>(New));
+    return;
+  }
+  case Builtin::Free:
+    // "remove all calls to free" — the collector reclaims.
+    return;
+  case Builtin::GcCollect:
+    C->collect();
+    return;
+  case Builtin::PrintInt: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64,
+                  static_cast<int64_t>(Arg(0)));
+    Result.Output += Buf;
+    return;
+  }
+  case Builtin::PrintChar:
+    Result.Output.push_back(static_cast<char>(Arg(0)));
+    return;
+  case Builtin::PrintStr: {
+    const char *S = reinterpret_cast<const char *>(Arg(0));
+    if (!S) {
+      fail("print_str(NULL)");
+      return;
+    }
+    size_t Len = strnlen(S, 1 << 20);
+    Result.Output.append(S, Len);
+    return;
+  }
+  case Builtin::PrintDouble: {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%g", bitsToDouble(Arg(0)));
+    Result.Output += Buf;
+    return;
+  }
+  case Builtin::AssertTrue:
+    if (Arg(0) == 0)
+      fail("assert_true failed in VM program");
+    return;
+  case Builtin::RandSeed:
+    Prng = Arg(0) ? Arg(0) : 0x9E3779B97F4A7C15ull;
+    return;
+  case Builtin::RandNext: {
+    // xorshift64*
+    Prng ^= Prng >> 12;
+    Prng ^= Prng << 25;
+    Prng ^= Prng >> 27;
+    uint64_t V = Prng * 0x2545F4914F6CDD1Dull;
+    SetDst(V >> 1); // keep it a nonnegative long
+    return;
+  }
+  case Builtin::SameObj: {
+    Result.Cycles += Opts.Model.CyclesCheck;
+    size_t Before = Check->violationCount();
+    Check->sameObj(reinterpret_cast<const void *>(Arg(0)),
+                   reinterpret_cast<const void *>(Arg(1)),
+                   Fr.F->Name.c_str());
+    SetDst(Arg(0));
+    if (Opts.HaltOnCheckViolation && Check->violationCount() != Before)
+      fail("pointer-arithmetic check violation");
+    return;
+  }
+  case Builtin::PreIncr:
+  case Builtin::PostIncr: {
+    Result.Cycles += Opts.Model.CyclesCheck;
+    uint64_t Slot = Arg(0);
+    if (!checkMemoryAccess(Slot, "GC_*_incr"))
+      return;
+    size_t Before = Check->violationCount();
+    auto *PP = reinterpret_cast<void **>(Slot);
+    void *Out = I.BuiltinCallee == Builtin::PreIncr
+                    ? Check->preIncr(PP, static_cast<ptrdiff_t>(Arg(1)),
+                                     Fr.F->Name.c_str())
+                    : Check->postIncr(PP, static_cast<ptrdiff_t>(Arg(1)),
+                                      Fr.F->Name.c_str());
+    SetDst(reinterpret_cast<uint64_t>(Out));
+    if (Opts.HaltOnCheckViolation && Check->violationCount() != Before)
+      fail("pointer-arithmetic check violation");
+    return;
+  }
+  case Builtin::None:
+    fail("call to unresolved builtin");
+    return;
+  }
+}
+
+RunResult VM::run() {
+  Result = RunResult();
+  Result.Ok = true;
+
+  if (M.MainIndex < 0) {
+    fail("module has no main()");
+    return Result;
+  }
+
+  if (M.GlobalInitIndex >= 0)
+    pushFrame(M.Functions[M.GlobalInitIndex], {}, NoReg);
+
+  bool InGlobalInit = M.GlobalInitIndex >= 0;
+  bool MainStarted = !InGlobalInit;
+  if (!InGlobalInit)
+    pushFrame(M.Functions[M.MainIndex], {}, NoReg);
+
+  while (!Halted && !Frames.empty()) {
+    Frame &Fr = Frames.back();
+    const BasicBlock &Blk = Fr.F->Blocks[Fr.Block];
+    if (Fr.IP >= Blk.Insts.size()) {
+      fail("control fell off the end of block '" + Blk.Name + "' in " +
+           Fr.F->Name);
+      break;
+    }
+    const Instruction &I = Blk.Insts[Fr.IP];
+    ++Fr.IP;
+
+    ++Result.InstructionsExecuted;
+    Result.Cycles += instructionCycles(I);
+    if (Result.InstructionsExecuted > Opts.MaxInstructions) {
+      fail("instruction budget exceeded");
+      break;
+    }
+    if (Result.Output.size() > Opts.MaxOutputBytes) {
+      fail("output limit exceeded");
+      break;
+    }
+
+    auto A = [&] { return evalValue(Fr, I.A); };
+    auto B = [&] { return evalValue(Fr, I.B); };
+    auto SetDst = [&](uint64_t V) {
+      if (I.Dst != NoReg)
+        Fr.Regs[I.Dst] = V;
+    };
+
+    switch (I.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::Mov:
+      SetDst(A());
+      break;
+    case Opcode::Add: SetDst(A() + B()); break;
+    case Opcode::Sub: SetDst(A() - B()); break;
+    case Opcode::Mul: SetDst(A() * B()); break;
+    case Opcode::DivS: {
+      int64_t Den = static_cast<int64_t>(B());
+      if (Den == 0) {
+        fail("division by zero");
+        break;
+      }
+      SetDst(static_cast<uint64_t>(static_cast<int64_t>(A()) / Den));
+      break;
+    }
+    case Opcode::DivU: {
+      uint64_t Den = B();
+      if (Den == 0) {
+        fail("division by zero");
+        break;
+      }
+      SetDst(A() / Den);
+      break;
+    }
+    case Opcode::RemS: {
+      int64_t Den = static_cast<int64_t>(B());
+      if (Den == 0) {
+        fail("remainder by zero");
+        break;
+      }
+      SetDst(static_cast<uint64_t>(static_cast<int64_t>(A()) % Den));
+      break;
+    }
+    case Opcode::RemU: {
+      uint64_t Den = B();
+      if (Den == 0) {
+        fail("remainder by zero");
+        break;
+      }
+      SetDst(A() % Den);
+      break;
+    }
+    case Opcode::And: SetDst(A() & B()); break;
+    case Opcode::Or: SetDst(A() | B()); break;
+    case Opcode::Xor: SetDst(A() ^ B()); break;
+    case Opcode::Shl: SetDst(A() << (B() & 63)); break;
+    case Opcode::ShrA:
+      SetDst(static_cast<uint64_t>(static_cast<int64_t>(A()) >> (B() & 63)));
+      break;
+    case Opcode::ShrL: SetDst(A() >> (B() & 63)); break;
+    case Opcode::Neg:
+      SetDst(static_cast<uint64_t>(-static_cast<int64_t>(A())));
+      break;
+    case Opcode::Not: SetDst(~A()); break;
+    case Opcode::FAdd:
+      SetDst(doubleToBits(bitsToDouble(A()) + bitsToDouble(B())));
+      break;
+    case Opcode::FSub:
+      SetDst(doubleToBits(bitsToDouble(A()) - bitsToDouble(B())));
+      break;
+    case Opcode::FMul:
+      SetDst(doubleToBits(bitsToDouble(A()) * bitsToDouble(B())));
+      break;
+    case Opcode::FDiv:
+      SetDst(doubleToBits(bitsToDouble(A()) / bitsToDouble(B())));
+      break;
+    case Opcode::FNeg: SetDst(doubleToBits(-bitsToDouble(A()))); break;
+    case Opcode::CmpEq: SetDst(A() == B()); break;
+    case Opcode::CmpNe: SetDst(A() != B()); break;
+    case Opcode::CmpLtS:
+      SetDst(static_cast<int64_t>(A()) < static_cast<int64_t>(B()));
+      break;
+    case Opcode::CmpLeS:
+      SetDst(static_cast<int64_t>(A()) <= static_cast<int64_t>(B()));
+      break;
+    case Opcode::CmpGtS:
+      SetDst(static_cast<int64_t>(A()) > static_cast<int64_t>(B()));
+      break;
+    case Opcode::CmpGeS:
+      SetDst(static_cast<int64_t>(A()) >= static_cast<int64_t>(B()));
+      break;
+    case Opcode::CmpLtU: SetDst(A() < B()); break;
+    case Opcode::CmpLeU: SetDst(A() <= B()); break;
+    case Opcode::CmpGtU: SetDst(A() > B()); break;
+    case Opcode::CmpGeU: SetDst(A() >= B()); break;
+    case Opcode::FCmpEq:
+      SetDst(bitsToDouble(A()) == bitsToDouble(B()));
+      break;
+    case Opcode::FCmpNe:
+      SetDst(bitsToDouble(A()) != bitsToDouble(B()));
+      break;
+    case Opcode::FCmpLt:
+      SetDst(bitsToDouble(A()) < bitsToDouble(B()));
+      break;
+    case Opcode::FCmpLe:
+      SetDst(bitsToDouble(A()) <= bitsToDouble(B()));
+      break;
+    case Opcode::FCmpGt:
+      SetDst(bitsToDouble(A()) > bitsToDouble(B()));
+      break;
+    case Opcode::FCmpGe:
+      SetDst(bitsToDouble(A()) >= bitsToDouble(B()));
+      break;
+    case Opcode::SExt: {
+      unsigned Bits = I.Size * 8;
+      uint64_t V = A();
+      if (Bits < 64) {
+        uint64_t Mask = (uint64_t(1) << Bits) - 1;
+        V &= Mask;
+        if (V >> (Bits - 1))
+          V |= ~Mask;
+      }
+      SetDst(V);
+      break;
+    }
+    case Opcode::ZExt: {
+      unsigned Bits = I.Size * 8;
+      uint64_t V = A();
+      if (Bits < 64)
+        V &= (uint64_t(1) << Bits) - 1;
+      SetDst(V);
+      break;
+    }
+    case Opcode::SIToFP:
+      SetDst(doubleToBits(static_cast<double>(static_cast<int64_t>(A()))));
+      break;
+    case Opcode::FPToSI:
+      SetDst(static_cast<uint64_t>(
+          static_cast<int64_t>(bitsToDouble(A()))));
+      break;
+    case Opcode::Load:
+    case Opcode::LoadIdx: {
+      uint64_t Addr = A() + (I.Op == Opcode::LoadIdx ? B() : 0);
+      if (!checkMemoryAccess(Addr, "load"))
+        break;
+      uint64_t Raw = 0;
+      std::memcpy(&Raw, reinterpret_cast<const void *>(Addr), I.Size);
+      if (I.Size < 8) {
+        unsigned Bits = I.Size * 8;
+        uint64_t Mask = (uint64_t(1) << Bits) - 1;
+        Raw &= Mask;
+        if (I.SignedLoad && (Raw >> (Bits - 1)))
+          Raw |= ~Mask;
+      }
+      SetDst(Raw);
+      break;
+    }
+    case Opcode::Store:
+    case Opcode::StoreIdx: {
+      uint64_t Addr, Val;
+      if (I.Op == Opcode::StoreIdx) {
+        Addr = A() + B();
+        Val = evalValue(Fr, I.C);
+      } else {
+        Addr = A();
+        Val = B();
+      }
+      if (!checkMemoryAccess(Addr, "store"))
+        break;
+      std::memcpy(reinterpret_cast<void *>(Addr), &Val, I.Size);
+      break;
+    }
+    case Opcode::AddrLocal:
+      SetDst(reinterpret_cast<uint64_t>(Stack.data()) + Fr.FrameBase +
+             static_cast<uint64_t>(I.Aux));
+      break;
+    case Opcode::AddrGlobal:
+      SetDst(reinterpret_cast<uint64_t>(Globals.data()) +
+             static_cast<uint64_t>(I.Aux));
+      break;
+    case Opcode::Jmp:
+      enterBlock(Fr, I.Blk1);
+      break;
+    case Opcode::Br:
+      enterBlock(Fr, A() ? I.Blk1 : I.Blk2);
+      break;
+    case Opcode::Ret: {
+      uint64_t RetVal = evalValue(Fr, I.A);
+      uint32_t RetDst = Fr.RetDst;
+      StackTop = Fr.FrameBase;
+      Frames.pop_back();
+      if (Frames.empty()) {
+        if (InGlobalInit && !MainStarted) {
+          InGlobalInit = false;
+          MainStarted = true;
+          StackTop = 0;
+          pushFrame(M.Functions[M.MainIndex], {}, NoReg);
+        } else {
+          Result.ExitCode = static_cast<long>(RetVal);
+        }
+      } else if (RetDst != NoReg) {
+        Frames.back().Regs[RetDst] = RetVal;
+      }
+      break;
+    }
+    case Opcode::Call: {
+      if (Opts.GcCallPeriod && ++CallsExecuted % Opts.GcCallPeriod == 0)
+        C->collect(); // call-site-only collection (optimization 4 regime)
+      if (I.BuiltinCallee != Builtin::None) {
+        runBuiltin(Fr, I);
+        break;
+      }
+      int32_t Callee = I.Callee;
+      if (Callee < 0) {
+        int64_t FP = static_cast<int64_t>(A());
+        Callee = static_cast<int32_t>(FP - FuncPtrBase);
+        if (Callee < 0 ||
+            static_cast<size_t>(Callee) >= M.Functions.size()) {
+          fail("indirect call through a non-function value");
+          break;
+        }
+      }
+      std::vector<uint64_t> Args;
+      Args.reserve(I.Args.size());
+      for (const Value &V : I.Args)
+        Args.push_back(evalValue(Fr, V));
+      pushFrame(M.Functions[Callee], Args, I.Dst);
+      break;
+    }
+    case Opcode::KeepLive:
+      SetDst(A());
+      break;
+    case Opcode::CheckSameObj: {
+      size_t Before = Check->violationCount();
+      Check->sameObj(reinterpret_cast<const void *>(A()),
+                     reinterpret_cast<const void *>(B()), Fr.F->Name.c_str());
+      SetDst(A());
+      if (Opts.HaltOnCheckViolation && Check->violationCount() != Before)
+        fail("pointer-arithmetic check violation");
+      break;
+    }
+    case Opcode::Kill:
+      if (I.A.isReg())
+        Fr.Regs[I.A.Reg] = 0;
+      break;
+    }
+
+    if (Opts.GcInstructionPeriod &&
+        Result.InstructionsExecuted % Opts.GcInstructionPeriod == 0)
+      C->collect();
+  }
+
+  Result.Collections = C->stats().Collections;
+  Result.ChecksPerformed = Check->checkCount();
+  Result.CheckViolations = Check->violationCount();
+  return Result;
+}

@@ -1,0 +1,867 @@
+//===- workloads/Workloads.cpp --------------------------------*- C++ -*-===//
+
+#include "workloads/Workloads.h"
+
+using namespace gcsafe;
+using namespace gcsafe::workloads;
+
+//===----------------------------------------------------------------------===//
+// cordtest
+//===----------------------------------------------------------------------===//
+
+static const char *CordtestSource = R"C(
+/* cordtest analog: a rope string package over the collecting allocator. */
+
+struct cord {
+  int kind;            /* 0 = leaf, 1 = concat */
+  long len;
+  struct cord *left;
+  struct cord *right;
+  char *text;
+};
+
+struct cord *leaf(char *s, long n) {
+  struct cord *c;
+  char *buf;
+  long i;
+  c = (struct cord *)gc_malloc(sizeof(struct cord));
+  buf = (char *)gc_malloc_atomic(n + 1);
+  for (i = 0; i < n; i++) {
+    buf[i] = s[i];
+  }
+  buf[n] = 0;
+  c->kind = 0;
+  c->len = n;
+  c->left = 0;
+  c->right = 0;
+  c->text = buf;
+  return c;
+}
+
+struct cord *concat(struct cord *a, struct cord *b) {
+  struct cord *c;
+  c = (struct cord *)gc_malloc(sizeof(struct cord));
+  c->kind = 1;
+  c->len = a->len + b->len;
+  c->left = a;
+  c->right = b;
+  c->text = 0;
+  return c;
+}
+
+char cord_at(struct cord *c, long i) {
+  while (c->kind == 1) {
+    if (i < c->left->len) {
+      c = c->left;
+    } else {
+      i = i - c->left->len;
+      c = c->right;
+    }
+  }
+  return c->text[i];
+}
+
+long flatten(struct cord *c, char *out, long pos) {
+  char *p;
+  long i;
+  if (c->kind == 0) {
+    p = c->text;
+    for (i = 0; i < c->len; i++) {
+      out[pos + i] = p[i];
+    }
+    return pos + c->len;
+  }
+  pos = flatten(c->left, out, pos);
+  return flatten(c->right, out, pos);
+}
+
+long str_len(char *s) {
+  char *p;
+  p = s;
+  while (*p) {
+    p++;
+  }
+  return p - s;
+}
+
+int main(void) {
+  struct cord *c;
+  struct cord *row;
+  char *flat;
+  long iter;
+  long i;
+  long sum;
+  long n;
+  sum = 0;
+  for (iter = 0; iter < 5; iter++) {
+    c = leaf("cord", 4);
+    for (i = 0; i < 160; i++) {
+      row = leaf("abcdefghij", 10);
+      c = concat(c, row);
+      if (i % 7 == 0) {
+        c = concat(row, c);
+      }
+      if (i % 13 == 0) {
+        c = concat(c, c);
+      }
+      if (c->len > 60000) {
+        c = leaf("reset", 5);
+      }
+    }
+    n = c->len;
+    for (i = 0; i < n; i = i + 37) {
+      sum = sum + cord_at(c, i);
+    }
+    flat = (char *)gc_malloc_atomic(n + 1);
+    flatten(c, flat, 0);
+    flat[n] = 0;
+    for (i = 0; i < n; i = i + 53) {
+      sum = sum + flat[i];
+    }
+    sum = sum + str_len(flat);
+  }
+  print_str("cordtest sum=");
+  print_int(sum);
+  print_char(10);
+  assert_true(sum > 0);
+  return 0;
+}
+)C";
+
+//===----------------------------------------------------------------------===//
+// cfrac
+//===----------------------------------------------------------------------===//
+
+static const char *CfracSource = R"C(
+/* cfrac analog: continued-fraction convergents of sqrt(N) over
+ * heap-allocated base-10000 integers; one allocation per result, as in the
+ * original factoring program. */
+
+struct big {
+  long n;
+  long *d;
+};
+
+struct big *big_new(long n) {
+  struct big *b;
+  b = (struct big *)gc_malloc(sizeof(struct big));
+  b->n = n;
+  b->d = (long *)gc_malloc_atomic(n * 8);
+  return b;
+}
+
+struct big *big_from(long v) {
+  struct big *b;
+  long t;
+  long n;
+  n = 1;
+  t = v;
+  while (t >= 10000) {
+    t = t / 10000;
+    n = n + 1;
+  }
+  b = big_new(n);
+  t = 0;
+  while (t < n) {
+    b->d[t] = v % 10000;
+    v = v / 10000;
+    t = t + 1;
+  }
+  return b;
+}
+
+struct big *big_mul_small(struct big *a, long m) {
+  struct big *r;
+  long i;
+  long carry;
+  long t;
+  r = big_new(a->n + 2);
+  carry = 0;
+  for (i = 0; i < a->n; i++) {
+    t = a->d[i] * m + carry;
+    r->d[i] = t % 10000;
+    carry = t / 10000;
+  }
+  i = a->n;
+  while (carry > 0) {
+    r->d[i] = carry % 10000;
+    carry = carry / 10000;
+    i = i + 1;
+  }
+  while (i < r->n) {
+    r->d[i] = 0;
+    i = i + 1;
+  }
+  i = r->n;
+  while (i > 1 && r->d[i - 1] == 0) {
+    i = i - 1;
+  }
+  r->n = i;
+  return r;
+}
+
+struct big *big_add(struct big *a, struct big *b) {
+  struct big *r;
+  long n;
+  long i;
+  long carry;
+  long t;
+  long x;
+  long y;
+  n = a->n;
+  if (b->n > n) {
+    n = b->n;
+  }
+  r = big_new(n + 1);
+  carry = 0;
+  for (i = 0; i < n + 1; i++) {
+    x = 0;
+    y = 0;
+    if (i < a->n) {
+      x = a->d[i];
+    }
+    if (i < b->n) {
+      y = b->d[i];
+    }
+    t = x + y + carry;
+    r->d[i] = t % 10000;
+    carry = t / 10000;
+  }
+  i = r->n;
+  while (i > 1 && r->d[i - 1] == 0) {
+    i = i - 1;
+  }
+  r->n = i;
+  return r;
+}
+
+long big_mod_small(struct big *a, long m) {
+  long i;
+  long rem;
+  rem = 0;
+  for (i = a->n - 1; i >= 0; i--) {
+    rem = (rem * 10000 + a->d[i]) % m;
+  }
+  return rem;
+}
+
+long isqrt(long n) {
+  long r;
+  r = 0;
+  while ((r + 1) * (r + 1) <= n) {
+    r = r + 1;
+  }
+  return r;
+}
+
+int main(void) {
+  long N;
+  long a0;
+  long m;
+  long d;
+  long a;
+  struct big *h0;
+  struct big *h1;
+  struct big *t;
+  struct big *t2;
+  long k;
+  long check;
+  long round;
+  check = 0;
+  for (round = 0; round < 6; round++) {
+    N = 7919 + round * 104729;
+    a0 = isqrt(N);
+    if (a0 * a0 == N) {
+      N = N + 1;
+      a0 = isqrt(N);
+    }
+    m = 0;
+    d = 1;
+    a = a0;
+    h0 = big_from(1);
+    h1 = big_from(a0);
+    for (k = 0; k < 120; k++) {
+      m = d * a - m;
+      d = (N - m * m) / d;
+      a = (a0 + m) / d;
+      /* h[k+1] = a * h[k] + h[k-1] */
+      t = big_mul_small(h1, a);
+      t2 = big_add(t, h0);
+      h0 = h1;
+      h1 = t2;
+    }
+    check = check + big_mod_small(h1, 9973) + big_mod_small(h0, 9973);
+  }
+  print_str("cfrac check=");
+  print_int(check);
+  print_char(10);
+  assert_true(check > 0);
+  return 0;
+}
+)C";
+
+//===----------------------------------------------------------------------===//
+// gawk (clean and buggy)
+//===----------------------------------------------------------------------===//
+
+/// Shared body; %SPLIT% is replaced by the clean or buggy field splitter.
+static const char *GawkTemplate = R"C(
+/* gawk analog: record generation, field splitting, numeric accumulation,
+ * and an association list, over deterministic synthetic input. */
+
+struct field {
+  char *s;
+  long num;
+};
+
+struct node {
+  char *key;
+  long val;
+  struct node *next;
+};
+
+long str_len(char *s) {
+  long n;
+  n = 0;
+  while (s[n]) {
+    n = n + 1;
+  }
+  return n;
+}
+
+long str_eq(char *a, char *b) {
+  long i;
+  i = 0;
+  while (a[i] && b[i]) {
+    if (a[i] != b[i]) {
+      return 0;
+    }
+    i = i + 1;
+  }
+  return a[i] == b[i];
+}
+
+char *dup_str(char *s) {
+  long n;
+  char *r;
+  long i;
+  n = str_len(s);
+  r = (char *)gc_malloc_atomic(n + 1);
+  for (i = 0; i <= n; i++) {
+    r[i] = s[i];
+  }
+  return r;
+}
+
+char *make_record(long nf) {
+  char *buf;
+  long pos;
+  long f;
+  long v;
+  long j;
+  long start;
+  long end;
+  char tmp;
+  buf = (char *)gc_malloc_atomic(256);
+  pos = 0;
+  for (f = 0; f < nf; f++) {
+    v = rand_next() % 10000;
+    if (f > 0) {
+      buf[pos] = ' ';
+      pos = pos + 1;
+    }
+    start = pos;
+    if (v == 0) {
+      buf[pos] = '0';
+      pos = pos + 1;
+    }
+    while (v > 0) {
+      buf[pos] = '0' + v % 10;
+      pos = pos + 1;
+      v = v / 10;
+    }
+    end = pos - 1;
+    j = start;
+    while (j < end) {
+      tmp = buf[j];
+      buf[j] = buf[end];
+      buf[end] = tmp;
+      j = j + 1;
+      end = end - 1;
+    }
+  }
+  buf[pos] = 0;
+  return buf;
+}
+
+%SPLIT%
+
+struct node *find(struct node *t, char *key) {
+  while (t) {
+    if (str_eq(t->key, key)) {
+      return t;
+    }
+    t = t->next;
+  }
+  return 0;
+}
+
+int main(void) {
+  struct node *table;
+  struct node *nd;
+  struct field *fs;
+  char *rec;
+  char key[8];
+  long r;
+  long nf;
+  long i;
+  long total;
+  rand_seed(12345);
+  table = 0;
+  total = 0;
+  for (r = 0; r < 350; r++) {
+    rec = make_record(3 + rand_next() % 5);
+    fs = (struct field *)gc_malloc(16 * sizeof(struct field));
+    nf = split(rec, fs);
+    for (i = 0; i < nf; i++) {
+      total = total + fs[i].num;
+    }
+    key[0] = 'f';
+    key[1] = '0' + nf;
+    key[2] = 0;
+    nd = find(table, key);
+    if (nd) {
+      nd->val = nd->val + nf;
+    } else {
+      nd = (struct node *)gc_malloc(sizeof(struct node));
+      nd->key = dup_str(key);
+      nd->val = nf;
+      nd->next = table;
+      table = nd;
+    }
+  }
+  nd = table;
+  while (nd) {
+    total = total + nd->val;
+    nd = nd->next;
+  }
+  print_str("gawk total=");
+  print_int(total);
+  print_char(10);
+  assert_true(total > 0);
+  return 0;
+}
+)C";
+
+static const char *GawkCleanSplit = R"C(
+long split(char *rec, struct field *fs) {
+  char *q;
+  long nf;
+  long num;
+  q = rec;
+  nf = 0;
+  while (*q) {
+    while (*q == ' ') {
+      q++;
+    }
+    if (!*q) {
+      break;
+    }
+    fs[nf].s = q;
+    num = 0;
+    while (*q && *q != ' ') {
+      num = num * 10 + (*q - '0');
+      q++;
+    }
+    fs[nf].num = num;
+    nf = nf + 1;
+  }
+  return nf;
+}
+)C";
+
+static const char *GawkBuggySplit = R"C(
+/* The bug the paper's checker caught in gawk immediately: "A common bug
+ * (sometimes referred to incorrectly as a 'technique') in C code is to
+ * represent an array as a pointer to one element before the beginning of
+ * the array's memory."  q starts one before the record buffer. */
+long split(char *rec, struct field *fs) {
+  char *q;
+  long nf;
+  long num;
+  q = rec - 1;
+  nf = 0;
+  while (*++q) {
+    if (*q == ' ') {
+      continue;
+    }
+    fs[nf].s = q;
+    num = 0;
+    while (*q && *q != ' ') {
+      num = num * 10 + (*q - '0');
+      q++;
+    }
+    fs[nf].num = num;
+    nf = nf + 1;
+    if (!*q) {
+      break;
+    }
+  }
+  return nf;
+}
+)C";
+
+//===----------------------------------------------------------------------===//
+// gs
+//===----------------------------------------------------------------------===//
+
+static const char *GsSource = R"C(
+/* gs analog: a PostScript-flavoured stack interpreter. Every heap object
+ * carries a prepended standard header, the property the paper credits for
+ * Ghostscript's clean checker run. */
+
+struct header {
+  long magic;
+  long type;   /* 1 = integer, 2 = string, 3 = array */
+  long size;   /* payload bytes */
+};
+
+char *payload(struct header *h) {
+  return (char *)h + sizeof(struct header);
+}
+
+struct header *alloc_obj(long type, long size) {
+  struct header *h;
+  h = (struct header *)gc_malloc(sizeof(struct header) + size);
+  h->magic = 123456789;
+  h->type = type;
+  h->size = size;
+  return h;
+}
+
+char *make_prog(long units) {
+  char *p;
+  long pos;
+  long u;
+  long v;
+  long depth;
+  p = (char *)gc_malloc_atomic(units * 8 + 8);
+  pos = 0;
+  depth = 0;
+  for (u = 0; u < units; u++) {
+    v = rand_next() % 100;
+    p[pos] = '0' + v % 10;
+    pos = pos + 1;
+    p[pos] = '0' + v / 10;
+    pos = pos + 1;
+    if (v % 2) {
+      p[pos] = '+';
+    } else {
+      p[pos] = '*';
+    }
+    pos = pos + 1;
+    depth = depth + 1;
+    if (v % 7 == 0) {
+      p[pos] = 's';
+      pos = pos + 1;
+    }
+    if (depth >= 4 && v % 5 == 0) {
+      p[pos] = 'a';
+      pos = pos + 1;
+      depth = depth - 3;
+    }
+    if (depth > 2) {
+      p[pos] = 'c';
+      pos = pos + 1;
+      depth = depth - 1;
+    }
+  }
+  while (depth > 0) {
+    p[pos] = 'c';
+    pos = pos + 1;
+    depth = depth - 1;
+  }
+  p[pos] = 0;
+  return p;
+}
+
+long run_program(char *prog) {
+  struct header **stk;
+  long sp;
+  char *pc;
+  long op;
+  long v;
+  long i;
+  long check;
+  struct header *a;
+  struct header *b;
+  struct header *r;
+  stk = (struct header **)gc_malloc(64 * 8);
+  sp = 0;
+  pc = prog;
+  check = 0;
+  while (*pc) {
+    op = *pc;
+    pc++;
+    if (op >= '0' && op <= '9') {
+      a = alloc_obj(1, 8);
+      *(long *)payload(a) = op - '0';
+      stk[sp] = a;
+      sp = sp + 1;
+    } else if (op == '+' || op == '*') {
+      sp = sp - 1;
+      b = stk[sp];
+      sp = sp - 1;
+      a = stk[sp];
+      r = alloc_obj(1, 8);
+      if (op == '+') {
+        *(long *)payload(r) = *(long *)payload(a) + *(long *)payload(b);
+      } else {
+        *(long *)payload(r) = *(long *)payload(a) * *(long *)payload(b);
+      }
+      stk[sp] = r;
+      sp = sp + 1;
+    } else if (op == 'd') {
+      stk[sp] = stk[sp - 1];
+      sp = sp + 1;
+    } else if (op == 's') {
+      sp = sp - 1;
+      a = stk[sp];
+      v = *(long *)payload(a);
+      if (v < 0) {
+        v = -v;
+      }
+      r = alloc_obj(2, v % 24 + 8);
+      for (i = 0; i < r->size; i++) {
+        payload(r)[i] = 'a' + (v + i) % 26;
+      }
+      stk[sp] = r;
+      sp = sp + 1;
+    } else if (op == 'a') {
+      r = alloc_obj(3, 4 * 8);
+      for (i = 0; i < 4; i++) {
+        sp = sp - 1;
+        ((struct header **)payload(r))[i] = stk[sp];
+      }
+      stk[sp] = r;
+      sp = sp + 1;
+    } else if (op == 'c') {
+      sp = sp - 1;
+      a = stk[sp];
+      assert_true(a->magic == 123456789);
+      check = check + a->type * 31 + a->size;
+      if (a->type == 1) {
+        check = check + *(long *)payload(a);
+      }
+      if (a->type == 3) {
+        for (i = 0; i < 4; i++) {
+          b = ((struct header **)payload(a))[i];
+          check = check + b->type;
+        }
+      }
+    }
+  }
+  while (sp > 0) {
+    sp = sp - 1;
+    check = check + stk[sp]->type;
+  }
+  return check;
+}
+
+int main(void) {
+  char *prog;
+  long round;
+  long check;
+  rand_seed(424242);
+  check = 0;
+  for (round = 0; round < 6; round++) {
+    prog = make_prog(300);
+    check = check + run_program(prog);
+  }
+  print_str("gs check=");
+  print_int(check);
+  print_char(10);
+  assert_true(check > 0);
+  return 0;
+}
+)C";
+
+//===----------------------------------------------------------------------===//
+// Micro kernels
+//===----------------------------------------------------------------------===//
+
+static const char *DisplacedIndexSource = R"C(
+/* The paper's opening example: a final reference p[i-1000], which an
+ * optimizer may compile as p = p - 1000; ... p[i], leaving no recognizable
+ * pointer to the object while the loop allocates. */
+long work(long n) {
+  char *p;
+  long i;
+  long s;
+  p = (char *)gc_malloc(2048);
+  for (i = 0; i < 2048; i++) {
+    p[i] = i % 7;
+  }
+  s = 0;
+  for (i = 1000; i < n + 1000; i++) {
+    s = s + p[i - 1000];
+    gc_malloc(16);
+  }
+  return s;
+}
+
+int main(void) {
+  long s;
+  s = work(2000);
+  print_str("sum=");
+  print_int(s);
+  print_char(10);
+  return 0;
+}
+)C";
+
+static const char *StrcpyLoopSource = R"C(
+/* The canonical string copying loop from the paper's optimization 3. */
+long copy_round(char *s, char *t) {
+  char *p;
+  char *q;
+  long n;
+  p = s;
+  q = t;
+  while (*p++ = *q++) {
+  }
+  n = 0;
+  while (s[n]) {
+    n = n + 1;
+  }
+  return n;
+}
+
+int main(void) {
+  char *src;
+  char *dst;
+  long i;
+  long total;
+  long round;
+  src = (char *)gc_malloc_atomic(512);
+  for (i = 0; i < 511; i++) {
+    src[i] = 'a' + i % 26;
+  }
+  src[511] = 0;
+  total = 0;
+  for (round = 0; round < 400; round++) {
+    dst = (char *)gc_malloc_atomic(512);
+    total = total + copy_round(dst, src);
+  }
+  print_str("copied=");
+  print_int(total);
+  print_char(10);
+  assert_true(total == 400 * 511);
+  return 0;
+}
+)C";
+
+static const char *CharIndexSource = R"C(
+/* The Analysis section's exhibit: char f(char *x) { return x[1]; } */
+char f(char *x) {
+  return x[1];
+}
+
+int main(void) {
+  char *buf;
+  long i;
+  long sum;
+  buf = (char *)gc_malloc_atomic(64);
+  for (i = 0; i < 64; i++) {
+    buf[i] = i;
+  }
+  sum = 0;
+  for (i = 0; i < 100000; i++) {
+    sum = sum + f(buf + i % 32);
+  }
+  print_str("f sum=");
+  print_int(sum);
+  print_char(10);
+  assert_true(sum > 0);
+  return 0;
+}
+)C";
+
+//===----------------------------------------------------------------------===//
+// Accessors
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::string buildGawk(const char *Split) {
+  std::string Src = GawkTemplate;
+  std::string::size_type Pos = Src.find("%SPLIT%");
+  Src.replace(Pos, 7, Split);
+  return Src;
+}
+
+struct OwnedWorkload {
+  std::string Storage;
+  Workload W;
+};
+} // namespace
+
+const Workload &gcsafe::workloads::cordtest() {
+  static Workload W{"cordtest", CordtestSource,
+                    "rope build/index/flatten, 5 iterations"};
+  return W;
+}
+
+const Workload &gcsafe::workloads::cfrac() {
+  static Workload W{"cfrac", CfracSource,
+                    "continued-fraction convergents, 6 rounds x 120 steps"};
+  return W;
+}
+
+const Workload &gcsafe::workloads::gawk() {
+  static OwnedWorkload O = [] {
+    OwnedWorkload R;
+    R.Storage = buildGawk(GawkCleanSplit);
+    R.W = {"gawk", R.Storage.c_str(), "350 synthetic records"};
+    return R;
+  }();
+  return O.W;
+}
+
+const Workload &gcsafe::workloads::gawkBuggy() {
+  static OwnedWorkload O = [] {
+    OwnedWorkload R;
+    R.Storage = buildGawk(GawkBuggySplit);
+    R.W = {"gawk-buggy", R.Storage.c_str(),
+           "gawk with the pointer-before-array bug"};
+    return R;
+  }();
+  return O.W;
+}
+
+const Workload &gcsafe::workloads::gs() {
+  static Workload W{"gs", GsSource,
+                    "header-tagged stack interpreter, 6 x 300-unit programs"};
+  return W;
+}
+
+const Workload &gcsafe::workloads::displacedIndex() {
+  static Workload W{"displaced-index", DisplacedIndexSource,
+                    "p[i-1000] kernel with in-loop allocation"};
+  return W;
+}
+
+const Workload &gcsafe::workloads::strcpyLoop() {
+  static Workload W{"strcpy-loop", StrcpyLoopSource,
+                    "while (*p++ = *q++); over heap strings"};
+  return W;
+}
+
+const Workload &gcsafe::workloads::charIndex() {
+  static Workload W{"char-index", CharIndexSource,
+                    "char f(char *x) { return x[1]; }"};
+  return W;
+}
+
+std::vector<const Workload *> gcsafe::workloads::benchmarkSuite() {
+  return {&cordtest(), &cfrac(), &gawk(), &gs()};
+}

@@ -1,0 +1,78 @@
+//===- workloads/Workloads.h - Benchmark workload programs -----*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper measures "a small collection of small-to-medium-sized C
+/// programs, mostly drawn from the Zorn benchmark suite", all "very pointer
+/// and allocation intensive". We cannot ship those programs, so each is
+/// replaced by a workload analog in the supported C subset exercising the
+/// same idioms:
+///
+///   cordtest — a cord (rope) string package: leaf/concat trees, character
+///              indexing, flattening, traversal (paper: 2100 lines, run
+///              against the collector);
+///   cfrac    — continued-fraction convergents over heap-allocated
+///              multi-limb integers, a fresh allocation per arithmetic
+///              result (paper: a factoring program, 6000 lines);
+///   gawk     — a record/field-splitting mini-interpreter with an
+///              association list, over deterministic synthetic input
+///              (paper: GNU awk 2.11, 8500 lines). A *buggy* variant
+///              reproduces the pointer-arithmetic error the paper's checker
+///              caught immediately: "a common bug ... is to represent an
+///              array as a pointer to one element before the beginning of
+///              the array's memory";
+///   gs       — a PostScript-flavoured stack interpreter whose heap objects
+///              carry prepended standard headers (paper: Ghostscript,
+///              29500 lines; "no pointer arithmetic errors were found ...
+///              most heap objects have prepended standard headers");
+///
+/// plus three micro-kernels from the paper's exposition: the p[i-1000]
+/// displaced-index example, the canonical strcpy loop (optimization 3), and
+/// `char f(char *x) { return x[1]; }` (the Analysis section's exhibit).
+///
+/// All workloads are deterministic and print a checksum line so outputs can
+/// be compared across compilation modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_WORKLOADS_WORKLOADS_H
+#define GCSAFE_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace gcsafe {
+namespace workloads {
+
+struct Workload {
+  const char *Name;
+  const char *Source;
+  /// Rough scale knob already baked into the source (documented only).
+  const char *Description;
+};
+
+const Workload &cordtest();
+const Workload &cfrac();
+const Workload &gawk();
+const Workload &gawkBuggy(); ///< Contains the buf-1 pointer bug.
+const Workload &gs();
+
+/// The p[i-1000] kernel: sums a heap buffer through a displaced index with
+/// an allocation in the loop. Unsafe under the disguising optimizer.
+const Workload &displacedIndex();
+/// The canonical strcpy loop over heap strings (optimization 3 exhibit).
+const Workload &strcpyLoop();
+/// char f(char *x) { return x[1]; } called in a loop (Analysis exhibit).
+const Workload &charIndex();
+
+/// The four table workloads, in the paper's order.
+std::vector<const Workload *> benchmarkSuite();
+
+} // namespace workloads
+} // namespace gcsafe
+
+#endif // GCSAFE_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,381 @@
+//===- tests/test_cord.cpp - Cord (rope) library tests -------------------===//
+
+#include "cord/Cord.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+using namespace gcsafe;
+using namespace gcsafe::cord;
+
+namespace {
+gc::CollectorConfig quietConfig() {
+  gc::CollectorConfig C;
+  C.BytesTrigger = ~size_t(0) >> 1;
+  return C;
+}
+} // namespace
+
+TEST(Cord, EmptyCord) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord E = H.fromString("");
+  EXPECT_TRUE(E.empty());
+  EXPECT_EQ(E.length(), 0u);
+  EXPECT_EQ(E.str(), "");
+}
+
+TEST(Cord, FromStringRoundTrip) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord A = H.fromString("hello, cord world");
+  EXPECT_EQ(A.length(), 17u);
+  EXPECT_EQ(A.str(), "hello, cord world");
+  EXPECT_EQ(A.charAt(0), 'h');
+  EXPECT_EQ(A.charAt(16), 'd');
+}
+
+TEST(Cord, ConcatSmallMergesToLeaf) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord A = H.fromString("abc");
+  Cord B = H.fromString("def");
+  Cord AB = H.concat(A, B);
+  EXPECT_EQ(AB.str(), "abcdef");
+  EXPECT_EQ(AB.rep()->Kind, CordRep::NK_Leaf) << "short concat flattens";
+}
+
+TEST(Cord, ConcatLargeBuildsTree) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  std::string Long1(40, 'x'), Long2(40, 'y');
+  Cord AB = H.concat(H.fromString(Long1), H.fromString(Long2));
+  EXPECT_EQ(AB.rep()->Kind, CordRep::NK_Concat);
+  EXPECT_EQ(AB.str(), Long1 + Long2);
+}
+
+TEST(Cord, ConcatWithEmptyReturnsOther) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord A = H.fromString("nonempty text that is long enough");
+  Cord E;
+  EXPECT_EQ(H.concat(A, E).rep(), A.rep());
+  EXPECT_EQ(H.concat(E, A).rep(), A.rep());
+}
+
+TEST(Cord, CharAtAcrossConcats) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  std::string Model;
+  Cord A;
+  for (int I = 0; I < 30; ++I) {
+    std::string Piece(37, static_cast<char>('a' + I % 26));
+    Model += Piece;
+    A = H.concat(A, H.fromString(Piece));
+  }
+  ASSERT_EQ(A.length(), Model.size());
+  for (size_t I = 0; I < Model.size(); I += 11)
+    ASSERT_EQ(A.charAt(I), Model[I]) << "index " << I;
+}
+
+TEST(Cord, SubstrBasics) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  std::string Text(200, ' ');
+  for (size_t I = 0; I < Text.size(); ++I)
+    Text[I] = static_cast<char>('A' + I % 26);
+  Cord A = H.fromString(Text);
+  Cord S = H.substr(A, 50, 100);
+  EXPECT_EQ(S.length(), 100u);
+  EXPECT_EQ(S.str(), Text.substr(50, 100));
+}
+
+TEST(Cord, SubstrClampsToLength) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord A = H.fromString("0123456789");
+  EXPECT_EQ(H.substr(A, 8, 100).str(), "89");
+  EXPECT_TRUE(H.substr(A, 100, 5).empty());
+  EXPECT_EQ(H.substr(A, 0, 10).rep(), A.rep()) << "full range is identity";
+}
+
+TEST(Cord, SubstrOfSubstrCollapses) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  std::string Text(300, ' ');
+  for (size_t I = 0; I < Text.size(); ++I)
+    Text[I] = static_cast<char>('a' + I % 26);
+  Cord A = H.fromString(Text);
+  Cord S1 = H.substr(A, 50, 200);
+  Cord S2 = H.substr(S1, 30, 120);
+  EXPECT_EQ(S2.str(), Text.substr(80, 120));
+  // The chain is collapsed: S2's base is the leaf, not S1.
+  ASSERT_EQ(S2.rep()->Kind, CordRep::NK_Substring);
+  EXPECT_EQ(S2.rep()->Base->Kind, CordRep::NK_Leaf);
+}
+
+TEST(Cord, BalanceReducesDepthPreservingContent) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  std::string Model;
+  Cord A;
+  // Left-leaning chain.
+  for (int I = 0; I < 200; ++I) {
+    std::string Piece = "piece" + std::to_string(I) + "-----------------------------------";
+    Model += Piece;
+    A = H.concat(A, H.fromString(Piece));
+  }
+  unsigned DepthBefore = A.depth();
+  Cord B = H.balance(A);
+  EXPECT_LT(B.depth(), DepthBefore);
+  EXPECT_EQ(B.str(), Model);
+}
+
+TEST(Cord, ConcatAutoRebalances) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord A;
+  for (int I = 0; I < 2000; ++I)
+    A = H.concat(A, H.fromString("0123456789012345678901234567890123456789"));
+  EXPECT_LE(A.depth(), CordHeap::MaxDepth)
+      << "concat must keep depth bounded";
+  EXPECT_EQ(A.length(), 2000u * 40u);
+}
+
+TEST(Cord, CompareOrdersLexicographically) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord A = H.fromString("apple pie with extra long filling");
+  Cord B = H.fromString("apple pie with extra long fillinG");
+  Cord A2 = H.concat(H.fromString("apple pie with "),
+                     H.fromString("extra long filling"));
+  EXPECT_EQ(A.compare(A2), 0);
+  EXPECT_GT(A.compare(B), 0);
+  EXPECT_LT(B.compare(A), 0);
+  EXPECT_TRUE(A == A2);
+}
+
+TEST(Cord, CompareDifferentLengths) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord Short = H.fromString("abc");
+  Cord Long = H.fromString("abcd");
+  EXPECT_LT(Short.compare(Long), 0);
+  EXPECT_GT(Long.compare(Short), 0);
+}
+
+TEST(Cord, IteratorWalksAllCharacters) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  std::string Model;
+  Cord A;
+  for (int I = 0; I < 64; ++I) {
+    std::string Piece(I % 13 + 30, static_cast<char>('0' + I % 10));
+    Model += Piece;
+    A = H.concat(A, H.fromString(Piece));
+  }
+  std::string Walked;
+  for (CordIterator It(A); !It.done(); It.advance())
+    Walked.push_back(It.current());
+  EXPECT_EQ(Walked, Model);
+}
+
+TEST(Cord, RepeatBuildsNCopies) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord Unit = H.fromString("repeat-me-please-im-long-enough!");
+  Cord R = H.repeat(Unit, 50);
+  EXPECT_EQ(R.length(), 50u * 32u);
+  EXPECT_EQ(R.charAt(32 * 49), 'r');
+}
+
+TEST(Cord, SurvivesAggressiveCollection) {
+  // Operations pin their operands: a collection after every allocation
+  // must never corrupt cords under construction.
+  gc::CollectorConfig Cfg;
+  Cfg.AllocCountTrigger = 1;
+  gc::Collector C(Cfg);
+  CordHeap H(C);
+  gc::RootVector Roots(C);
+
+  std::string Model;
+  Cord A;
+  for (int I = 0; I < 120; ++I) {
+    std::string Piece = "chunk-" + std::to_string(I) + "-of-the-rope-testing";
+    Model += Piece;
+    A = H.concat(A, H.fromString(Piece));
+    Roots.clear();
+    Roots.push(const_cast<CordRep *>(A.rep()));
+  }
+  EXPECT_EQ(A.str(), Model);
+  EXPECT_GT(C.stats().Collections, 50u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep against std::string reference model
+//===----------------------------------------------------------------------===//
+
+class CordProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CordProperty, MatchesStringModel) {
+  gc::CollectorConfig Cfg = quietConfig();
+  Cfg.AllocCountTrigger = 200;
+  gc::Collector C(Cfg);
+  CordHeap H(C);
+  gc::RootVector Roots(C);
+  std::mt19937_64 Rng(GetParam());
+
+  std::vector<std::pair<Cord, std::string>> Pool;
+  auto Pin = [&] {
+    Roots.clear();
+    for (auto &[Cd, Str] : Pool)
+      if (Cd.rep())
+        Roots.push(const_cast<CordRep *>(Cd.rep()));
+  };
+
+  Pool.emplace_back(H.fromString("seed-string-0123456789"),
+                    std::string("seed-string-0123456789"));
+  Pin();
+
+  for (int Step = 0; Step < 400; ++Step) {
+    size_t Which = Rng() % Pool.size();
+    auto &[Cd, Str] = Pool[Which];
+    switch (Rng() % 5) {
+    case 0: { // concat with random other
+      size_t Other = Rng() % Pool.size();
+      Cord NC = H.concat(Cd, Pool[Other].first);
+      Pool.emplace_back(NC, Str + Pool[Other].second);
+      break;
+    }
+    case 1: { // substr
+      if (Str.empty())
+        break;
+      size_t Pos = Rng() % Str.size();
+      size_t Len = 1 + Rng() % (Str.size() - Pos);
+      Pool.emplace_back(H.substr(Cd, Pos, Len), Str.substr(Pos, Len));
+      break;
+    }
+    case 2: { // fresh leaf
+      std::string S(1 + Rng() % 80, static_cast<char>('a' + Rng() % 26));
+      Pool.emplace_back(H.fromString(S), S);
+      break;
+    }
+    case 3: { // balance in place
+      Cd = H.balance(Cd);
+      break;
+    }
+    case 4: { // verify charAt at random spots
+      if (Str.empty())
+        break;
+      for (int K = 0; K < 5; ++K) {
+        size_t I = Rng() % Str.size();
+        ASSERT_EQ(Cd.charAt(I), Str[I]);
+      }
+      break;
+    }
+    }
+    if (Pool.size() > 40)
+      Pool.erase(Pool.begin(), Pool.begin() + 20);
+    Pin();
+  }
+
+  C.collect();
+  for (auto &[Cd, Str] : Pool) {
+    ASSERT_EQ(Cd.length(), Str.size());
+    ASSERT_EQ(Cd.str(), Str);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CordProperty,
+                         ::testing::Values(11u, 23u, 37u, 59u));
+
+//===----------------------------------------------------------------------===//
+// find / hash / builder
+//===----------------------------------------------------------------------===//
+
+TEST(Cord, FindMatchesStringModel) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  std::string Model;
+  Cord A;
+  for (int I = 0; I < 40; ++I) {
+    std::string Piece = "seg" + std::to_string(I) + "-needle-haystack-";
+    Model += Piece;
+    A = H.concat(A, H.fromString(Piece));
+  }
+  for (const char *Needle : {"needle", "seg7-", "haystack-seg", "zzz", "-"}) {
+    size_t From = 0;
+    while (true) {
+      size_t Expected = Model.find(Needle, From);
+      size_t Got = A.find(Needle, From);
+      if (Expected == std::string::npos) {
+        ASSERT_EQ(Got, Cord::npos) << Needle;
+        break;
+      }
+      ASSERT_EQ(Got, Expected) << Needle << " from " << From;
+      From = Expected + 1;
+    }
+  }
+}
+
+TEST(Cord, FindEdgeCases) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord A = H.fromString("abcabc");
+  EXPECT_EQ(A.find(""), 0u);
+  EXPECT_EQ(A.find("", 6), 6u);
+  EXPECT_EQ(A.find("", 7), Cord::npos);
+  EXPECT_EQ(A.find("abc"), 0u);
+  EXPECT_EQ(A.find("abc", 1), 3u);
+  EXPECT_EQ(A.find("abcabcabc"), Cord::npos);
+  EXPECT_EQ(Cord().find("x"), Cord::npos);
+}
+
+TEST(Cord, HashIsContentBased) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  Cord Flat = H.fromString("the same long content in different shapes!!");
+  Cord Tree = H.concat(H.fromString("the same long content "),
+                       H.fromString("in different shapes!!"));
+  EXPECT_EQ(Flat.hash(), Tree.hash());
+  Cord Other = H.fromString("the same long content in different shapes!?");
+  EXPECT_NE(Flat.hash(), Other.hash());
+  EXPECT_EQ(Cord().hash(), Cord().hash());
+}
+
+TEST(CordBuilder, AccumulatesCharsAndStrings) {
+  gc::CollectorConfig Cfg;
+  Cfg.AllocCountTrigger = 2; // aggressive collection while building
+  gc::Collector C(Cfg);
+  CordHeap H(C);
+  CordBuilder B(H);
+  std::string Model;
+  for (int I = 0; I < 500; ++I) {
+    if (I % 7 == 0) {
+      B.append("chunk" + std::to_string(I));
+      Model += "chunk" + std::to_string(I);
+    } else {
+      B.appendChar(static_cast<char>('a' + I % 26));
+      Model.push_back(static_cast<char>('a' + I % 26));
+    }
+    ASSERT_EQ(B.length(), Model.size());
+  }
+  Cord Result = B.take();
+  gc::RootVector Keep(C);
+  Keep.push(const_cast<CordRep *>(Result.rep()));
+  C.collect();
+  EXPECT_EQ(Result.str(), Model);
+  EXPECT_EQ(B.length(), 0u);
+}
+
+TEST(CordBuilder, AppendCordFlushesPending) {
+  gc::Collector C(quietConfig());
+  CordHeap H(C);
+  CordBuilder B(H);
+  B.append("prefix-");
+  B.append(H.fromString("a-whole-cord-longer-than-short-limit!!"));
+  B.appendChar('!');
+  EXPECT_EQ(B.take().str(), "prefix-a-whole-cord-longer-than-short-limit!!!");
+}

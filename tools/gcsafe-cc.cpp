@@ -1,0 +1,278 @@
+//===- tools/gcsafe-cc.cpp - The gcsafe command-line driver --------------===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+// The paper's preprocessor as a tool. Reads a C file (or stdin with "-"),
+// and either prints annotated source or compiles and executes it on the
+// simulated machine.
+//
+//   gcsafe-cc file.c                      # print GC-safe annotated source
+//   gcsafe-cc --checked file.c            # print checked (debugging) source
+//   gcsafe-cc --run --mode=safe file.c    # compile + execute
+//   gcsafe-cc --dump-ir --mode=o2 file.c  # print the optimized IR
+//
+// Options:
+//   --safe | --checked        annotation output mode (default --safe)
+//   --run                     execute instead of printing source
+//   --mode=o2|safe|safepost|debug|checked   compilation mode for
+//                             --run/--dump-ir (default safe)
+//   --machine=sparc2|sparc10|pentium90      cost model (default sparc10)
+//   --gc-period=N             collect every N instructions
+//   --gc-alloc-trigger=N      collect every N allocations
+//   --no-opt1 .. --opt4       annotator optimization toggles
+//   --slow-bases              optimization 3 heuristic
+//   --stats                   print annotation and pass statistics
+//   --dump-ir                 print the compiled module
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/ASTPrinter.h"
+#include "driver/Pipeline.h"
+#include "rewrite/EditList.h"
+#include "ir/Verify.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace gcsafe;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gcsafe-cc [options] <file.c | ->\n"
+      "  --safe | --checked         annotated-source output mode\n"
+      "  --run                      compile and execute\n"
+      "  --dump-ir                  print the compiled IR module\n"
+      "  --dump-ast                 print the typed AST\n"
+      "  --dump-edits               print the sorted insertion/deletion list\n"
+      "  --mode=o2|safe|safepost|debug|checked\n"
+      "  --machine=sparc2|sparc10|pentium90\n"
+      "  --gc-period=N --gc-alloc-trigger=N --gc-call-period=N\n"
+      "  --no-opt1 --no-opt2 --slow-bases --at-calls-only\n"
+      "  --stats\n");
+}
+
+bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
+  size_t Len = std::strlen(Prefix);
+  if (std::strncmp(Arg, Prefix, Len) != 0)
+    return false;
+  Rest = Arg + Len;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  annotate::AnnotationMode OutputMode = annotate::AnnotationMode::GCSafe;
+  driver::CompileMode Mode = driver::CompileMode::O2Safe;
+  vm::VMOptions VO;
+  annotate::AnnotatorOptions Annot;
+  bool Run = false, DumpIR = false, DumpAST = false, DumpEdits = false,
+       Stats = false;
+  std::string InputPath;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    const char *Rest = nullptr;
+    if (!std::strcmp(Arg, "--safe")) {
+      OutputMode = annotate::AnnotationMode::GCSafe;
+    } else if (!std::strcmp(Arg, "--checked")) {
+      OutputMode = annotate::AnnotationMode::Checked;
+    } else if (!std::strcmp(Arg, "--run")) {
+      Run = true;
+    } else if (!std::strcmp(Arg, "--dump-ir")) {
+      DumpIR = true;
+    } else if (!std::strcmp(Arg, "--dump-ast")) {
+      DumpAST = true;
+    } else if (!std::strcmp(Arg, "--dump-edits")) {
+      DumpEdits = true;
+    } else if (!std::strcmp(Arg, "--stats")) {
+      Stats = true;
+    } else if (!std::strcmp(Arg, "--no-opt1")) {
+      Annot.SkipCopies = false;
+    } else if (!std::strcmp(Arg, "--no-opt2")) {
+      Annot.SpecializeIncDec = false;
+    } else if (!std::strcmp(Arg, "--slow-bases")) {
+      Annot.PreferSlowBases = true;
+    } else if (!std::strcmp(Arg, "--at-calls-only")) {
+      Annot.Trigger = annotate::GcTrigger::AtCallsOnly;
+    } else if (startsWith(Arg, "--mode=", Rest)) {
+      std::string M = Rest;
+      if (M == "o2")
+        Mode = driver::CompileMode::O2;
+      else if (M == "safe")
+        Mode = driver::CompileMode::O2Safe;
+      else if (M == "safepost")
+        Mode = driver::CompileMode::O2SafePost;
+      else if (M == "debug")
+        Mode = driver::CompileMode::Debug;
+      else if (M == "checked")
+        Mode = driver::CompileMode::DebugChecked;
+      else {
+        std::fprintf(stderr, "unknown mode '%s'\n", Rest);
+        return 2;
+      }
+    } else if (startsWith(Arg, "--machine=", Rest)) {
+      std::string M = Rest;
+      if (M == "sparc2")
+        VO.Model = vm::sparc2();
+      else if (M == "sparc10")
+        VO.Model = vm::sparc10();
+      else if (M == "pentium90")
+        VO.Model = vm::pentium90();
+      else {
+        std::fprintf(stderr, "unknown machine '%s'\n", Rest);
+        return 2;
+      }
+    } else if (startsWith(Arg, "--gc-period=", Rest)) {
+      VO.GcInstructionPeriod = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--gc-alloc-trigger=", Rest)) {
+      VO.GcAllocTrigger = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--gc-call-period=", Rest)) {
+      VO.GcCallPeriod = std::strtoull(Rest, nullptr, 10);
+    } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      usage();
+      return 0;
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      usage();
+      return 2;
+    } else {
+      InputPath = Arg;
+    }
+  }
+
+  if (InputPath.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::string Source;
+  if (InputPath == "-") {
+    std::stringstream SS;
+    SS << std::cin.rdbuf();
+    Source = SS.str();
+  } else {
+    std::ifstream In(InputPath);
+    if (!In) {
+      std::fprintf(stderr, "gcsafe-cc: cannot open '%s'\n",
+                   InputPath.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  }
+
+  driver::Compilation Comp(InputPath == "-" ? "<stdin>" : InputPath,
+                           std::move(Source));
+  if (!Comp.parse()) {
+    std::fputs(Comp.renderedDiagnostics().c_str(), stderr);
+    return 1;
+  }
+  // Surface warnings (e.g. the nonpointer-to-pointer warning) even on
+  // success.
+  if (Comp.diags().warningCount())
+    std::fputs(Comp.renderedDiagnostics().c_str(), stderr);
+
+  if (DumpAST) {
+    std::fputs(cfront::printTranslationUnit(Comp.tu()).c_str(), stdout);
+    if (!Run && !DumpIR)
+      return 0;
+  }
+
+  if (DumpEdits) {
+    // The paper's "list of insertions and deletions, sorted by character
+    // position in the original source string".
+    auto Map = Comp.annotate(Annot);
+    rewrite::EditList Edits;
+    annotate::renderAnnotationEdits(Comp.buffer(), Map, OutputMode, Edits);
+    Edits.forEachSorted([&](uint32_t Pos, uint32_t DeleteLen,
+                            const std::string &Text) {
+      LineColumn LC = Comp.buffer().lineColumn(SourceLocation(Pos));
+      std::printf("%u:%u", LC.Line, LC.Column);
+      if (DeleteLen)
+        std::printf(" delete %u", DeleteLen);
+      if (!Text.empty())
+        std::printf(" insert \"%s\"", Text.c_str());
+      std::printf("\n");
+    });
+    if (!Run && !DumpIR)
+      return 0;
+  }
+
+  if (!Run && !DumpIR) {
+    std::string Out = Comp.annotatedSource(OutputMode, Annot);
+    std::fputs(Out.c_str(), stdout);
+    if (Stats) {
+      auto Map = Comp.annotate(Annot);
+      const auto &S = Map.stats();
+      std::fprintf(stderr,
+                   "annotations: %u keep_lives, %u incdec, %u compound, "
+                   "%u temps; skipped: %u copies, %u call results, "
+                   "%u non-heap\n",
+                   S.KeepLives, S.IncDecExpansions,
+                   S.CompoundAssignExpansions, S.TempsIntroduced,
+                   S.SkippedCopies, S.SkippedCallResults, S.SkippedNonHeap);
+    }
+    return 0;
+  }
+
+  driver::CompileOptions CO;
+  CO.Mode = Mode;
+  CO.Annot = Annot;
+  driver::CompileResult CR = Comp.compile(CO);
+  if (!CR.Ok) {
+    std::fputs(CR.Errors.c_str(), stderr);
+    return 1;
+  }
+  std::vector<std::string> VerifyErrors;
+  if (!ir::verifyModule(CR.Module, VerifyErrors)) {
+    for (const std::string &E : VerifyErrors)
+      std::fprintf(stderr, "IR verifier: %s\n", E.c_str());
+    return 1;
+  }
+
+  if (DumpIR)
+    std::fputs(ir::printModule(CR.Module).c_str(), stdout);
+
+  if (Stats)
+    std::fprintf(stderr,
+                 "code size: %u units; opt: folded=%u cse=%u reassoc=%u "
+                 "sr=%u hoisted=%u fused=%u kills=%u\n",
+                 CR.CodeSizeUnits, CR.OptStats.Folded, CR.OptStats.CSEd,
+                 CR.OptStats.Reassociated, CR.OptStats.StrengthReduced,
+                 CR.OptStats.Hoisted, CR.OptStats.Fused,
+                 CR.OptStats.KillsInserted);
+
+  if (!Run)
+    return 0;
+
+  vm::VM Machine(CR.Module, VO);
+  vm::RunResult R = Machine.run();
+  std::fputs(R.Output.c_str(), stdout);
+  if (!R.Ok) {
+    std::fprintf(stderr, "gcsafe-cc: runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  if (Stats || R.CheckViolations || R.FreedAccesses)
+    std::fprintf(stderr,
+                 "[%s on %s] cycles=%llu instructions=%llu collections=%llu "
+                 "checks=%llu violations=%llu freed-accesses=%llu exit=%ld\n",
+                 driver::compileModeName(Mode), VO.Model.Name.c_str(),
+                 static_cast<unsigned long long>(R.Cycles),
+                 static_cast<unsigned long long>(R.InstructionsExecuted),
+                 static_cast<unsigned long long>(R.Collections),
+                 static_cast<unsigned long long>(R.ChecksPerformed),
+                 static_cast<unsigned long long>(R.CheckViolations),
+                 static_cast<unsigned long long>(R.FreedAccesses),
+                 R.ExitCode);
+  return static_cast<int>(R.ExitCode & 0xFF);
+}

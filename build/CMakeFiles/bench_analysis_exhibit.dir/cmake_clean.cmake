@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_exhibit.dir/bench/bench_analysis_exhibit.cpp.o"
+  "CMakeFiles/bench_analysis_exhibit.dir/bench/bench_analysis_exhibit.cpp.o.d"
+  "bench/bench_analysis_exhibit"
+  "bench/bench_analysis_exhibit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_exhibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

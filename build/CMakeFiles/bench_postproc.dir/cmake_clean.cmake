@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_postproc.dir/bench/bench_postproc.cpp.o"
+  "CMakeFiles/bench_postproc.dir/bench/bench_postproc.cpp.o.d"
+  "bench/bench_postproc"
+  "bench/bench_postproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_postproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slowdown_pentium90.dir/bench/bench_slowdown_pentium90.cpp.o"
+  "CMakeFiles/bench_slowdown_pentium90.dir/bench/bench_slowdown_pentium90.cpp.o.d"
+  "bench/bench_slowdown_pentium90"
+  "bench/bench_slowdown_pentium90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slowdown_pentium90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slowdown_sparc10.dir/bench/bench_slowdown_sparc10.cpp.o"
+  "CMakeFiles/bench_slowdown_sparc10.dir/bench/bench_slowdown_sparc10.cpp.o.d"
+  "bench/bench_slowdown_sparc10"
+  "bench/bench_slowdown_sparc10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slowdown_sparc10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

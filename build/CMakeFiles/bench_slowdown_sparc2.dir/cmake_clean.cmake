@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slowdown_sparc2.dir/bench/bench_slowdown_sparc2.cpp.o"
+  "CMakeFiles/bench_slowdown_sparc2.dir/bench/bench_slowdown_sparc2.cpp.o.d"
+  "bench/bench_slowdown_sparc2"
+  "bench/bench_slowdown_sparc2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slowdown_sparc2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cord_demo.dir/cord_demo.cpp.o"
+  "CMakeFiles/cord_demo.dir/cord_demo.cpp.o.d"
+  "cord_demo"
+  "cord_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cord_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/unsafe_optimizer_demo.cpp" "examples/CMakeFiles/unsafe_optimizer_demo.dir/unsafe_optimizer_demo.cpp.o" "gcc" "examples/CMakeFiles/unsafe_optimizer_demo.dir/unsafe_optimizer_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/gcsafe_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gcsafe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cord/CMakeFiles/gcsafe_cord.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/gcsafe_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gcsafe_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/gcsafe_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gcsafe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotate/CMakeFiles/gcsafe_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/gcsafe_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/gcsafe_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsafe_optimizer_demo.dir/unsafe_optimizer_demo.cpp.o"
+  "CMakeFiles/unsafe_optimizer_demo.dir/unsafe_optimizer_demo.cpp.o.d"
+  "unsafe_optimizer_demo"
+  "unsafe_optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsafe_optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("gc")
+subdirs("cord")
+subdirs("cfront")
+subdirs("rewrite")
+subdirs("annotate")
+subdirs("ir")
+subdirs("opt")
+subdirs("vm")
+subdirs("driver")
+subdirs("workloads")

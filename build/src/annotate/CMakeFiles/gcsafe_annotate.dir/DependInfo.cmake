@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annotate/Annotator.cpp" "src/annotate/CMakeFiles/gcsafe_annotate.dir/Annotator.cpp.o" "gcc" "src/annotate/CMakeFiles/gcsafe_annotate.dir/Annotator.cpp.o.d"
+  "/root/repo/src/annotate/Base.cpp" "src/annotate/CMakeFiles/gcsafe_annotate.dir/Base.cpp.o" "gcc" "src/annotate/CMakeFiles/gcsafe_annotate.dir/Base.cpp.o.d"
+  "/root/repo/src/annotate/SourceCheck.cpp" "src/annotate/CMakeFiles/gcsafe_annotate.dir/SourceCheck.cpp.o" "gcc" "src/annotate/CMakeFiles/gcsafe_annotate.dir/SourceCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfront/CMakeFiles/gcsafe_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/gcsafe_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

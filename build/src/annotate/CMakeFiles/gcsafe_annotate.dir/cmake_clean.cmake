@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_annotate.dir/Annotator.cpp.o"
+  "CMakeFiles/gcsafe_annotate.dir/Annotator.cpp.o.d"
+  "CMakeFiles/gcsafe_annotate.dir/Base.cpp.o"
+  "CMakeFiles/gcsafe_annotate.dir/Base.cpp.o.d"
+  "CMakeFiles/gcsafe_annotate.dir/SourceCheck.cpp.o"
+  "CMakeFiles/gcsafe_annotate.dir/SourceCheck.cpp.o.d"
+  "libgcsafe_annotate.a"
+  "libgcsafe_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_cfront.dir/AST.cpp.o"
+  "CMakeFiles/gcsafe_cfront.dir/AST.cpp.o.d"
+  "CMakeFiles/gcsafe_cfront.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/gcsafe_cfront.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/gcsafe_cfront.dir/Lexer.cpp.o"
+  "CMakeFiles/gcsafe_cfront.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gcsafe_cfront.dir/Parser.cpp.o"
+  "CMakeFiles/gcsafe_cfront.dir/Parser.cpp.o.d"
+  "CMakeFiles/gcsafe_cfront.dir/Sema.cpp.o"
+  "CMakeFiles/gcsafe_cfront.dir/Sema.cpp.o.d"
+  "CMakeFiles/gcsafe_cfront.dir/Type.cpp.o"
+  "CMakeFiles/gcsafe_cfront.dir/Type.cpp.o.d"
+  "libgcsafe_cfront.a"
+  "libgcsafe_cfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_cfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cord/Cord.cpp" "src/cord/CMakeFiles/gcsafe_cord.dir/Cord.cpp.o" "gcc" "src/cord/CMakeFiles/gcsafe_cord.dir/Cord.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gc/CMakeFiles/gcsafe_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_cord.dir/Cord.cpp.o"
+  "CMakeFiles/gcsafe_cord.dir/Cord.cpp.o.d"
+  "libgcsafe_cord.a"
+  "libgcsafe_cord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_cord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

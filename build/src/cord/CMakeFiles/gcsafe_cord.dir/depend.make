@@ -1,0 +1,2 @@
+# Empty dependencies file for gcsafe_cord.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_driver.dir/Pipeline.cpp.o"
+  "CMakeFiles/gcsafe_driver.dir/Pipeline.cpp.o.d"
+  "libgcsafe_driver.a"
+  "libgcsafe_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_gc.dir/Check.cpp.o"
+  "CMakeFiles/gcsafe_gc.dir/Check.cpp.o.d"
+  "CMakeFiles/gcsafe_gc.dir/Collector.cpp.o"
+  "CMakeFiles/gcsafe_gc.dir/Collector.cpp.o.d"
+  "CMakeFiles/gcsafe_gc.dir/Heap.cpp.o"
+  "CMakeFiles/gcsafe_gc.dir/Heap.cpp.o.d"
+  "libgcsafe_gc.a"
+  "libgcsafe_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

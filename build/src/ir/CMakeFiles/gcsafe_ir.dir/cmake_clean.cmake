@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_ir.dir/IR.cpp.o"
+  "CMakeFiles/gcsafe_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/gcsafe_ir.dir/Lower.cpp.o"
+  "CMakeFiles/gcsafe_ir.dir/Lower.cpp.o.d"
+  "CMakeFiles/gcsafe_ir.dir/Verify.cpp.o"
+  "CMakeFiles/gcsafe_ir.dir/Verify.cpp.o.d"
+  "libgcsafe_ir.a"
+  "libgcsafe_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/CFG.cpp" "src/opt/CMakeFiles/gcsafe_opt.dir/CFG.cpp.o" "gcc" "src/opt/CMakeFiles/gcsafe_opt.dir/CFG.cpp.o.d"
+  "/root/repo/src/opt/Passes.cpp" "src/opt/CMakeFiles/gcsafe_opt.dir/Passes.cpp.o" "gcc" "src/opt/CMakeFiles/gcsafe_opt.dir/Passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gcsafe_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotate/CMakeFiles/gcsafe_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfront/CMakeFiles/gcsafe_cfront.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/gcsafe_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gcsafe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

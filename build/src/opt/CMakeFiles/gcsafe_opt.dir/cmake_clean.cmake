@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_opt.dir/CFG.cpp.o"
+  "CMakeFiles/gcsafe_opt.dir/CFG.cpp.o.d"
+  "CMakeFiles/gcsafe_opt.dir/Passes.cpp.o"
+  "CMakeFiles/gcsafe_opt.dir/Passes.cpp.o.d"
+  "libgcsafe_opt.a"
+  "libgcsafe_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

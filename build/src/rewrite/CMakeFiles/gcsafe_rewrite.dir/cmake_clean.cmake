@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_rewrite.dir/EditList.cpp.o"
+  "CMakeFiles/gcsafe_rewrite.dir/EditList.cpp.o.d"
+  "libgcsafe_rewrite.a"
+  "libgcsafe_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

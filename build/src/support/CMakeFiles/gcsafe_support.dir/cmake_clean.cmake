@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_support.dir/Arena.cpp.o"
+  "CMakeFiles/gcsafe_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/gcsafe_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/gcsafe_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/gcsafe_support.dir/Source.cpp.o"
+  "CMakeFiles/gcsafe_support.dir/Source.cpp.o.d"
+  "libgcsafe_support.a"
+  "libgcsafe_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_vm.dir/VM.cpp.o"
+  "CMakeFiles/gcsafe_vm.dir/VM.cpp.o.d"
+  "libgcsafe_vm.a"
+  "libgcsafe_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/gcsafe_workloads.dir/Workloads.cpp.o.d"
+  "libgcsafe_workloads.a"
+  "libgcsafe_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

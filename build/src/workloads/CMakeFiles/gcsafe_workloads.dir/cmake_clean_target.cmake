@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcsafe_workloads.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_backend_tests.dir/test_backend.cpp.o"
+  "CMakeFiles/gcsafe_backend_tests.dir/test_backend.cpp.o.d"
+  "CMakeFiles/gcsafe_backend_tests.dir/test_extras.cpp.o"
+  "CMakeFiles/gcsafe_backend_tests.dir/test_extras.cpp.o.d"
+  "CMakeFiles/gcsafe_backend_tests.dir/test_workloads.cpp.o"
+  "CMakeFiles/gcsafe_backend_tests.dir/test_workloads.cpp.o.d"
+  "gcsafe_backend_tests"
+  "gcsafe_backend_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_backend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_integration_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/gcsafe_integration_tests.dir/test_integration.cpp.o.d"
+  "gcsafe_integration_tests"
+  "gcsafe_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe_unit_tests.dir/test_annotate.cpp.o"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_annotate.cpp.o.d"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_cord.cpp.o"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_cord.cpp.o.d"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_frontend.cpp.o"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_frontend.cpp.o.d"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_gc.cpp.o"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_gc.cpp.o.d"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_support.cpp.o"
+  "CMakeFiles/gcsafe_unit_tests.dir/test_support.cpp.o.d"
+  "gcsafe_unit_tests"
+  "gcsafe_unit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

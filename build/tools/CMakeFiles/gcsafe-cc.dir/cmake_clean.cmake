@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsafe-cc.dir/gcsafe-cc.cpp.o"
+  "CMakeFiles/gcsafe-cc.dir/gcsafe-cc.cpp.o.d"
+  "gcsafe-cc"
+  "gcsafe-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsafe-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

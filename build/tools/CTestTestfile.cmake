@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_safe_source "/root/repo/build/tools/gcsafe-cc" "/root/repo/examples/sample_input.c")
+set_tests_properties(cli_safe_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_checked_source "/root/repo/build/tools/gcsafe-cc" "--checked" "/root/repo/examples/sample_input.c")
+set_tests_properties(cli_checked_source PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_safepost "/root/repo/build/tools/gcsafe-cc" "--run" "--mode=safepost" "--stats" "/root/repo/examples/sample_input.c")
+set_tests_properties(cli_run_safepost PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run_adversarial "/root/repo/build/tools/gcsafe-cc" "--run" "--mode=safe" "--gc-alloc-trigger=3" "--machine=pentium90" "/root/repo/examples/sample_input.c")
+set_tests_properties(cli_run_adversarial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dumps "/root/repo/build/tools/gcsafe-cc" "--dump-ast" "--dump-ir" "--dump-edits" "/root/repo/examples/sample_input.c")
+set_tests_properties(cli_dumps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")

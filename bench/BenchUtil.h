@@ -17,12 +17,15 @@
 #define GCSAFE_BENCH_BENCHUTIL_H
 
 #include "driver/Pipeline.h"
+#include "support/Stats.h"
 #include "vm/Machine.h"
 #include "vm/VM.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gcsafe {
 namespace bench {
@@ -90,16 +93,80 @@ inline void printCell(double Measured, const PaperCell &Paper) {
     std::printf("  %7.1f%% (paper %5s)", Measured, Paper.Note);
 }
 
+/// The machine-readable counterpart of a bench binary's printed tables.
+/// Each binary accumulates named rows of numeric metrics and writes them
+/// as BENCH_<name>.json (schema gcsafe-bench-v1, docs/OBSERVABILITY.md) in
+/// the current directory, so the perf trajectory is diffable and
+/// tools/check_bench_json.py can validate every emitted file.
+class BenchReport {
+public:
+  explicit BenchReport(std::string Name) : Bench(std::move(Name)) {}
+
+  /// Starts a new row; subsequent metric() calls attach to it.
+  void row(const std::string &Name) {
+    support::Json R = support::Json::object();
+    R["name"] = support::Json::string(Name);
+    R["metrics"] = support::Json::object();
+    Rows.push_back(std::move(R));
+  }
+
+  void metric(const std::string &Key, double Value) {
+    if (!Rows.empty())
+      Rows.back()["metrics"][Key] = support::Json::number(Value);
+  }
+  void metric(const std::string &Key, uint64_t Value) {
+    if (!Rows.empty())
+      Rows.back()["metrics"][Key] = support::Json::integer(Value);
+  }
+  void metric(const std::string &Key, unsigned Value) {
+    metric(Key, static_cast<uint64_t>(Value));
+  }
+
+  support::Json toJson() const {
+    support::Json Doc = support::Json::object();
+    Doc["schema"] = support::Json::string("gcsafe-bench-v1");
+    Doc["bench"] = support::Json::string(Bench);
+    support::Json Arr = support::Json::array();
+    for (const support::Json &R : Rows)
+      Arr.push(R);
+    Doc["rows"] = std::move(Arr);
+    return Doc;
+  }
+
+  /// Writes BENCH_<name>.json next to the binary's working directory.
+  /// Returns false (with a note on stderr) on I/O failure.
+  bool write() const {
+    std::string Path = "BENCH_" + Bench + ".json";
+    std::string Text = toJson().dump(2);
+    Text.push_back('\n');
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fwrite(Text.data(), 1, Text.size(), F);
+    std::fclose(F);
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Bench;
+  std::vector<support::Json> Rows;
+};
+
 /// Prints one slowdown table (the paper's SPARCstation 2 / SPARC 10 /
 /// Pentium 90 tables): rows = workloads, columns = (-O safe, -g,
-/// -g checked) relative to -O.
+/// -g checked) relative to -O. When \p Report is non-null, each table row
+/// is also recorded as a report row with measured and paper percentages.
 struct SlowdownPaperRow {
   const workloads::Workload *W;
   PaperCell Safe, Debug, Checked;
 };
 
 inline void printSlowdownTable(const vm::MachineModel &Model,
-                               const SlowdownPaperRow *Rows, size_t NumRows) {
+                               const SlowdownPaperRow *Rows, size_t NumRows,
+                               BenchReport *Report = nullptr) {
   std::printf("\n=== Slowdown vs -O baseline, %s model ===\n",
               Model.Name.c_str());
   std::printf("%-10s %28s %28s %28s\n", "", "-O safe", "-g", "-g checked");
@@ -117,6 +184,19 @@ inline void printSlowdownTable(const vm::MachineModel &Model,
     printCell(slowdownPct(Base.Cycles, Debug.Cycles), Rows[I].Debug);
     printCell(slowdownPct(Base.Cycles, Checked.Cycles), Rows[I].Checked);
     std::printf("\n");
+    if (Report) {
+      Report->row(W.Name);
+      Report->metric("base_cycles", Base.Cycles);
+      Report->metric("safe_pct", slowdownPct(Base.Cycles, Safe.Cycles));
+      Report->metric("debug_pct", slowdownPct(Base.Cycles, Debug.Cycles));
+      Report->metric("checked_pct", slowdownPct(Base.Cycles, Checked.Cycles));
+      if (Rows[I].Safe.Present)
+        Report->metric("paper_safe_pct", Rows[I].Safe.Pct);
+      if (Rows[I].Debug.Present)
+        Report->metric("paper_debug_pct", Rows[I].Debug.Pct);
+      if (Rows[I].Checked.Present)
+        Report->metric("paper_checked_pct", Rows[I].Checked.Pct);
+    }
   }
 }
 

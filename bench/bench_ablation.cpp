@@ -50,6 +50,7 @@ AblationRun runWith(const Workload &W, driver::CompileMode Mode,
 int main(int argc, char **argv) {
   vm::VMOptions Base;
   Base.Model = vm::sparc10();
+  BenchReport Report("ablation");
 
   std::printf("=== Ablation 1: KEEP_LIVE implementation (SPARC 10, "
               "slowdown vs -O2) ===\n");
@@ -70,6 +71,10 @@ int main(int argc, char **argv) {
                 slowdownPct(O2.Cycles, Asm.Cycles),
                 slowdownPct(O2.Cycles, Call.Cycles),
                 slowdownPct(O2.Cycles, Post.Cycles));
+    Report.row(std::string(W->Name) + "/keeplive_impl");
+    Report.metric("empty_asm_pct", slowdownPct(O2.Cycles, Asm.Cycles));
+    Report.metric("external_call_pct", slowdownPct(O2.Cycles, Call.Cycles));
+    Report.metric("postproc_pct", slowdownPct(O2.Cycles, Post.Cycles));
   }
 
   std::printf("\n=== Ablation 2: optimization 4 (call-site-only "
@@ -89,6 +94,12 @@ int main(int argc, char **argv) {
                 Async.Cycles
                     ? slowdownPct(Async.Cycles, Reduced.Cycles)
                     : 0.0);
+    Report.row(std::string(W->Name) + "/opt4_at_calls");
+    Report.metric("annotations_async", Async.Annotations);
+    Report.metric("annotations_at_calls", Reduced.Annotations);
+    Report.metric("cycles_at_calls_pct",
+                  Async.Cycles ? slowdownPct(Async.Cycles, Reduced.Cycles)
+                               : 0.0);
   }
 
   std::printf("\n=== Ablation 3: optimization 1 (copy filter) ===\n");
@@ -101,7 +112,11 @@ int main(int argc, char **argv) {
         runWith(*W, driver::CompileMode::O2Safe, NoSkip, Base);
     std::printf("%-10s %16u %16u\n", W->Name, With.Annotations,
                 Without.Annotations);
+    Report.row(std::string(W->Name) + "/opt1_copy_filter");
+    Report.metric("keep_lives_opt1", With.Annotations);
+    Report.metric("keep_lives_raw", Without.Annotations);
   }
+  Report.write();
 
   benchmark::RegisterBenchmark("ablation/keeplive_call_cordtest",
                                [&](benchmark::State &S) {

@@ -60,6 +60,15 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Post.Cycles),
               slowdownPct(Base.Cycles, Post.Cycles));
 
+  BenchReport Report("analysis_exhibit");
+  Report.row("charIndex");
+  Report.metric("o2_cycles", Base.Cycles);
+  Report.metric("safe_cycles", Safe.Cycles);
+  Report.metric("postproc_cycles", Post.Cycles);
+  Report.metric("safe_pct", slowdownPct(Base.Cycles, Safe.Cycles));
+  Report.metric("postproc_pct", slowdownPct(Base.Cycles, Post.Cycles));
+  Report.write();
+
   benchmark::RegisterBenchmark("charIndex/O2", [&](benchmark::State &S) {
     driver::Compilation C(W.Name, W.Source);
     driver::CompileOptions CO;

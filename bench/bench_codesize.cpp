@@ -65,6 +65,7 @@ int main(int argc, char **argv) {
   std::printf("\n=== Object code expansion vs -O2 (processed code only) "
               "===\n");
   std::printf("%-10s %28s %28s %28s\n", "", "-O2 safe", "-g", "-g checked");
+  BenchReport Report("codesize");
   for (const Row &R : Rows) {
     unsigned Base = sizeUnits(*R.W, driver::CompileMode::O2);
     unsigned Safe = sizeUnits(*R.W, driver::CompileMode::O2Safe);
@@ -77,7 +78,19 @@ int main(int argc, char **argv) {
     printCell(slowdownPct(Base, Debug), R.Debug);
     printCell(slowdownPct(Base, Checked), R.Checked);
     std::printf("\n");
+    Report.row(R.W->Name);
+    Report.metric("base_size_units", Base);
+    Report.metric("safe_pct", slowdownPct(Base, Safe));
+    Report.metric("debug_pct", slowdownPct(Base, Debug));
+    Report.metric("checked_pct", slowdownPct(Base, Checked));
+    if (R.Safe.Present)
+      Report.metric("paper_safe_pct", R.Safe.Pct);
+    if (R.Debug.Present)
+      Report.metric("paper_debug_pct", R.Debug.Pct);
+    if (R.Checked.Present)
+      Report.metric("paper_checked_pct", R.Checked.Pct);
   }
+  Report.write();
 
   for (const Workload *W : benchmarkSuite())
     benchmark::RegisterBenchmark(

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "cord/Cord.h"
 #include "gc/Check.h"
 #include "gc/Collector.h"
@@ -159,4 +160,48 @@ static void BM_CordCharAt(benchmark::State &State) {
 }
 BENCHMARK(BM_CordCharAt);
 
-BENCHMARK_MAIN();
+// Per-collection counters over a fixed live list: the report rows mirror
+// the CollectionEvent fields (docs/OBSERVABILITY.md) so the collector's
+// marking accuracy is tracked alongside the wall-clock benchmarks above.
+static void writeCollectionReport() {
+  struct Node {
+    Node *Next;
+    long Payload[6];
+  };
+  bench::BenchReport Report("gc");
+  for (long Count : {1000L, 10000L}) {
+    Collector C(quiet());
+    static Node *Head;
+    Head = nullptr;
+    C.addStaticRoots(&Head, &Head + 1);
+    for (long I = 0; I < Count; ++I) {
+      auto *N = static_cast<Node *>(C.allocate(sizeof(Node)));
+      N->Next = Head;
+      Head = N;
+    }
+    C.collect();
+    const CollectorStats &S = C.stats();
+    Report.row("collect_list_" + std::to_string(Count));
+    Report.metric("live_nodes", static_cast<uint64_t>(Count));
+    Report.metric("mark_ns", S.MarkNs);
+    Report.metric("sweep_ns", S.SweepNs);
+    Report.metric("words_scanned", S.WordsScanned);
+    Report.metric("pointer_hits", S.PointerHits);
+    Report.metric("marked_objects", S.MarkedObjects);
+    Report.metric("interior_pointer_hits", S.InteriorPointerHits);
+    Report.metric("false_retention_candidates", S.FalseRetentionCandidates);
+    Report.metric("live_bytes", S.LiveBytesAfterLastGC);
+    C.removeStaticRoots(&Head);
+    Head = nullptr;
+  }
+  Report.write();
+}
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  writeCollectionReport();
+  return 0;
+}

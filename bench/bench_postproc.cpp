@@ -40,6 +40,7 @@ int main(int argc, char **argv) {
   std::printf("\n=== Safe + postprocessor vs -O2 baseline (SPARC 10) ===\n");
   std::printf("%-10s %28s %28s %16s\n", "", "running time", "code size",
               "(safe w/o post)");
+  BenchReport Report("postproc");
   for (const Row &R : Rows) {
     ModeRun Base = runWorkload(*R.W, driver::CompileMode::O2, Model);
     ModeRun Safe = runWorkload(*R.W, driver::CompileMode::O2Safe, Model);
@@ -50,7 +51,18 @@ int main(int argc, char **argv) {
     printCell(slowdownPct(Base.Cycles, Post.Cycles), R.Time);
     printCell(slowdownPct(Base.SizeUnits, Post.SizeUnits), R.Size);
     std::printf("  %10.1f%%\n", slowdownPct(Base.Cycles, Safe.Cycles));
+    Report.row(R.W->Name);
+    Report.metric("base_cycles", Base.Cycles);
+    Report.metric("post_time_pct", slowdownPct(Base.Cycles, Post.Cycles));
+    Report.metric("post_size_pct",
+                  slowdownPct(Base.SizeUnits, Post.SizeUnits));
+    Report.metric("safe_time_pct", slowdownPct(Base.Cycles, Safe.Cycles));
+    if (R.Time.Present)
+      Report.metric("paper_time_pct", R.Time.Pct);
+    if (R.Size.Present)
+      Report.metric("paper_size_pct", R.Size.Pct);
   }
+  Report.write();
 
   for (const Workload *W : benchmarkSuite()) {
     benchmark::RegisterBenchmark(

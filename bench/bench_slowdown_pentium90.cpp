@@ -49,7 +49,9 @@ int main(int argc, char **argv) {
       {&gawk(), paper(9), paper(41), paperNA()},
       {&gs(), paper(6), paper(17), paper(279)},
   };
-  printSlowdownTable(vm::pentium90(), Rows, 4);
+  BenchReport Report("slowdown_pentium90");
+  printSlowdownTable(vm::pentium90(), Rows, 4, &Report);
+  Report.write();
 
   for (const Workload *W : benchmarkSuite()) {
     for (auto [Mode, Name] :

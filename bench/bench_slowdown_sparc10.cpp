@@ -45,7 +45,9 @@ int main(int argc, char **argv) {
       {&gawk(), paper(8), paper(48), paperNA()},
       {&gs(), paper(5), paper(37), paper(366)},
   };
-  printSlowdownTable(vm::sparc10(), Rows, 4);
+  BenchReport Report("slowdown_sparc10");
+  printSlowdownTable(vm::sparc10(), Rows, 4, &Report);
+  Report.write();
 
   for (const Workload *W : benchmarkSuite()) {
     for (auto [Mode, Name] :

@@ -65,7 +65,9 @@ int main(int argc, char **argv) {
       {&gawk(), paper(8), paper(25), paperNA("fails")},
       {&gs(), paper(0), paper(33), paper(205)},
   };
-  printSlowdownTable(vm::sparc2(), Rows, 4);
+  BenchReport Report("slowdown_sparc2");
+  printSlowdownTable(vm::sparc2(), Rows, 4, &Report);
+  Report.write();
 
   registerAll();
   benchmark::Initialize(&argc, argv);

@@ -62,6 +62,22 @@ int main(int argc, char **argv) {
   Row("safe + postprocessor", Post);
   Row("safe + postprocessor + opt 3", PostSlow);
 
+  BenchReport Report("strcpy_opt3");
+  auto Record = [&](const char *Name, const ModeRun &R) {
+    if (!R.Ok)
+      return;
+    Report.row(Name);
+    Report.metric("cycles", R.Cycles);
+    Report.metric("spill_cycles", R.SpillCycles);
+    Report.metric("vs_o2_pct", slowdownPct(Base.Cycles, R.Cycles));
+  };
+  Record("o2_baseline", Base);
+  Record("safe_fast_bases", SafeFastBases);
+  Record("safe_slow_bases", SafeSlowBases);
+  Record("safe_postproc", Post);
+  Record("safe_postproc_slow_bases", PostSlow);
+  Report.write();
+
   benchmark::RegisterBenchmark(
       "strcpy/safe_slow_bases", [&](benchmark::State &S) {
         driver::Compilation C(W.Name, W.Source);

@@ -33,6 +33,7 @@ bool Compilation::parse() {
   if (Parsed)
     return ParseOk;
   Parsed = true;
+  uint64_t StartNs = support::monotonicNowNs();
   Actions->declareRuntimeBuiltins(TU);
   cfront::Lexer Lex(Buffer, Diags);
   cfront::Parser P(Lex.lexAll(), *Actions);
@@ -40,6 +41,7 @@ bool Compilation::parse() {
   ParseOk = !Diags.hasErrors();
   if (ParseOk)
     annotate::runSourceChecks(TU, Diags); // hidden-pointer hazard warnings
+  ParseNs = support::monotonicNowNs() - StartNs;
   return ParseOk;
 }
 
@@ -58,18 +60,27 @@ Compilation::annotatedSource(annotate::AnnotationMode Mode,
 
 CompileResult Compilation::compile(const CompileOptions &Options) {
   CompileResult Result;
+  auto Phase = [&](const char *Name, uint64_t Ns) {
+    Result.Stats.add(std::string("phase.") + Name + "_ns", Ns);
+    if (Options.Trace)
+      Options.Trace->emit("phase", Name, Ns);
+  };
+
   if (!parse()) {
     Result.Errors = renderedDiagnostics();
     return Result;
   }
+  Phase("parse", ParseNs);
 
   annotate::AnnotationMap Map;
   bool NeedsAnnotations = Options.Mode == CompileMode::O2Safe ||
                           Options.Mode == CompileMode::O2SafePost ||
                           Options.Mode == CompileMode::DebugChecked;
   if (NeedsAnnotations) {
+    uint64_t StartNs = support::monotonicNowNs();
     Map = annotate::annotateTranslationUnit(TU, Options.Annot);
     Result.AnnotStats = Map.stats();
+    Phase("annotate", support::monotonicNowNs() - StartNs);
   }
 
   ir::LowerOptions LO;
@@ -91,7 +102,9 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
     break;
   }
 
+  uint64_t LowerStartNs = support::monotonicNowNs();
   Result.Module = ir::lowerTranslationUnit(TU, LO, Diags);
+  Phase("lower", support::monotonicNowNs() - LowerStartNs);
   if (Diags.hasErrors()) {
     Result.Errors = renderedDiagnostics();
     return Result;
@@ -103,12 +116,18 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
                  ? opt::OptLevel::O0
                  : opt::OptLevel::O2;
   PO.Postprocess = Options.Mode == CompileMode::O2SafePost;
+  PO.Stats = &Result.Stats;
+  PO.Trace = Options.Trace;
+  uint64_t OptStartNs = support::monotonicNowNs();
   Result.OptStats = opt::optimizeModule(Result.Module, PO);
+  Phase("optimize", support::monotonicNowNs() - OptStartNs);
 
 #ifndef NDEBUG
   {
+    uint64_t VerifyStartNs = support::monotonicNowNs();
     std::vector<std::string> VerifyErrors;
     bool Verified = ir::verifyModule(Result.Module, VerifyErrors);
+    Phase("verify", support::monotonicNowNs() - VerifyStartNs);
     assert(Verified && "optimized module failed IR verification");
     (void)Verified;
   }
@@ -120,6 +139,131 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
 
   Result.Ok = true;
   return Result;
+}
+
+namespace {
+
+support::Json collectionEventToJson(const gc::CollectionEvent &E) {
+  using support::Json;
+  Json J = Json::object();
+  J["index"] = Json::integer(E.Index);
+  J["mark_ns"] = Json::integer(E.MarkNs);
+  J["sweep_ns"] = Json::integer(E.SweepNs);
+  J["pages_scanned"] = Json::integer(E.PagesScanned);
+  J["words_scanned"] = Json::integer(E.WordsScanned);
+  J["pointer_hits"] = Json::integer(E.PointerHits);
+  J["marked_objects"] = Json::integer(E.MarkedObjects);
+  J["freed_objects"] = Json::integer(E.FreedObjects);
+  J["live_bytes"] = Json::integer(E.LiveBytes);
+  J["interior_hits"] = Json::integer(E.InteriorHits);
+  J["false_retention_candidates"] =
+      Json::integer(E.FalseRetentionCandidates);
+  return J;
+}
+
+} // namespace
+
+support::Json gcsafe::driver::buildRunReport(const std::string &Input,
+                                             CompileMode Mode,
+                                             const std::string &Machine,
+                                             const CompileResult &CR,
+                                             const vm::RunResult *Run) {
+  using support::Json;
+  Json Root = Json::object();
+  Root["schema"] = Json::string("gcsafe-run-report-v1");
+  Root["input"] = Json::string(Input);
+  Root["mode"] = Json::string(compileModeName(Mode));
+  Root["machine"] = Json::string(Machine);
+
+  Json Compile = Json::object();
+  Compile["ok"] = Json::boolean(CR.Ok);
+  Compile["code_size_units"] = Json::integer(uint64_t(CR.CodeSizeUnits));
+
+  Json StatsTree = CR.Stats.toJson();
+  if (const Json *Phases = StatsTree.get("phase"))
+    Compile["phases_ns"] = *Phases;
+  else
+    Compile["phases_ns"] = Json::object();
+
+  const annotate::AnnotatorStats &A = CR.AnnotStats;
+  Json Annot = Json::object();
+  Annot["keep_lives"] = Json::integer(uint64_t(A.KeepLives));
+  Annot["incdec_expansions"] = Json::integer(uint64_t(A.IncDecExpansions));
+  Annot["compound_assign_expansions"] =
+      Json::integer(uint64_t(A.CompoundAssignExpansions));
+  Annot["temps_introduced"] = Json::integer(uint64_t(A.TempsIntroduced));
+  Annot["skipped_copies"] = Json::integer(uint64_t(A.SkippedCopies));
+  Annot["skipped_call_results"] =
+      Json::integer(uint64_t(A.SkippedCallResults));
+  Annot["skipped_non_heap"] = Json::integer(uint64_t(A.SkippedNonHeap));
+  Annot["skipped_at_calls_only"] =
+      Json::integer(uint64_t(A.SkippedAtCallsOnly));
+  Annot["slow_base_substitutions"] =
+      Json::integer(uint64_t(A.SlowBaseSubstitutions));
+  Annot["unhandled_complex_lvalues"] =
+      Json::integer(uint64_t(A.UnhandledComplexLValues));
+  Compile["annotator"] = std::move(Annot);
+
+  if (const Json *Opt = StatsTree.get("opt"))
+    Compile["passes"] = *Opt;
+  else
+    Compile["passes"] = Json::object();
+  Root["compile"] = std::move(Compile);
+
+  if (Run) {
+    const vm::RunResult &R = *Run;
+    Json RJ = Json::object();
+    RJ["ok"] = Json::boolean(R.Ok);
+    RJ["exit_code"] = Json::integer(int64_t(R.ExitCode));
+    if (!R.Error.empty())
+      RJ["error"] = Json::string(R.Error);
+    RJ["output"] = Json::string(R.Output);
+    RJ["instructions"] = Json::integer(R.InstructionsExecuted);
+    RJ["cycles"] = Json::integer(R.Cycles);
+
+    Json Attr = Json::object();
+    Attr["user"] = Json::integer(R.userCycles());
+    Attr["keep_live"] = Json::integer(R.KeepLiveCycles);
+    Attr["checks"] = Json::integer(R.CheckCycles);
+    Attr["allocator"] = Json::integer(R.AllocatorCycles);
+    Attr["spill"] = Json::integer(R.SpillCycles);
+    RJ["cycle_attribution"] = std::move(Attr);
+    RJ["keep_lives_executed"] = Json::integer(R.KeepLiveExecuted);
+    RJ["kills_executed"] = Json::integer(R.KillsExecuted);
+
+    Json Checks = Json::object();
+    Checks["performed"] = Json::integer(R.ChecksPerformed);
+    Checks["violations"] = Json::integer(R.CheckViolations);
+    Checks["freed_accesses"] = Json::integer(R.FreedAccesses);
+    RJ["checks"] = std::move(Checks);
+
+    const gc::CollectorStats &G = R.Gc;
+    Json GJ = Json::object();
+    GJ["collections"] = Json::integer(uint64_t(G.Collections));
+    GJ["alloc_count"] = Json::integer(uint64_t(G.AllocationCount));
+    GJ["alloc_bytes"] = Json::integer(uint64_t(G.BytesRequested));
+    GJ["heap_pages"] = Json::integer(uint64_t(G.HeapPages));
+    GJ["live_bytes_after_last_gc"] =
+        Json::integer(uint64_t(G.LiveBytesAfterLastGC));
+    GJ["freed_objects_last_gc"] =
+        Json::integer(uint64_t(G.FreedObjectsLastGC));
+    GJ["mark_ns"] = Json::integer(G.MarkNs);
+    GJ["sweep_ns"] = Json::integer(G.SweepNs);
+    GJ["words_scanned"] = Json::integer(G.WordsScanned);
+    GJ["pointer_hits"] = Json::integer(G.PointerHits);
+    GJ["marked_objects"] = Json::integer(G.MarkedObjects);
+    GJ["interior_pointer_hits"] = Json::integer(G.InteriorPointerHits);
+    GJ["false_retention_candidates"] =
+        Json::integer(G.FalseRetentionCandidates);
+    Json Events = Json::array();
+    for (const gc::CollectionEvent &E : G.Events)
+      Events.push(collectionEventToJson(E));
+    GJ["events"] = std::move(Events);
+    RJ["gc"] = std::move(GJ);
+
+    Root["run"] = std::move(RJ);
+  }
+  return Root;
 }
 
 RoundTripResult gcsafe::driver::roundTripChecked(

@@ -30,6 +30,8 @@
 #include "ir/IR.h"
 #include "ir/Lower.h"
 #include "opt/Passes.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 #include "vm/VM.h"
 
 #include <memory>
@@ -51,6 +53,8 @@ const char *compileModeName(CompileMode Mode);
 struct CompileOptions {
   CompileMode Mode = CompileMode::O2;
   annotate::AnnotatorOptions Annot;
+  /// Optional event sink: phase and pass events are emitted here.
+  support::TraceBuffer *Trace = nullptr;
 };
 
 struct CompileResult {
@@ -60,6 +64,11 @@ struct CompileResult {
   unsigned CodeSizeUnits = 0; ///< Processed code only (no runtime).
   annotate::AnnotatorStats AnnotStats;
   opt::PassStats OptStats;
+  /// Phase wall times ("phase.parse_ns", "phase.annotate_ns",
+  /// "phase.lower_ns", "phase.optimize_ns", "phase.verify_ns") plus the
+  /// optimizer's per-pass counters ("opt.<pass>.*", "opt.total.*"). See
+  /// docs/OBSERVABILITY.md.
+  support::Stats Stats;
 };
 
 /// One source file's frontend state; reusable across modes (the AST is
@@ -99,6 +108,7 @@ private:
   cfront::TranslationUnit TU;
   bool Parsed = false;
   bool ParseOk = false;
+  uint64_t ParseNs = 0; ///< Wall time of the (single) frontend pass.
 };
 
 /// Convenience: parse, compile in \p Mode, run under \p VMOpts. On frontend
@@ -127,6 +137,17 @@ RoundTripResult roundTripChecked(const std::string &Name,
                                  const std::string &Source,
                                  const vm::VMOptions &VMOpts = {},
                                  const annotate::AnnotatorOptions &Annot = {});
+
+/// Serializes one compilation (and optionally its execution) into the
+/// gcsafe-run-report-v1 JSON schema documented in docs/OBSERVABILITY.md:
+/// per-pass optimizer counters, phase wall times, annotator statistics,
+/// and — when \p Run is non-null — VM cycle attribution plus the
+/// collector's per-collection event records. This is the document behind
+/// gcsafe-cc --stats-json.
+support::Json buildRunReport(const std::string &Input, CompileMode Mode,
+                             const std::string &Machine,
+                             const CompileResult &CR,
+                             const vm::RunResult *Run);
 
 } // namespace driver
 } // namespace gcsafe

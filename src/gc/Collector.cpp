@@ -353,9 +353,17 @@ void Collector::markAddress(uintptr_t Addr, bool FromHeap) {
       Addr != reinterpret_cast<uintptr_t>(Base))
     return;
 
+  bool Interior = Addr != reinterpret_cast<uintptr_t>(Base);
+  ++CurEvent.PointerHits;
+  if (Interior)
+    ++CurEvent.InteriorHits;
+
   if (BitsDesc->markBit(BitSlot))
     return;
   BitsDesc->setMarkBit(BitSlot);
+  ++CurEvent.MarkedObjects;
+  if (Interior)
+    ++CurEvent.FalseRetentionCandidates;
   if (!Atomic)
     MarkStack.push_back({Base, Size});
 }
@@ -367,6 +375,7 @@ void Collector::markRange(const char *Begin, const char *End, bool FromHeap) {
   for (; B + sizeof(uintptr_t) <= E; B += sizeof(uintptr_t)) {
     uintptr_t Word;
     std::memcpy(&Word, reinterpret_cast<const void *>(B), sizeof(Word));
+    ++CurEvent.WordsScanned;
     markAddress(Word, FromHeap);
   }
 }
@@ -397,6 +406,13 @@ void Collector::collect() {
     return;
   InCollection = true;
 
+  CurEvent = CollectionEvent();
+  CurEvent.Index = Stats.Collections;
+  if (Config.Trace)
+    Config.Trace->emit("gc", "collect.begin", CurEvent.Index,
+                       Stats.HeapPages);
+  uint64_t MarkStartNs = support::monotonicNowNs();
+
   for (PageDescriptor *Desc : AllPages)
     Desc->clearMarkBits();
 
@@ -409,7 +425,36 @@ void Collector::collect() {
     scanMachineStack();
   drainMarkStack();
 
+  CurEvent.MarkNs = support::monotonicNowNs() - MarkStartNs;
+  if (Config.Trace)
+    Config.Trace->emit("gc", "mark.end", CurEvent.MarkNs,
+                       CurEvent.MarkedObjects);
+  uint64_t SweepStartNs = support::monotonicNowNs();
+
   sweep();
+
+  CurEvent.SweepNs = support::monotonicNowNs() - SweepStartNs;
+  CurEvent.FreedObjects = Stats.FreedObjectsLastGC;
+  CurEvent.LiveBytes = Stats.LiveBytesAfterLastGC;
+  if (Config.Trace) {
+    Config.Trace->emit("gc", "sweep.end", CurEvent.SweepNs,
+                       CurEvent.FreedObjects);
+    Config.Trace->emit("gc", "collect.end", CurEvent.MarkNs + CurEvent.SweepNs,
+                       CurEvent.LiveBytes);
+  }
+
+  Stats.MarkNs += CurEvent.MarkNs;
+  Stats.SweepNs += CurEvent.SweepNs;
+  Stats.WordsScanned += CurEvent.WordsScanned;
+  Stats.PointerHits += CurEvent.PointerHits;
+  Stats.MarkedObjects += CurEvent.MarkedObjects;
+  Stats.InteriorPointerHits += CurEvent.InteriorHits;
+  Stats.FalseRetentionCandidates += CurEvent.FalseRetentionCandidates;
+  if (Config.EventLimit) {
+    if (Stats.Events.size() >= Config.EventLimit)
+      Stats.Events.erase(Stats.Events.begin());
+    Stats.Events.push_back(CurEvent);
+  }
 
   ++Stats.Collections;
   BytesSinceGC = 0;
@@ -428,6 +473,7 @@ void Collector::sweep() {
   size_t LiveBytes = 0;
   size_t Freed = 0;
 
+  CurEvent.PagesScanned = AllPages.size();
   for (PageDescriptor *Desc : AllPages) {
     switch (Desc->Kind) {
     case PageKind::PK_Free:

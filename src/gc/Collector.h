@@ -33,6 +33,7 @@
 #define GCSAFE_GC_COLLECTOR_H
 
 #include "gc/Heap.h"
+#include "support/Trace.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -73,9 +74,42 @@ struct CollectorConfig {
   /// Conservatively scan the machine stack of the collecting thread from
   /// the stack bottom recorded at construction (or via setStackBottom).
   bool ScanMachineStack = false;
+
+  /// Keep per-collection event records for the most recent this-many
+  /// collections (0 disables recording; cumulative counters still update).
+  size_t EventLimit = 256;
+
+  /// Optional event sink: every collection emits cat="gc" trace events
+  /// (collect.begin, mark.end, sweep.end, collect.end).
+  support::TraceBuffer *Trace = nullptr;
 };
 
-/// Counters exposed for tests and benchmarks.
+/// One collection, as observed by the instrumentation: timing for the two
+/// phases plus the marking-accuracy counters the paper's conservatism
+/// arguments are about.
+struct CollectionEvent {
+  uint64_t Index = 0;        ///< 0-based collection number.
+  uint64_t MarkNs = 0;       ///< Root scan + transitive marking.
+  uint64_t SweepNs = 0;
+  uint64_t PagesScanned = 0; ///< Page descriptors examined by the sweep.
+  uint64_t WordsScanned = 0; ///< Candidate words examined while marking.
+  uint64_t PointerHits = 0;  ///< Words that addressed a live object.
+  uint64_t MarkedObjects = 0;
+  uint64_t FreedObjects = 0;
+  uint64_t LiveBytes = 0;
+  /// Hits whose address was not the object's first byte — the interior
+  /// pointers conservatism must honor.
+  uint64_t InteriorHits = 0;
+  /// Objects whose *first* (marking) reference was an interior address: if
+  /// that word was a disguised integer rather than a pointer, the object
+  /// is falsely retained. The paper's Extensions section exists to shrink
+  /// this set.
+  uint64_t FalseRetentionCandidates = 0;
+};
+
+/// Counters exposed for tests and benchmarks. The *Ns / *Scanned / *Hits
+/// fields are cumulative over all collections; Events holds the most
+/// recent CollectorConfig::EventLimit per-collection records.
 struct CollectorStats {
   size_t Collections = 0;
   size_t AllocationCount = 0;
@@ -83,6 +117,16 @@ struct CollectorStats {
   size_t HeapPages = 0;           ///< Pages ever obtained from the OS.
   size_t LiveBytesAfterLastGC = 0;
   size_t FreedObjectsLastGC = 0;
+
+  uint64_t MarkNs = 0;
+  uint64_t SweepNs = 0;
+  uint64_t WordsScanned = 0;
+  uint64_t PointerHits = 0;
+  uint64_t MarkedObjects = 0;
+  uint64_t InteriorPointerHits = 0;
+  uint64_t FalseRetentionCandidates = 0;
+
+  std::vector<CollectionEvent> Events;
 };
 
 /// Passed to registered root scanners; report pointer-holding memory
@@ -226,6 +270,7 @@ private:
   };
   std::vector<MarkItem> MarkStack;
 
+  CollectionEvent CurEvent; ///< Scratch for the collection in progress.
   size_t BytesSinceGC = 0;
   size_t AllocsSinceGC = 0;
   unsigned DisableDepth = 0;

@@ -3,6 +3,8 @@
 #include "opt/Passes.h"
 
 #include "opt/CFG.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cstring>
@@ -26,6 +28,30 @@ void PassStats::accumulate(const PassStats &O) {
   PeepholeCoalesced += O.PeepholeCoalesced;
   PeepholeAddMoves += O.PeepholeAddMoves;
   KillsInserted += O.KillsInserted;
+}
+
+std::vector<std::pair<const char *, unsigned>> PassStats::entries() const {
+  return {
+      {"folded", Folded},
+      {"copies_propagated", CopiesPropagated},
+      {"csed", CSEd},
+      {"dead_removed", DeadRemoved},
+      {"reassociated", Reassociated},
+      {"strength_reduced", StrengthReduced},
+      {"hoisted", Hoisted},
+      {"fused", Fused},
+      {"peephole_load_fusions", PeepholeLoadFusions},
+      {"peephole_coalesced", PeepholeCoalesced},
+      {"peephole_add_moves", PeepholeAddMoves},
+      {"kills_inserted", KillsInserted},
+  };
+}
+
+unsigned PassStats::total() const {
+  unsigned Sum = 0;
+  for (const auto &E : entries())
+    Sum += E.second;
+  return Sum;
 }
 
 namespace {
@@ -1026,30 +1052,67 @@ void gcsafe::opt::removeUnreachableBlocks(Function &F) {
 PassStats gcsafe::opt::optimizeModule(Module &M,
                                       const OptPipelineOptions &Options) {
   PassStats Total;
+  support::Stats *Reg = Options.Stats;
+  uint64_t PipelineStartNs = Reg ? support::monotonicNowNs() : 0;
+
   for (Function &F : M.Functions) {
     PassStats S;
+
+    // Runs one named pass over F, accumulating its counter deltas both
+    // into the function-local stats and — when a registry is attached —
+    // under "opt.<name>.*", with a trace event per changing invocation.
+    auto RunPass = [&](const char *Name, void (*Pass)(Function &,
+                                                      PassStats &)) {
+      if (!Reg && !Options.Trace) {
+        Pass(F, S);
+        return;
+      }
+      PassStats Delta;
+      uint64_t StartNs = support::monotonicNowNs();
+      Pass(F, Delta);
+      uint64_t ElapsedNs = support::monotonicNowNs() - StartNs;
+      S.accumulate(Delta);
+      if (Reg) {
+        std::string Prefix = std::string("opt.") + Name + ".";
+        Reg->add(Prefix + "runs");
+        Reg->add(Prefix + "ns", ElapsedNs);
+        for (const auto &E : Delta.entries())
+          if (E.second)
+            Reg->add(Prefix + E.first, E.second);
+      }
+      if (Options.Trace && Delta.total())
+        Options.Trace->emit("pass", Name, ElapsedNs, Delta.total(), F.Name);
+    };
+
     removeUnreachableBlocks(F);
     if (Options.Level == OptLevel::O2) {
-      simplifyFunction(F, S);
-      localCSE(F, S);
-      simplifyFunction(F, S);
-      reassociateDisplacements(F, S);
-      strengthReduceIVs(F, S);
-      simplifyFunction(F, S);
-      hoistLoopInvariants(F, S);
-      simplifyFunction(F, S);
-      fuseAddressing(F, S);
+      RunPass("simplify", simplifyFunction);
+      RunPass("local_cse", localCSE);
+      RunPass("simplify", simplifyFunction);
+      RunPass("reassociate", reassociateDisplacements);
+      RunPass("strength_reduce", strengthReduceIVs);
+      RunPass("simplify", simplifyFunction);
+      RunPass("licm", hoistLoopInvariants);
+      RunPass("simplify", simplifyFunction);
+      RunPass("fuse_addressing", fuseAddressing);
       // A production optimizer coalesces copies anyway; patterns 2 and 3
       // run in every optimized build so the baseline is honest.
-      coalesceCopies(F, S);
-      simplifyFunction(F, S);
+      RunPass("coalesce_copies", coalesceCopies);
+      RunPass("simplify", simplifyFunction);
       if (Options.Postprocess) {
-        peepholePostprocess(F, S);
-        simplifyFunction(F, S);
+        RunPass("postprocess", peepholePostprocess);
+        RunPass("simplify", simplifyFunction);
       }
     }
-    insertKills(F, S);
+    RunPass("insert_kills", insertKills);
     Total.accumulate(S);
+  }
+
+  if (Reg) {
+    Reg->add("opt.total.ns", support::monotonicNowNs() - PipelineStartNs);
+    Reg->add("opt.total.functions", M.Functions.size());
+    for (const auto &E : Total.entries())
+      Reg->add(std::string("opt.total.") + E.first, E.second);
   }
   return Total;
 }

@@ -40,7 +40,15 @@
 
 #include "ir/IR.h"
 
+#include <utility>
+#include <vector>
+
 namespace gcsafe {
+namespace support {
+class Stats;
+class TraceBuffer;
+} // namespace support
+
 namespace opt {
 
 struct PassStats {
@@ -58,6 +66,14 @@ struct PassStats {
   unsigned KillsInserted = 0;
 
   void accumulate(const PassStats &Other);
+
+  /// The counters as (snake_case name, value) pairs, in declaration order —
+  /// the map shape every stats report serializes from. Counter names are
+  /// stable; docs/OBSERVABILITY.md documents each one.
+  std::vector<std::pair<const char *, unsigned>> entries() const;
+
+  /// Sum of all counters (used to detect "this pass did something").
+  unsigned total() const;
 };
 
 /// Constant folding, algebraic simplification, copy propagation and dead
@@ -115,6 +131,13 @@ struct OptPipelineOptions {
   OptLevel Level = OptLevel::O2;
   /// Run the peephole postprocessor (paper's "A Postprocessor").
   bool Postprocess = false;
+  /// When set, optimizeModule records per-pass counters, run counts and
+  /// wall time under "opt.<pass>.*" plus pipeline totals under
+  /// "opt.total.*" (see docs/OBSERVABILITY.md).
+  support::Stats *Stats = nullptr;
+  /// When set, every pass invocation that changed the module emits a
+  /// cat="pass" trace event (Value = ns, Aux = counter delta).
+  support::TraceBuffer *Trace = nullptr;
 };
 
 /// Runs the configured pipeline over every function.

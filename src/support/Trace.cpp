@@ -1,0 +1,62 @@
+//===- support/Trace.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Trace.h"
+
+using namespace gcsafe;
+using namespace gcsafe::support;
+
+TraceBuffer::TraceBuffer(size_t Capacity) {
+  Ring.resize(Capacity ? Capacity : 1);
+}
+
+void TraceBuffer::emit(const char *Category, const char *Name, uint64_t Value,
+                       uint64_t Aux, std::string Detail) {
+  TraceEvent &Slot = Ring[Emitted % Ring.size()];
+  Slot.Category = Category;
+  Slot.Name = Name;
+  Slot.TimeNs = monotonicNowNs();
+  Slot.Value = Value;
+  Slot.Aux = Aux;
+  Slot.Detail = std::move(Detail);
+  ++Emitted;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> Out;
+  size_t Held = Emitted < Ring.size() ? static_cast<size_t>(Emitted)
+                                      : Ring.size();
+  Out.reserve(Held);
+  size_t Start = Emitted < Ring.size() ? 0
+                                       : static_cast<size_t>(Emitted % Ring.size());
+  for (size_t I = 0; I < Held; ++I)
+    Out.push_back(Ring[(Start + I) % Ring.size()]);
+  return Out;
+}
+
+void TraceBuffer::clear() {
+  Emitted = 0;
+  for (TraceEvent &E : Ring)
+    E = TraceEvent();
+}
+
+Json TraceBuffer::toJson() const {
+  Json Root = Json::object();
+  Root["schema"] = Json::string("gcsafe-trace-v1");
+  Root["capacity"] = Json::integer(static_cast<uint64_t>(Ring.size()));
+  Root["emitted"] = Json::integer(Emitted);
+  Root["dropped"] = Json::integer(dropped());
+  Json Events = Json::array();
+  for (const TraceEvent &E : snapshot()) {
+    Json Ev = Json::object();
+    Ev["cat"] = Json::string(E.Category);
+    Ev["name"] = Json::string(E.Name);
+    Ev["t_ns"] = Json::integer(E.TimeNs);
+    Ev["value"] = Json::integer(E.Value);
+    Ev["aux"] = Json::integer(E.Aux);
+    if (!E.Detail.empty())
+      Ev["detail"] = Json::string(E.Detail);
+    Events.push(std::move(Ev));
+  }
+  Root["events"] = std::move(Events);
+  return Root;
+}

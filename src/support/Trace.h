@@ -1,0 +1,74 @@
+//===- support/Trace.h - Ring-buffered event trace -------------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded in-memory event trace. Producers (the driver's phases, the
+/// optimizer's passes, the collector's mark/sweep machinery, the VM) emit
+/// timestamped events into a fixed-capacity ring; when the ring is full
+/// the oldest events are overwritten and counted as dropped, so tracing
+/// can stay enabled on long runs without unbounded memory. The whole ring
+/// serializes to the gcsafe-trace-v1 JSON schema (docs/OBSERVABILITY.md)
+/// behind gcsafe-cc --trace-json=FILE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SUPPORT_TRACE_H
+#define GCSAFE_SUPPORT_TRACE_H
+
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcsafe {
+namespace support {
+
+/// One trace event. Categories group related events ("phase", "pass",
+/// "gc", "vm"); Value and Aux are event-defined payloads documented per
+/// event name in docs/OBSERVABILITY.md.
+struct TraceEvent {
+  const char *Category = "";
+  const char *Name = "";
+  uint64_t TimeNs = 0; ///< monotonicNowNs() at emission.
+  uint64_t Value = 0;
+  uint64_t Aux = 0;
+  std::string Detail; ///< Optional free-form context (function name, file).
+};
+
+/// The ring buffer. Not thread-safe; the whole system is single-threaded.
+class TraceBuffer {
+public:
+  explicit TraceBuffer(size_t Capacity = 4096);
+
+  void emit(const char *Category, const char *Name, uint64_t Value = 0,
+            uint64_t Aux = 0, std::string Detail = {});
+
+  /// Events currently held, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  size_t capacity() const { return Ring.size(); }
+  uint64_t emitted() const { return Emitted; }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const {
+    return Emitted > Ring.size() ? Emitted - Ring.size() : 0;
+  }
+
+  void clear();
+
+  /// Serializes to the gcsafe-trace-v1 schema.
+  Json toJson() const;
+
+private:
+  std::vector<TraceEvent> Ring;
+  uint64_t Emitted = 0; ///< Total ever emitted; Emitted % capacity = next slot.
+};
+
+} // namespace support
+} // namespace gcsafe
+
+#endif // GCSAFE_SUPPORT_TRACE_H

@@ -32,6 +32,8 @@ VM::VM(const Module &MIn, VMOptions Options) : M(MIn), Opts(std::move(Options)) 
   GC.AllocCountTrigger = Opts.GcAllocTrigger;
   GC.PoisonOnFree = true;
   GC.AllInteriorPointers = Opts.AllInteriorPointers;
+  GC.EventLimit = Opts.GcEventLimit;
+  GC.Trace = Opts.Trace;
   C = std::make_unique<gc::Collector>(GC);
   Check = std::make_unique<gc::PointerCheck>(*C);
 
@@ -187,6 +189,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
   case Builtin::GcMalloc:
   case Builtin::Malloc: {
     Result.Cycles += Opts.Model.CyclesAllocator;
+    Result.AllocatorCycles += Opts.Model.CyclesAllocator;
     uint64_t Size = Arg(0);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
@@ -195,6 +198,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
   }
   case Builtin::GcMallocAtomic: {
     Result.Cycles += Opts.Model.CyclesAllocator;
+    Result.AllocatorCycles += Opts.Model.CyclesAllocator;
     uint64_t Size = Arg(0);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
@@ -203,6 +207,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
   }
   case Builtin::Calloc: {
     Result.Cycles += Opts.Model.CyclesAllocator;
+    Result.AllocatorCycles += Opts.Model.CyclesAllocator;
     uint64_t Size = Arg(0) * Arg(1);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
@@ -211,6 +216,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
   }
   case Builtin::Realloc: {
     Result.Cycles += Opts.Model.CyclesAllocator;
+    Result.AllocatorCycles += Opts.Model.CyclesAllocator;
     uint64_t Old = Arg(0);
     uint64_t Size = Arg(1);
     ++Result.AllocCount;
@@ -274,6 +280,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
   }
   case Builtin::SameObj: {
     Result.Cycles += Opts.Model.CyclesCheck;
+    Result.CheckCycles += Opts.Model.CyclesCheck;
     size_t Before = Check->violationCount();
     Check->sameObj(reinterpret_cast<const void *>(Arg(0)),
                    reinterpret_cast<const void *>(Arg(1)),
@@ -286,6 +293,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
   case Builtin::PreIncr:
   case Builtin::PostIncr: {
     Result.Cycles += Opts.Model.CyclesCheck;
+    Result.CheckCycles += Opts.Model.CyclesCheck;
     uint64_t Slot = Arg(0);
     if (!checkMemoryAccess(Slot, "GC_*_incr"))
       return;
@@ -336,7 +344,22 @@ RunResult VM::run() {
     ++Fr.IP;
 
     ++Result.InstructionsExecuted;
-    Result.Cycles += instructionCycles(I);
+    unsigned InstCycles = instructionCycles(I);
+    Result.Cycles += InstCycles;
+    switch (I.Op) {
+    case Opcode::KeepLive:
+      ++Result.KeepLiveExecuted;
+      Result.KeepLiveCycles += InstCycles;
+      break;
+    case Opcode::Kill:
+      ++Result.KillsExecuted;
+      break;
+    case Opcode::CheckSameObj:
+      Result.CheckCycles += InstCycles;
+      break;
+    default:
+      break;
+    }
     if (Result.InstructionsExecuted > Opts.MaxInstructions) {
       fail("instruction budget exceeded");
       break;
@@ -601,5 +624,9 @@ RunResult VM::run() {
   Result.Collections = C->stats().Collections;
   Result.ChecksPerformed = Check->checkCount();
   Result.CheckViolations = Check->violationCount();
+  Result.Gc = C->stats();
+  if (Opts.Trace)
+    Opts.Trace->emit("vm", "run.end", Result.Cycles,
+                     Result.InstructionsExecuted);
   return Result;
 }

@@ -73,6 +73,12 @@ struct VMOptions {
   bool DetectFreedAccess = true;
   /// Stop execution at the first checked-mode violation.
   bool HaltOnCheckViolation = false;
+
+  /// Per-collection event records kept by the collector (0 = off).
+  size_t GcEventLimit = 256;
+  /// Optional event sink shared with the collector: GC phase events plus
+  /// a cat="vm" run summary are emitted here.
+  support::TraceBuffer *Trace = nullptr;
 };
 
 struct RunResult {
@@ -85,6 +91,17 @@ struct RunResult {
   uint64_t Cycles = 0;
   uint64_t SpillCycles = 0;
 
+  // Cycle attribution: where the total went. The paper's slowdown numbers
+  // are exactly (Cycles_safe - Cycles_base) / Cycles_base; the split below
+  // says how much of a run is safety machinery rather than user code.
+  uint64_t KeepLiveExecuted = 0; ///< KEEP_LIVE pseudo-ops executed.
+  uint64_t KeepLiveCycles = 0;   ///< Their cycle charge (nonzero only when
+                                 ///< KeepLiveCostsCall models the naive
+                                 ///< external-call implementation).
+  uint64_t KillsExecuted = 0;    ///< Register-death Kill pseudo-ops.
+  uint64_t CheckCycles = 0;      ///< GC_same_obj / GC_*_incr checking.
+  uint64_t AllocatorCycles = 0;  ///< Allocation entry points.
+
   uint64_t Collections = 0;
   uint64_t AllocCount = 0;
   uint64_t AllocBytes = 0;
@@ -95,6 +112,18 @@ struct RunResult {
   /// Loads/stores that touched a freed heap object — evidence of a
   /// GC-safety failure (premature collection).
   uint64_t FreedAccesses = 0;
+
+  /// Snapshot of the collector's counters (including per-collection
+  /// CollectionEvent records) at the end of the run.
+  gc::CollectorStats Gc;
+
+  /// Cycles not attributed to safety, checking, allocation or modeled
+  /// spills — the paper's "user code".
+  uint64_t userCycles() const {
+    uint64_t Overhead =
+        KeepLiveCycles + CheckCycles + AllocatorCycles + SpillCycles;
+    return Cycles > Overhead ? Cycles - Overhead : 0;
+  }
 };
 
 class VM {

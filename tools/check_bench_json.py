@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Validate gcsafe machine-readable reports against their documented schemas.
+
+Schemas (see docs/OBSERVABILITY.md):
+
+  gcsafe-bench-v1       BENCH_<name>.json, written by every bench_* binary
+  gcsafe-run-report-v1  gcsafe-cc --stats-json
+  gcsafe-trace-v1       gcsafe-cc --trace-json
+
+Usage:
+  check_bench_json.py FILE [FILE...]   validate the named report files
+  check_bench_json.py --scan DIR       validate every BENCH_*.json under DIR
+
+Files are dispatched on their top-level "schema" field, so the same checker
+covers all three formats. Exits nonzero (listing each problem) if any file
+fails; a --scan that finds no BENCH_*.json at all is also an error, so the
+ctest wiring catches a bench that silently stopped emitting its report.
+"""
+
+import argparse
+import json
+import numbers
+import sys
+from pathlib import Path
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond, path, message):
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def expect_keys(obj, path, required, optional=()):
+    expect(isinstance(obj, dict), path, "expected an object")
+    for key in required:
+        expect(key in obj, path, f"missing required key '{key}'")
+    allowed = set(required) | set(optional)
+    for key in obj:
+        expect(key in allowed, path, f"unexpected key '{key}'")
+
+
+def expect_num(obj, path, key, integer=False):
+    value = obj[key]
+    expect(
+        isinstance(value, numbers.Real) and not isinstance(value, bool),
+        f"{path}.{key}", f"expected a number, got {type(value).__name__}")
+    if integer:
+        expect(isinstance(value, int), f"{path}.{key}",
+               f"expected an integer, got {value!r}")
+
+
+def expect_str(obj, path, key):
+    expect(isinstance(obj[key], str), f"{path}.{key}",
+           f"expected a string, got {type(obj[key]).__name__}")
+
+
+# --- gcsafe-bench-v1 --------------------------------------------------------
+
+def check_bench(doc):
+    expect_keys(doc, "$", ["schema", "bench", "rows"])
+    expect_str(doc, "$", "bench")
+    expect(doc["bench"], "$.bench", "bench name must be non-empty")
+    rows = doc["rows"]
+    expect(isinstance(rows, list), "$.rows", "expected an array")
+    expect(rows, "$.rows", "a bench report must contain at least one row")
+    for i, row in enumerate(rows):
+        path = f"$.rows[{i}]"
+        expect_keys(row, path, ["name", "metrics"])
+        expect_str(row, path, "name")
+        metrics = row["metrics"]
+        expect(isinstance(metrics, dict), f"{path}.metrics",
+               "expected an object")
+        expect(metrics, f"{path}.metrics", "metrics must be non-empty")
+        for key in metrics:
+            expect_num(metrics, f"{path}.metrics", key)
+
+
+# --- gcsafe-trace-v1 --------------------------------------------------------
+
+def check_trace(doc):
+    expect_keys(doc, "$", ["schema", "capacity", "emitted", "dropped",
+                           "events"])
+    for key in ("capacity", "emitted", "dropped"):
+        expect_num(doc, "$", key, integer=True)
+    events = doc["events"]
+    expect(isinstance(events, list), "$.events", "expected an array")
+    last_t = None
+    for i, ev in enumerate(events):
+        path = f"$.events[{i}]"
+        expect_keys(ev, path, ["cat", "name", "t_ns", "value", "aux"],
+                    optional=["detail"])
+        expect_str(ev, path, "cat")
+        expect_str(ev, path, "name")
+        for key in ("t_ns", "value", "aux"):
+            expect_num(ev, path, key, integer=True)
+        if "detail" in ev:
+            expect_str(ev, path, "detail")
+        if last_t is not None:
+            expect(ev["t_ns"] >= last_t, f"{path}.t_ns",
+                   "trace events must be in nondecreasing time order")
+        last_t = ev["t_ns"]
+
+
+# --- gcsafe-run-report-v1 ---------------------------------------------------
+
+GC_KEYS = ["collections", "alloc_count", "alloc_bytes", "heap_pages",
+           "live_bytes_after_last_gc", "freed_objects_last_gc", "mark_ns",
+           "sweep_ns", "words_scanned", "pointer_hits", "marked_objects",
+           "interior_pointer_hits", "false_retention_candidates", "events"]
+
+GC_EVENT_KEYS = ["index", "mark_ns", "sweep_ns", "pages_scanned",
+                 "words_scanned", "pointer_hits", "marked_objects",
+                 "freed_objects", "live_bytes", "interior_hits",
+                 "false_retention_candidates"]
+
+ANNOTATOR_KEYS = ["keep_lives", "incdec_expansions",
+                  "compound_assign_expansions", "temps_introduced",
+                  "skipped_copies", "skipped_call_results",
+                  "skipped_non_heap", "skipped_at_calls_only",
+                  "slow_base_substitutions", "unhandled_complex_lvalues"]
+
+ATTRIBUTION_KEYS = ["user", "keep_live", "checks", "allocator", "spill"]
+
+
+def check_counter_tree(obj, path):
+    """phases_ns / passes: nested objects with numeric leaves."""
+    expect(isinstance(obj, dict), path, "expected an object")
+    for key, value in obj.items():
+        if isinstance(value, dict):
+            check_counter_tree(value, f"{path}.{key}")
+        else:
+            expect_num(obj, path, key)
+
+
+def check_run_report(doc):
+    expect_keys(doc, "$", ["schema", "input", "mode", "machine", "compile"],
+                optional=["run"])
+    expect_str(doc, "$", "input")
+    expect_str(doc, "$", "mode")
+    expect_str(doc, "$", "machine")
+
+    compile_ = doc["compile"]
+    expect_keys(compile_, "$.compile",
+                ["ok", "code_size_units", "phases_ns", "annotator", "passes"])
+    expect(isinstance(compile_["ok"], bool), "$.compile.ok",
+           "expected a bool")
+    expect_num(compile_, "$.compile", "code_size_units", integer=True)
+    check_counter_tree(compile_["phases_ns"], "$.compile.phases_ns")
+    expect_keys(compile_["annotator"], "$.compile.annotator", ANNOTATOR_KEYS)
+    for key in ANNOTATOR_KEYS:
+        expect_num(compile_["annotator"], "$.compile.annotator", key,
+                   integer=True)
+    check_counter_tree(compile_["passes"], "$.compile.passes")
+
+    if "run" not in doc:
+        return
+    run = doc["run"]
+    expect_keys(run, "$.run",
+                ["ok", "exit_code", "output", "instructions", "cycles",
+                 "cycle_attribution", "keep_lives_executed", "kills_executed",
+                 "checks", "gc"],
+                optional=["error"])
+    expect(isinstance(run["ok"], bool), "$.run.ok", "expected a bool")
+    expect_num(run, "$.run", "exit_code", integer=True)
+    expect_str(run, "$.run", "output")
+    for key in ("instructions", "cycles", "keep_lives_executed",
+                "kills_executed"):
+        expect_num(run, "$.run", key, integer=True)
+
+    attribution = run["cycle_attribution"]
+    expect_keys(attribution, "$.run.cycle_attribution", ATTRIBUTION_KEYS)
+    for key in ATTRIBUTION_KEYS:
+        expect_num(attribution, "$.run.cycle_attribution", key, integer=True)
+    expect(sum(attribution.values()) == run["cycles"],
+           "$.run.cycle_attribution",
+           f"attribution sums to {sum(attribution.values())}, "
+           f"total cycles is {run['cycles']}")
+
+    checks = run["checks"]
+    expect_keys(checks, "$.run.checks",
+                ["performed", "violations", "freed_accesses"])
+    for key in ("performed", "violations", "freed_accesses"):
+        expect_num(checks, "$.run.checks", key, integer=True)
+
+    gc = run["gc"]
+    expect_keys(gc, "$.run.gc", GC_KEYS)
+    for key in GC_KEYS:
+        if key != "events":
+            expect_num(gc, "$.run.gc", key, integer=True)
+    events = gc["events"]
+    expect(isinstance(events, list), "$.run.gc.events", "expected an array")
+    for i, ev in enumerate(events):
+        path = f"$.run.gc.events[{i}]"
+        expect_keys(ev, path, GC_EVENT_KEYS)
+        for key in GC_EVENT_KEYS:
+            expect_num(ev, path, key, integer=True)
+
+
+CHECKERS = {
+    "gcsafe-bench-v1": check_bench,
+    "gcsafe-trace-v1": check_trace,
+    "gcsafe-run-report-v1": check_run_report,
+}
+
+
+def check_file(path):
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return f"{path}: {exc}"
+    if not isinstance(doc, dict) or "schema" not in doc:
+        return f"{path}: not an object with a 'schema' field"
+    checker = CHECKERS.get(doc["schema"])
+    if checker is None:
+        return (f"{path}: unknown schema '{doc['schema']}' "
+                f"(known: {', '.join(sorted(CHECKERS))})")
+    try:
+        checker(doc)
+    except SchemaError as exc:
+        return f"{path}: [{doc['schema']}] {exc}"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="report files to validate")
+    parser.add_argument("--scan", metavar="DIR",
+                        help="also validate every BENCH_*.json under DIR")
+    args = parser.parse_args()
+
+    files = [Path(f) for f in args.files]
+    if args.scan:
+        scanned = sorted(Path(args.scan).rglob("BENCH_*.json"))
+        if not scanned:
+            print(f"error: no BENCH_*.json found under {args.scan}",
+                  file=sys.stderr)
+            return 1
+        files.extend(scanned)
+    if not files:
+        parser.error("no files given (pass FILEs and/or --scan DIR)")
+
+    failures = []
+    for path in files:
+        problem = check_file(path)
+        if problem:
+            failures.append(problem)
+        else:
+            doc = json.loads(Path(path).read_text())
+            print(f"ok: {path} [{doc['schema']}]")
+    for problem in failures:
+        print(f"error: {problem}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,7 +56,13 @@ void usage() {
       "  --machine=sparc2|sparc10|pentium90\n"
       "  --gc-period=N --gc-alloc-trigger=N --gc-call-period=N\n"
       "  --no-opt1 --no-opt2 --slow-bases --at-calls-only\n"
-      "  --stats\n");
+      "  --stats                    human-readable statistics on stderr\n"
+      "  --stats-json[=FILE]        gcsafe-run-report-v1 JSON (implies\n"
+      "                             --run; without =FILE the report goes to\n"
+      "                             stdout and the program's output is only\n"
+      "                             inside the report)\n"
+      "  --trace-json=FILE          gcsafe-trace-v1 event trace (phases,\n"
+      "                             passes, GC collections; '-' = stdout)\n");
 }
 
 bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
@@ -64,6 +70,22 @@ bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
   if (std::strncmp(Arg, Prefix, Len) != 0)
     return false;
   Rest = Arg + Len;
+  return true;
+}
+
+/// Writes \p Text to \p Path, with "-" (or empty) meaning stdout.
+bool writeReport(const std::string &Path, const std::string &Text) {
+  if (Path.empty() || Path == "-") {
+    std::fputs(Text.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "gcsafe-cc: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << Text << "\n";
   return true;
 }
 
@@ -76,6 +98,8 @@ int main(int argc, char **argv) {
   annotate::AnnotatorOptions Annot;
   bool Run = false, DumpIR = false, DumpAST = false, DumpEdits = false,
        Stats = false;
+  bool StatsJson = false, TraceJson = false;
+  std::string StatsJsonPath, TraceJsonPath, MachineName = "sparc10";
   std::string InputPath;
 
   for (int I = 1; I < argc; ++I) {
@@ -95,6 +119,16 @@ int main(int argc, char **argv) {
       DumpEdits = true;
     } else if (!std::strcmp(Arg, "--stats")) {
       Stats = true;
+    } else if (!std::strcmp(Arg, "--stats-json")) {
+      StatsJson = true;
+    } else if (startsWith(Arg, "--stats-json=", Rest)) {
+      StatsJson = true;
+      StatsJsonPath = Rest;
+    } else if (!std::strcmp(Arg, "--trace-json")) {
+      TraceJson = true;
+    } else if (startsWith(Arg, "--trace-json=", Rest)) {
+      TraceJson = true;
+      TraceJsonPath = Rest;
     } else if (!std::strcmp(Arg, "--no-opt1")) {
       Annot.SkipCopies = false;
     } else if (!std::strcmp(Arg, "--no-opt2")) {
@@ -121,6 +155,7 @@ int main(int argc, char **argv) {
       }
     } else if (startsWith(Arg, "--machine=", Rest)) {
       std::string M = Rest;
+      MachineName = M;
       if (M == "sparc2")
         VO.Model = vm::sparc2();
       else if (M == "sparc10")
@@ -153,6 +188,14 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
+
+  // --stats-json reports a full run (compile + execute); --trace-json alone
+  // still needs the middle end to produce phase/pass events.
+  if (StatsJson)
+    Run = true;
+  support::TraceBuffer Trace;
+  support::TraceBuffer *TraceSink = TraceJson ? &Trace : nullptr;
+  VO.Trace = TraceSink;
 
   std::string Source;
   if (InputPath == "-") {
@@ -208,7 +251,7 @@ int main(int argc, char **argv) {
       return 0;
   }
 
-  if (!Run && !DumpIR) {
+  if (!Run && !DumpIR && !TraceJson) {
     std::string Out = Comp.annotatedSource(OutputMode, Annot);
     std::fputs(Out.c_str(), stdout);
     if (Stats) {
@@ -228,6 +271,7 @@ int main(int argc, char **argv) {
   driver::CompileOptions CO;
   CO.Mode = Mode;
   CO.Annot = Annot;
+  CO.Trace = TraceSink;
   driver::CompileResult CR = Comp.compile(CO);
   if (!CR.Ok) {
     std::fputs(CR.Errors.c_str(), stderr);
@@ -252,12 +296,37 @@ int main(int argc, char **argv) {
                  CR.OptStats.Hoisted, CR.OptStats.Fused,
                  CR.OptStats.KillsInserted);
 
-  if (!Run)
+  if (!Run) {
+    if (StatsJson) {
+      driver::CompileResult &CC = CR;
+      support::Json Report = driver::buildRunReport(
+          InputPath == "-" ? "<stdin>" : InputPath, Mode, MachineName, CC,
+          nullptr);
+      if (!writeReport(StatsJsonPath, Report.dump()))
+        return 1;
+    }
+    if (TraceJson && !writeReport(TraceJsonPath, Trace.toJson().dump()))
+      return 1;
     return 0;
+  }
 
   vm::VM Machine(CR.Module, VO);
   vm::RunResult R = Machine.run();
-  std::fputs(R.Output.c_str(), stdout);
+  // With the report on stdout, the program's output lives inside it; echo
+  // only when the report goes elsewhere.
+  bool ReportOnStdout =
+      (StatsJson && (StatsJsonPath.empty() || StatsJsonPath == "-")) ||
+      (TraceJson && (TraceJsonPath.empty() || TraceJsonPath == "-"));
+  if (!ReportOnStdout)
+    std::fputs(R.Output.c_str(), stdout);
+  if (StatsJson) {
+    support::Json Report = driver::buildRunReport(
+        InputPath == "-" ? "<stdin>" : InputPath, Mode, MachineName, CR, &R);
+    if (!writeReport(StatsJsonPath, Report.dump()))
+      return 1;
+  }
+  if (TraceJson && !writeReport(TraceJsonPath, Trace.toJson().dump()))
+    return 1;
   if (!R.Ok) {
     std::fprintf(stderr, "gcsafe-cc: runtime error: %s\n", R.Error.c_str());
     return 1;

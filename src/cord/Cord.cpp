@@ -191,11 +191,21 @@ void CordIterator::advance() {
 // CordHeap (allocating operations)
 //===----------------------------------------------------------------------===//
 
+void *CordHeap::allocRep(size_t Bytes, bool Atomic) {
+  gc::AllocResult R =
+      Atomic ? C.tryAllocateAtomic(Bytes) : C.tryAllocate(Bytes);
+  if (!R.ok())
+    AllocFailed = true;
+  return R.Ptr;
+}
+
 const CordRep *CordHeap::newLeaf(std::string_view Text) {
   assert(!Text.empty() && "leaves are non-empty");
   // Leaf payloads contain no pointers; atomic allocation keeps the
   // collector from scanning string bytes.
-  void *Mem = C.allocateAtomic(sizeof(CordRep) + Text.size());
+  void *Mem = allocRep(sizeof(CordRep) + Text.size(), /*Atomic=*/true);
+  if (!Mem)
+    return nullptr;
   auto *Rep = new (Mem) CordRep();
   Rep->Kind = CordRep::NK_Leaf;
   Rep->Depth = 0;
@@ -205,8 +215,14 @@ const CordRep *CordHeap::newLeaf(std::string_view Text) {
 }
 
 const CordRep *CordHeap::newConcat(const CordRep *L, const CordRep *R) {
+  // Degraded operands from an earlier allocation failure: keep whatever
+  // side survived rather than dereferencing null.
+  if (!L || !R)
+    return L ? L : R;
   PinScope Pin(*this, {L, R});
-  void *Mem = C.allocate(sizeof(CordRep));
+  void *Mem = allocRep(sizeof(CordRep), /*Atomic=*/false);
+  if (!Mem)
+    return nullptr;
   auto *Rep = new (Mem) CordRep();
   Rep->Kind = CordRep::NK_Concat;
   Rep->Depth = static_cast<uint8_t>(1 + std::max(L->Depth, R->Depth));
@@ -218,8 +234,12 @@ const CordRep *CordHeap::newConcat(const CordRep *L, const CordRep *R) {
 
 const CordRep *CordHeap::newSubstring(const CordRep *Base, uint32_t Start,
                                       uint32_t Len) {
+  if (!Base)
+    return nullptr;
   PinScope Pin(*this, {Base});
-  void *Mem = C.allocate(sizeof(CordRep));
+  void *Mem = allocRep(sizeof(CordRep), /*Atomic=*/false);
+  if (!Mem)
+    return nullptr;
   auto *Rep = new (Mem) CordRep();
   Rep->Kind = CordRep::NK_Substring;
   Rep->Depth = static_cast<uint8_t>(Base->Depth + 1);
@@ -255,7 +275,7 @@ Cord CordHeap::concat(Cord A, Cord B) {
     return Cord(newLeaf(std::string_view(Buf, N)));
   }
   const CordRep *Rep = newConcat(A.rep(), B.rep());
-  if (Rep->Depth > MaxDepth)
+  if (Rep && Rep->Depth > MaxDepth)
     Rep = balanceRep(Rep);
   return Cord(Rep);
 }
@@ -292,7 +312,8 @@ Cord CordHeap::substr(Cord A, size_t Pos, size_t Len) {
 
 const CordRep *CordHeap::buildBalanced(const CordRep *const *Leaves,
                                        size_t N) {
-  assert(N > 0);
+  if (N == 0)
+    return nullptr;
   if (N == 1)
     return Leaves[0];
   size_t Mid = N / 2;
@@ -320,8 +341,10 @@ const CordRep *CordHeap::balanceRep(const CordRep *Rep) {
           } else {
             const CordRep *Sub = H.newSubstring(
                 R, static_cast<uint32_t>(Skip), static_cast<uint32_t>(Take));
-            Pin.pin(Sub);
-            Pieces.push_back(Sub);
+            if (Sub) { // allocation failure drops the piece, flag is set
+              Pin.pin(Sub);
+              Pieces.push_back(Sub);
+            }
           }
           return;
         case CordRep::NK_Concat: {

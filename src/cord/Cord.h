@@ -153,7 +153,15 @@ public:
   /// Concats with a combined length at or below this become flat leaves.
   static constexpr size_t ShortLimit = 32;
 
+  /// True once any allocating operation failed (collector under a graceful
+  /// OOM policy returned null). The failing operation degraded to an empty
+  /// or partial cord instead of crashing; callers check this flag to turn
+  /// the degradation into a structured error.
+  bool allocationFailed() const { return AllocFailed; }
+  void clearAllocationFailure() { AllocFailed = false; }
+
 private:
+  void *allocRep(size_t Bytes, bool Atomic);
   const CordRep *newLeaf(std::string_view Text);
   const CordRep *newConcat(const CordRep *L, const CordRep *R);
   const CordRep *newSubstring(const CordRep *Base, uint32_t Start,
@@ -190,6 +198,7 @@ private:
 
   gc::Collector &C;
   gc::RootVector Pins;
+  bool AllocFailed = false;
 };
 
 /// Incremental cord construction with amortized appends: characters and

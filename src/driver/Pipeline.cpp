@@ -255,6 +255,21 @@ support::Json gcsafe::driver::buildRunReport(const std::string &Input,
     GJ["interior_pointer_hits"] = Json::integer(G.InteriorPointerHits);
     GJ["false_retention_candidates"] =
         Json::integer(G.FalseRetentionCandidates);
+
+    Json Oom = Json::object();
+    Oom["emergency_collections"] = Json::integer(G.EmergencyCollections);
+    Oom["retries"] = Json::integer(G.OomRetriesPerformed);
+    Oom["callback_invocations"] = Json::integer(G.OomCallbackInvocations);
+    Oom["alloc_failures"] = Json::integer(G.AllocFailures);
+    Oom["faults_injected"] = Json::integer(G.FaultsInjected);
+    Oom["segment_backoffs"] = Json::integer(G.SegmentBackoffs);
+    GJ["oom"] = std::move(Oom);
+
+    Json Audit = Json::object();
+    Audit["runs"] = Json::integer(G.AuditsRun);
+    Audit["violations"] = Json::integer(G.AuditViolations);
+    GJ["audit"] = std::move(Audit);
+
     Json Events = Json::array();
     for (const gc::CollectionEvent &E : G.Events)
       Events.push(collectionEventToJson(E));

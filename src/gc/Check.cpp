@@ -17,8 +17,14 @@ const void *PointerCheck::sameObj(const void *P, const void *Base,
                                   const char *Context) {
   ++CheckCount;
   void *BaseObj = C.baseOf(Base);
-  if (!BaseObj)
-    return P; // Base is not a heap pointer: nothing to check.
+  if (!BaseObj) {
+    // Base addresses heap memory whose object was swept or explicitly
+    // deallocated: arithmetic on a dangling pointer. Distinct from the
+    // skip case (stack, statics, foreign malloc) the paper describes.
+    if (C.pointsToFreedObject(Base))
+      reportViolation(P, Base, Context);
+    return P;
+  }
   if (C.baseOf(P) != BaseObj)
     reportViolation(P, Base, Context);
   return P;

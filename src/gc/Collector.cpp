@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 
 using namespace gcsafe;
 using namespace gcsafe::gc;
@@ -15,7 +16,39 @@ namespace {
 constexpr size_t SegmentPages = 256; // 1 MiB segments
 } // namespace
 
-Collector::Collector(CollectorConfig ConfigIn) : Config(ConfigIn) {}
+const char *gcsafe::gc::oomPolicyName(OomPolicy P) {
+  switch (P) {
+  case OomPolicy::Graceful: return "graceful";
+  case OomPolicy::Fail: return "fail";
+  case OomPolicy::Abort: return "abort";
+  }
+  return "?";
+}
+
+const char *gcsafe::gc::allocStatusName(AllocStatus S) {
+  switch (S) {
+  case AllocStatus::Ok: return "ok";
+  case AllocStatus::OutOfMemory: return "out-of-memory";
+  case AllocStatus::TooLarge: return "too-large";
+  }
+  return "?";
+}
+
+Collector::Collector(CollectorConfig ConfigIn) : Config(std::move(ConfigIn)) {
+  if (Config.Faults) {
+    FpSegmentAlloc = Config.Faults->siteId("heap.segment_alloc");
+    FpPageTableGrow = Config.Faults->siteId("heap.page_table_grow");
+    FpAllocSmall = Config.Faults->siteId("gc.alloc_small");
+    FpAllocLarge = Config.Faults->siteId("gc.alloc_large");
+  }
+}
+
+bool Collector::faultFires(size_t SiteId) {
+  if (!Config.Faults || !Config.Faults->shouldFail(SiteId))
+    return false;
+  ++Stats.FaultsInjected;
+  return true;
+}
 
 Collector::~Collector() {
   for (Segment &S : Segments)
@@ -48,22 +81,99 @@ void *Collector::allocateAtomic(size_t Size) {
   return allocateImpl(Size, true);
 }
 
+AllocResult Collector::tryAllocate(size_t Size) {
+  return tryAllocateImpl(Size, false);
+}
+
+AllocResult Collector::tryAllocateAtomic(size_t Size) {
+  return tryAllocateImpl(Size, true);
+}
+
 void *Collector::allocateImpl(size_t Size, bool Atomic) {
+  AllocResult R = tryAllocateImpl(Size, Atomic);
+  if (R.ok())
+    return R.Ptr;
+  if (Config.Oom == OomPolicy::Abort) {
+    std::fprintf(stderr, "gcsafe: out of memory (%zu bytes, %s)\n", Size,
+                 allocStatusName(R.Status));
+    std::abort();
+  }
+  return nullptr;
+}
+
+/// One allocation attempt, with the entry failpoints applied. Retries call
+/// this again, re-drawing the failpoints, so injected transient failures
+/// can recover on a later rung.
+void *Collector::attemptAlloc(size_t Padded, bool Atomic, bool Small) {
+  if (faultFires(Small ? FpAllocSmall : FpAllocLarge))
+    return nullptr;
+  return Small ? allocateSmall(Padded, Atomic)
+               : allocateLarge(Padded, Atomic);
+}
+
+/// The OOM recovery ladder (docs/ROBUSTNESS.md): emergency collection,
+/// then Config.OomRetries re-collect-and-retry rungs, then the client
+/// callback. Returns null only when every rung failed.
+void *Collector::recoverFromOom(size_t Padded, bool Atomic, bool Small,
+                                size_t Size) {
+  if (Config.Oom == OomPolicy::Fail)
+    return nullptr;
+  void *P = nullptr;
+  bool CanCollect = !DisableDepth && !InCollection;
+  if (CanCollect) {
+    ++Stats.EmergencyCollections;
+    if (Config.Trace)
+      Config.Trace->emit("gc", "oom.emergency", Size, Stats.HeapPages);
+    collect();
+    P = attemptAlloc(Padded, Atomic, Small);
+  }
+  for (unsigned I = 0; !P && I < Config.OomRetries; ++I) {
+    ++Stats.OomRetriesPerformed;
+    if (Config.Trace)
+      Config.Trace->emit("gc", "oom.retry", I + 1, Size);
+    if (I > 0 && CanCollect)
+      collect();
+    P = attemptAlloc(Padded, Atomic, Small);
+  }
+  if (!P && Config.OomFn) {
+    ++Stats.OomCallbackInvocations;
+    if (Config.Trace)
+      Config.Trace->emit("gc", "oom.callback", Padded, 0);
+    P = Config.OomFn(Padded);
+  }
+  return P;
+}
+
+AllocResult Collector::tryAllocateImpl(size_t Size, bool Atomic) {
   ++AllocsSinceGC;
   ++Stats.AllocationCount;
   Stats.BytesRequested += Size;
   maybeCollect();
   size_t Padded = paddedSize(Size);
+  if (Padded < Size) { // size arithmetic overflowed: invalid request
+    ++Stats.AllocFailures;
+    return {nullptr, AllocStatus::TooLarge};
+  }
   BytesSinceGC += Padded;
-  void *Result = Padded <= MaxSmallSize ? allocateSmall(Padded, Atomic)
-                                        : allocateLarge(Padded, Atomic);
+  bool Small = Padded <= MaxSmallSize;
+  void *Result = attemptAlloc(Padded, Atomic, Small);
+  if (!Result)
+    Result = recoverFromOom(Padded, Atomic, Small, Size);
+  if (!Result) {
+    ++Stats.AllocFailures;
+    if (Config.Trace)
+      Config.Trace->emit("gc", "oom.fail", Size, Stats.HeapPages);
+    return {nullptr, AllocStatus::OutOfMemory};
+  }
   std::memset(Result, 0, Padded);
-  return Result;
+  return {Result, AllocStatus::Ok};
 }
 
 void *Collector::allocateSmall(size_t Padded, bool Atomic) {
   size_t Class = Padded / GranuleSize - 1;
   assert(Class < NumSizeClasses && "bad size class");
+  if (Class >= NumSizeClasses)
+    return nullptr; // defensive: invalid request must not corrupt the heap
 
   // The free list for a class may hold slots from both atomic and normal
   // pages; re-check the page kind and skip mismatches by re-initializing a
@@ -85,6 +195,8 @@ void *Collector::allocateSmall(size_t Padded, bool Atomic) {
   }
 
   PageDescriptor *Desc = takeFreePage();
+  if (!Desc)
+    return nullptr; // page acquisition failed; the caller runs the ladder
   initSmallPage(Desc, Padded, Atomic);
   // initSmallPage pushed all slots; pop the first.
   FreeSlot *Slot = FreeLists[Class];
@@ -109,6 +221,12 @@ void Collector::initSmallPage(PageDescriptor *Desc, size_t ObjSize,
     W = 0;
   Desc->clearMarkBits();
 
+  // Poison the whole page before carving it into free slots so the audit's
+  // poison-byte invariant (every free slot is PoisonByte beyond its
+  // free-list header) holds for never-yet-allocated slots too.
+  if (Config.PoisonOnFree)
+    std::memset(Desc->PageStart, PoisonByte, PageSize);
+
   size_t Class = ObjSize / GranuleSize - 1;
   for (unsigned I = 0; I < Desc->ObjCount; ++I) {
     auto *Slot = reinterpret_cast<FreeSlot *>(Desc->PageStart + I * ObjSize);
@@ -121,6 +239,8 @@ void *Collector::allocateLarge(size_t Padded, bool Atomic) {
   size_t NPages = (Padded + PageSize - 1) / PageSize;
   std::vector<PageDescriptor *> Descs;
   char *Run = takePageRun(NPages, Descs);
+  if (!Run)
+    return nullptr;
   PageDescriptor *Head = Descs[0];
   Head->Kind = PageKind::PK_LargeStart;
   Head->Atomic = Atomic;
@@ -148,38 +268,78 @@ PageDescriptor *Collector::takeFreePage() {
     return Desc;
   }
   std::vector<PageDescriptor *> Descs;
-  takePageRun(1, Descs);
+  if (!takePageRun(1, Descs))
+    return nullptr;
   return Descs[0];
 }
 
 char *Collector::takePageRun(size_t NPages,
                              std::vector<PageDescriptor *> &Descs) {
+  // Hard heap cap (testable stand-in for real exhaustion): refuse to grow
+  // past Config.MaxHeapPages. 0 means unlimited.
+  if (Config.MaxHeapPages && Stats.HeapPages + NPages > Config.MaxHeapPages)
+    return nullptr;
+
   // Try to bump-allocate from the most recent segment.
   Segment *Seg = nullptr;
   if (!Segments.empty() &&
       Segments.back().NextFreePage + NPages <= Segments.back().Pages)
     Seg = &Segments.back();
   if (!Seg) {
-    size_t Pages = NPages > SegmentPages ? NPages : SegmentPages;
-    char *Base =
-        static_cast<char *>(std::aligned_alloc(PageSize, Pages * PageSize));
-    if (!Base) {
-      std::fprintf(stderr, "gcsafe: out of memory\n");
-      std::abort();
+    if (faultFires(FpSegmentAlloc))
+      return nullptr;
+    size_t Want = NPages > SegmentPages ? NPages : SegmentPages;
+    // Don't speculatively reserve past the cap; the earlier check
+    // guarantees Room >= NPages.
+    if (Config.MaxHeapPages) {
+      size_t Room = Config.MaxHeapPages - Stats.HeapPages;
+      if (Want > Room)
+        Want = Room;
     }
-    Segments.push_back({Base, Pages, 0});
+    char *Base =
+        static_cast<char *>(std::aligned_alloc(PageSize, Want * PageSize));
+    if (!Base && Want > NPages) {
+      // Backoff: the full segment reserve failed; retry at the request's
+      // exact size before reporting exhaustion.
+      ++Stats.SegmentBackoffs;
+      Want = NPages;
+      Base =
+          static_cast<char *>(std::aligned_alloc(PageSize, Want * PageSize));
+    }
+    if (!Base)
+      return nullptr;
+    Segments.push_back({Base, Want, 0});
     Seg = &Segments.back();
   }
   char *Run = Seg->Base + Seg->NextFreePage * PageSize;
-  Seg->NextFreePage += NPages;
-  Stats.HeapPages += NPages;
+  size_t FirstDesc = Descs.size();
   for (size_t I = 0; I < NPages; ++I) {
-    auto *Desc = new PageDescriptor();
-    Desc->PageStart = Run + I * PageSize;
+    PageDescriptor *Desc = nullptr;
+    if (!faultFires(FpPageTableGrow))
+      Desc = new (std::nothrow) PageDescriptor();
+    if (Desc)
+      Desc->PageStart = Run + I * PageSize;
+    if (!Desc || !Table.insert(Desc->PageStart, Desc)) {
+      // Mid-run failure: unregister the pages already mapped for this run
+      // and leave the bump pointer untouched, so the heap is exactly as it
+      // was before the call. The segment (if freshly reserved) is kept for
+      // future requests.
+      delete Desc;
+      while (Descs.size() > FirstDesc) {
+        PageDescriptor *Prev = Descs.back();
+        Descs.pop_back();
+        Table.erase(Prev->PageStart);
+        assert(!AllPages.empty() && AllPages.back() == Prev);
+        AllPages.pop_back();
+        delete Prev;
+      }
+      return nullptr;
+    }
     AllPages.push_back(Desc);
-    Table.insert(Desc->PageStart, Desc);
     Descs.push_back(Desc);
   }
+  Seg->NextFreePage += NPages;
+  Stats.HeapPages += NPages;
   return Run;
 }
 
@@ -460,6 +620,9 @@ void Collector::collect() {
   BytesSinceGC = 0;
   AllocsSinceGC = 0;
   InCollection = false;
+
+  if (Config.AuditEachCollection)
+    auditHeap();
 }
 
 //===----------------------------------------------------------------------===//
@@ -548,6 +711,9 @@ void Collector::deallocate(void *P) {
     unsigned Slot = static_cast<unsigned>(
         (static_cast<char *>(Base) - Desc->PageStart) / Desc->ObjSize);
     Desc->clearAllocBit(Slot);
+    // Keep the audit's mark-implies-alloc invariant: a slot freed between
+    // collections may still carry the previous cycle's mark bit.
+    Desc->clearMarkBit(Slot);
     if (Config.PoisonOnFree)
       std::memset(Base, PoisonByte, Desc->ObjSize);
     size_t Class = Desc->ObjSize / GranuleSize - 1;
@@ -560,6 +726,7 @@ void Collector::deallocate(void *P) {
     if (Config.PoisonOnFree)
       std::memset(Base, PoisonByte, Desc->LargeSize);
     Desc->clearAllocBit(0);
+    Desc->clearMarkBit(0);
     size_t NPages = Desc->LargePages;
     for (size_t I = 0; I < NPages; ++I) {
       PageDescriptor *PD = Table.lookup(Desc->PageStart + I * PageSize);
@@ -569,4 +736,191 @@ void Collector::deallocate(void *P) {
       FreePageList = PD;
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Heap integrity audit
+//===----------------------------------------------------------------------===//
+
+HeapAuditReport Collector::auditHeap() {
+  HeapAuditReport R;
+  char Buf[192];
+  auto Violate = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    ++R.ViolationCount;
+    if (R.Violations.size() < HeapAuditReport::MaxRecorded)
+      R.Violations.emplace_back(Buf);
+    if (Config.Trace)
+      Config.Trace->emit("gc", "audit.violation", R.ViolationCount, 0);
+  };
+
+  size_t FreePages = 0;
+  for (PageDescriptor *D : AllPages) {
+    ++R.PagesAudited;
+    uintptr_t A = reinterpret_cast<uintptr_t>(D->PageStart);
+    if (!D->PageStart || (A & (PageSize - 1)) != 0) {
+      Violate("page %p: start misaligned", (void *)D->PageStart);
+      continue;
+    }
+    if (Table.lookup(D->PageStart) != D) {
+      Violate("page %p: page-table mapping does not point back to its "
+              "descriptor",
+              (void *)D->PageStart);
+      continue;
+    }
+
+    switch (D->Kind) {
+    case PageKind::PK_Free: {
+      ++FreePages;
+      bool Dirty = false;
+      for (uint64_t W : D->AllocBits)
+        Dirty |= W != 0;
+      for (uint64_t W : D->MarkBits)
+        Dirty |= W != 0;
+      if (Dirty)
+        Violate("free page %p: stale alloc/mark bits", (void *)D->PageStart);
+      break;
+    }
+    case PageKind::PK_Small: {
+      if (D->ObjSize == 0 || D->ObjSize % GranuleSize != 0 ||
+          D->ObjSize > MaxSmallSize) {
+        Violate("small page %p: bad object size %u", (void *)D->PageStart,
+                unsigned(D->ObjSize));
+        break;
+      }
+      if (D->ObjCount != PageSize / D->ObjSize) {
+        Violate("small page %p: object count %u inconsistent with size %u",
+                (void *)D->PageStart, unsigned(D->ObjCount),
+                unsigned(D->ObjSize));
+        break;
+      }
+      for (unsigned Slot = 0; Slot < MaxSlotsPerPage; ++Slot) {
+        bool Alloc = D->allocBit(Slot);
+        bool Mark = D->markBit(Slot);
+        if (Slot >= D->ObjCount) {
+          if (Alloc || Mark)
+            Violate("small page %p: bit set beyond slot count (slot %u)",
+                    (void *)D->PageStart, Slot);
+          continue;
+        }
+        if (Mark && !Alloc)
+          Violate("small page %p slot %u: marked but not allocated",
+                  (void *)D->PageStart, Slot);
+        if (Alloc) {
+          ++R.ObjectsAudited;
+          continue;
+        }
+        ++R.FreeSlotsAudited;
+        // Freed (and never-allocated) slots must hold the poison pattern
+        // beyond the free-list header; anything else means a client wrote
+        // through a dangling pointer or the sweeper missed a slot.
+        if (Config.PoisonOnFree) {
+          const unsigned char *Bytes = reinterpret_cast<const unsigned char *>(
+              D->PageStart + size_t(Slot) * D->ObjSize);
+          for (size_t B = sizeof(FreeSlot); B < D->ObjSize; ++B) {
+            if (Bytes[B] != PoisonByte) {
+              Violate("small page %p slot %u: poison damaged at byte %zu "
+                      "(0x%02x)",
+                      (void *)D->PageStart, Slot, B, Bytes[B]);
+              break;
+            }
+          }
+        }
+      }
+      break;
+    }
+    case PageKind::PK_LargeStart: {
+      ++R.LargeRunsAudited;
+      if (!D->allocBit(0)) {
+        Violate("large head %p: no alloc bit (freed run kept its head kind)",
+                (void *)D->PageStart);
+        break;
+      }
+      ++R.ObjectsAudited;
+      if (D->LargePages == 0 ||
+          D->LargeSize > size_t(D->LargePages) * PageSize ||
+          D->LargeSize <= (size_t(D->LargePages) - 1) * PageSize) {
+        Violate("large head %p: size %zu does not fit %u pages",
+                (void *)D->PageStart, D->LargeSize, unsigned(D->LargePages));
+        break;
+      }
+      for (size_t I = 1; I < D->LargePages; ++I) {
+        PageDescriptor *PD = Table.lookup(D->PageStart + I * PageSize);
+        if (!PD || PD->Kind != PageKind::PK_LargeCont || PD->LargeHead != D)
+          Violate("large head %p: continuation page %zu not linked back",
+                  (void *)D->PageStart, I);
+      }
+      break;
+    }
+    case PageKind::PK_LargeCont: {
+      PageDescriptor *Head = D->LargeHead;
+      if (!Head || Head->Kind != PageKind::PK_LargeStart) {
+        Violate("large cont %p: dangling head pointer", (void *)D->PageStart);
+        break;
+      }
+      uintptr_t Off = A - reinterpret_cast<uintptr_t>(Head->PageStart);
+      if (Off == 0 || Off % PageSize != 0 ||
+          Off / PageSize >= Head->LargePages)
+        Violate("large cont %p: outside its head's run",
+                (void *)D->PageStart);
+      break;
+    }
+    }
+  }
+
+  // Free page list: every node PK_Free, and the list covers exactly the
+  // PK_Free pages (no leaks, no duplicates, no cycles).
+  size_t FreeListLen = 0;
+  for (PageDescriptor *D = FreePageList; D; D = D->NextFree) {
+    if (++FreeListLen > AllPages.size()) {
+      Violate("free page list: cycle detected after %zu nodes", FreeListLen);
+      break;
+    }
+    if (D->Kind != PageKind::PK_Free)
+      Violate("free page list: node %p is not a free page",
+              (void *)D->PageStart);
+  }
+  if (FreeListLen <= AllPages.size() && FreeListLen != FreePages)
+    Violate("free page list: length %zu but %zu free pages exist",
+            FreeListLen, FreePages);
+
+  // Small-object free lists: membership, class, alignment, cycles.
+  size_t SlotCap = AllPages.size() * (PageSize / GranuleSize) + 1;
+  for (size_t Class = 0; Class < NumSizeClasses; ++Class) {
+    size_t Expect = (Class + 1) * GranuleSize;
+    size_t Len = 0;
+    for (FreeSlot *S = FreeLists[Class]; S; S = S->Next) {
+      if (++Len > SlotCap) {
+        Violate("free list class %zu: cycle detected", Class);
+        break;
+      }
+      PageDescriptor *PD = Table.lookup(S);
+      if (!PD || PD->Kind != PageKind::PK_Small) {
+        Violate("free list class %zu: slot %p not on a small page", Class,
+                (void *)S);
+        break;
+      }
+      if (PD->ObjSize != Expect) {
+        Violate("free list class %zu: slot %p on page of size %u", Class,
+                (void *)S, unsigned(PD->ObjSize));
+        continue;
+      }
+      size_t Off = reinterpret_cast<char *>(S) - PD->PageStart;
+      if (Off % PD->ObjSize != 0) {
+        Violate("free list class %zu: slot %p misaligned in page", Class,
+                (void *)S);
+        continue;
+      }
+      if (PD->allocBit(static_cast<unsigned>(Off / PD->ObjSize)))
+        Violate("free list class %zu: slot %p is allocated", Class,
+                (void *)S);
+    }
+  }
+
+  R.Ok = R.ViolationCount == 0;
+  ++Stats.AuditsRun;
+  Stats.AuditViolations += R.ViolationCount;
+  if (Config.Trace)
+    Config.Trace->emit("gc", "audit.end", R.ViolationCount, R.PagesAudited);
+  return R;
 }

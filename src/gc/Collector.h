@@ -33,11 +33,13 @@
 #define GCSAFE_GC_COLLECTOR_H
 
 #include "gc/Heap.h"
+#include "support/FaultInject.h"
 #include "support/Trace.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -46,6 +48,60 @@ namespace gc {
 
 /// Byte written over freed objects when poisoning is enabled.
 constexpr unsigned char PoisonByte = 0xDD;
+
+/// What the allocator does when the heap cannot satisfy a request even
+/// after the recovery ladder (emergency collection, bounded retries, the
+/// client OOM callback).
+enum class OomPolicy : uint8_t {
+  Graceful, ///< Run the full recovery ladder; on failure return a typed
+            ///< error (allocate() returns null) — the default.
+  Fail,     ///< No recovery attempts: fail fast with a typed error. For
+            ///< deterministic tests of the failure path.
+  Abort,    ///< Run the ladder; on failure abort the process (the
+            ///< pre-robustness legacy behaviour, opt-in only).
+};
+
+const char *oomPolicyName(OomPolicy P);
+
+/// Why an allocation failed.
+enum class AllocStatus : uint8_t {
+  Ok,
+  OutOfMemory, ///< Heap exhausted (or exhaustion injected) and every rung
+               ///< of the recovery ladder failed.
+  TooLarge,    ///< The request overflowed size arithmetic.
+};
+
+const char *allocStatusName(AllocStatus S);
+
+/// Typed allocation outcome (the tryAllocate* surface). ok() implies Ptr
+/// is a zeroed heap object; otherwise Status says why there is none.
+struct AllocResult {
+  void *Ptr = nullptr;
+  AllocStatus Status = AllocStatus::Ok;
+  bool ok() const { return Status == AllocStatus::Ok; }
+};
+
+/// Last-resort client hook invoked when the recovery ladder is exhausted
+/// (bdwgc's GC_oom_fn). Receives the *padded* size; must return at least
+/// that many writable bytes, or null to let the allocation fail. Returned
+/// memory is NOT in the collected heap: the collector neither scans nor
+/// reclaims it, and baseOf() on it yields null.
+using OomCallback = std::function<void *(size_t PaddedSize)>;
+
+/// One heap-integrity audit (Collector::auditHeap). Counters always cover
+/// the whole heap; Violations keeps at most MaxRecorded messages while
+/// ViolationCount is the true total.
+struct HeapAuditReport {
+  static constexpr size_t MaxRecorded = 64;
+
+  bool Ok = true;
+  uint64_t ViolationCount = 0;
+  uint64_t PagesAudited = 0;
+  uint64_t ObjectsAudited = 0;    ///< Live objects (alloc bit set).
+  uint64_t FreeSlotsAudited = 0;  ///< Free small slots (incl. poison scan).
+  uint64_t LargeRunsAudited = 0;
+  std::vector<std::string> Violations;
+};
 
 /// Tuning and behaviour switches for one Collector instance.
 struct CollectorConfig {
@@ -80,8 +136,35 @@ struct CollectorConfig {
   size_t EventLimit = 256;
 
   /// Optional event sink: every collection emits cat="gc" trace events
-  /// (collect.begin, mark.end, sweep.end, collect.end).
+  /// (collect.begin, mark.end, sweep.end, collect.end), and the OOM ladder
+  /// and heap audits emit oom.* / audit.* events.
   support::TraceBuffer *Trace = nullptr;
+
+  /// What allocation does when the heap is exhausted. See OomPolicy.
+  OomPolicy Oom = OomPolicy::Graceful;
+
+  /// Recovery rungs after the emergency collection: how many more times to
+  /// re-collect and retry before invoking OomFn / failing.
+  unsigned OomRetries = 3;
+
+  /// Last-resort client OOM hook (bdwgc's GC_oom_fn). See OomCallback.
+  OomCallback OomFn;
+
+  /// Hard cap on pages ever obtained from the OS (0 = unlimited). The
+  /// testable stand-in for real memory exhaustion: crossing it drives the
+  /// same OOM ladder a failed OS allocation would.
+  size_t MaxHeapPages = 0;
+
+  /// Run auditHeap() after every collection; violations land in
+  /// CollectorStats and the trace.
+  bool AuditEachCollection = false;
+
+  /// Optional failpoint registry. When set, page-segment acquisition,
+  /// page-table growth, and the small/large allocation entry points
+  /// consult it (sites: heap.segment_alloc, heap.page_table_grow,
+  /// gc.alloc_small, gc.alloc_large) and fail on demand, exercising the
+  /// OOM ladder deterministically.
+  support::FaultInjector *Faults = nullptr;
 };
 
 /// One collection, as observed by the instrumentation: timing for the two
@@ -126,6 +209,18 @@ struct CollectorStats {
   uint64_t InteriorPointerHits = 0;
   uint64_t FalseRetentionCandidates = 0;
 
+  // The failure story (docs/ROBUSTNESS.md): how often the OOM ladder ran,
+  // how far down it got, and what the integrity audits saw.
+  uint64_t EmergencyCollections = 0; ///< Ladder rung 1: collect-on-OOM.
+  uint64_t OomRetriesPerformed = 0;  ///< Ladder rung 2: re-collect + retry.
+  uint64_t OomCallbackInvocations = 0; ///< Ladder rung 3: client OomFn.
+  uint64_t AllocFailures = 0;  ///< Typed errors returned to the client.
+  uint64_t FaultsInjected = 0; ///< Failpoint firings observed.
+  uint64_t SegmentBackoffs = 0; ///< Full-size segment refused; retried at
+                                ///< the request's minimum page count.
+  uint64_t AuditsRun = 0;
+  uint64_t AuditViolations = 0;
+
   std::vector<CollectionEvent> Events;
 };
 
@@ -151,12 +246,28 @@ public:
   ~Collector();
 
   /// Allocates \p Size bytes of zeroed, pointer-containing memory. May
-  /// trigger a collection first. Never returns null (aborts on OOM).
+  /// trigger a collection first. On exhaustion runs the OOM recovery
+  /// ladder; if that fails, returns null under the Graceful/Fail policies
+  /// and aborts only under OomPolicy::Abort.
   void *allocate(size_t Size);
 
   /// Allocates \p Size bytes the collector will not scan for pointers
-  /// (strings, numeric arrays).
+  /// (strings, numeric arrays). Same failure contract as allocate().
   void *allocateAtomic(size_t Size);
+
+  /// The typed-result allocation surface: like allocate()/allocateAtomic()
+  /// but never aborts regardless of policy; failures come back as an
+  /// AllocStatus.
+  AllocResult tryAllocate(size_t Size);
+  AllocResult tryAllocateAtomic(size_t Size);
+
+  /// Walks the whole heap validating its invariants: page-table
+  /// cross-mapping, alloc/mark-bit consistency, free-list sanity,
+  /// poison-byte integrity of freed slots, and large-run linkage. Safe to
+  /// call at any point outside an in-progress collection; allocates only
+  /// in the C++ heap. Updates CollectorStats::AuditsRun/AuditViolations
+  /// and emits gc/audit.* trace events.
+  HeapAuditReport auditHeap();
 
   /// Forces a full mark-sweep collection now (no-op while disabled).
   void collect();
@@ -236,6 +347,10 @@ private:
   void *allocateSmall(size_t Padded, bool Atomic);
   void *allocateLarge(size_t Padded, bool Atomic);
   void *allocateImpl(size_t Size, bool Atomic);
+  AllocResult tryAllocateImpl(size_t Size, bool Atomic);
+  void *attemptAlloc(size_t Padded, bool Atomic, bool Small);
+  void *recoverFromOom(size_t Padded, bool Atomic, bool Small, size_t Size);
+  bool faultFires(size_t SiteId);
   void maybeCollect();
   PageDescriptor *takeFreePage();
   char *takePageRun(size_t NPages, std::vector<PageDescriptor *> &Descs);
@@ -276,6 +391,12 @@ private:
   unsigned DisableDepth = 0;
   bool InCollection = false;
   const void *StackBottom = nullptr;
+
+  /// Cached failpoint handles (valid only when Config.Faults is set).
+  size_t FpSegmentAlloc = 0;
+  size_t FpPageTableGrow = 0;
+  size_t FpAllocSmall = 0;
+  size_t FpAllocLarge = 0;
 };
 
 } // namespace gc

@@ -3,6 +3,7 @@
 #include "gc/Heap.h"
 
 #include <cassert>
+#include <new>
 
 using namespace gcsafe;
 using namespace gcsafe::gc;
@@ -22,7 +23,12 @@ PageTable::TopEntry *PageTable::findOrCreate(uintptr_t Key) {
   for (TopEntry *E = Head; E; E = E->Next)
     if (E->Key == Key)
       return E;
-  auto *E = new TopEntry();
+  // Table growth must not crash the process: a failed level-1 node
+  // allocation surfaces as insert() == false and becomes a typed OOM in
+  // the collector.
+  auto *E = new (std::nothrow) TopEntry();
+  if (!E)
+    return nullptr;
   E->Key = Key;
   E->Next = Head;
   Head = E;
@@ -30,12 +36,17 @@ PageTable::TopEntry *PageTable::findOrCreate(uintptr_t Key) {
   return E;
 }
 
-void PageTable::insert(const void *PageAddr, PageDescriptor *Desc) {
+bool PageTable::insert(const void *PageAddr, PageDescriptor *Desc) {
   uintptr_t A = reinterpret_cast<uintptr_t>(PageAddr);
   assert((A & (PageSize - 1)) == 0 && "page address not aligned");
+  if ((A & (PageSize - 1)) != 0)
+    return false;
   uintptr_t Key = A >> (PageSizeLog + ChunkPagesLog);
   TopEntry *E = findOrCreate(Key);
+  if (!E)
+    return false;
   E->Pages[(A >> PageSizeLog) & (ChunkPages - 1)] = Desc;
+  return true;
 }
 
 void PageTable::erase(const void *PageAddr) {

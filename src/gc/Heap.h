@@ -78,6 +78,9 @@ struct PageDescriptor {
     return (MarkBits[Slot / 64] >> (Slot % 64)) & 1;
   }
   void setMarkBit(unsigned Slot) { MarkBits[Slot / 64] |= uint64_t(1) << (Slot % 64); }
+  void clearMarkBit(unsigned Slot) {
+    MarkBits[Slot / 64] &= ~(uint64_t(1) << (Slot % 64));
+  }
   void clearMarkBits() {
     for (uint64_t &W : MarkBits)
       W = 0;
@@ -101,8 +104,11 @@ public:
   ~PageTable();
 
   /// Registers \p Desc as the descriptor for the page containing \p
-  /// PageAddr (which must be page-aligned).
-  void insert(const void *PageAddr, PageDescriptor *Desc);
+  /// PageAddr (which must be page-aligned). Returns false — registering
+  /// nothing — if \p PageAddr is misaligned or growing the table's top
+  /// level fails; callers treat that as page-acquisition failure and
+  /// roll back rather than aborting.
+  bool insert(const void *PageAddr, PageDescriptor *Desc);
 
   /// Removes the mapping for the page containing \p PageAddr.
   void erase(const void *PageAddr);

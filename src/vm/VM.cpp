@@ -34,6 +34,11 @@ VM::VM(const Module &MIn, VMOptions Options) : M(MIn), Opts(std::move(Options)) 
   GC.AllInteriorPointers = Opts.AllInteriorPointers;
   GC.EventLimit = Opts.GcEventLimit;
   GC.Trace = Opts.Trace;
+  GC.Oom = Opts.GcOomPolicy;
+  GC.OomRetries = Opts.GcOomRetries;
+  GC.MaxHeapPages = Opts.GcMaxHeapPages;
+  GC.AuditEachCollection = Opts.GcAuditEachCollection;
+  GC.Faults = Opts.Faults;
   C = std::make_unique<gc::Collector>(GC);
   Check = std::make_unique<gc::PointerCheck>(*C);
 
@@ -185,6 +190,19 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
       Fr.Regs[I.Dst] = V;
   };
 
+  // Exhaustion is a structured run error, never a crash: the typed
+  // allocation surface turns a failed request into RunResult::Error.
+  auto AllocOrFail = [&](uint64_t Size, bool Atomic,
+                         const char *What) -> void * {
+    gc::AllocResult R = Atomic ? C->tryAllocateAtomic(Size)
+                               : C->tryAllocate(Size);
+    if (!R.ok())
+      fail(std::string("out of memory: ") + What + "(" +
+           std::to_string(Size) + " bytes) failed: " +
+           gc::allocStatusName(R.Status));
+    return R.Ptr;
+  };
+
   switch (I.BuiltinCallee) {
   case Builtin::GcMalloc:
   case Builtin::Malloc: {
@@ -193,7 +211,10 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
     uint64_t Size = Arg(0);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
-    SetDst(reinterpret_cast<uint64_t>(C->allocate(Size)));
+    void *P = AllocOrFail(Size, false, "GC_malloc");
+    if (!P)
+      return;
+    SetDst(reinterpret_cast<uint64_t>(P));
     return;
   }
   case Builtin::GcMallocAtomic: {
@@ -202,16 +223,28 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
     uint64_t Size = Arg(0);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
-    SetDst(reinterpret_cast<uint64_t>(C->allocateAtomic(Size)));
+    void *P = AllocOrFail(Size, true, "GC_malloc_atomic");
+    if (!P)
+      return;
+    SetDst(reinterpret_cast<uint64_t>(P));
     return;
   }
   case Builtin::Calloc: {
     Result.Cycles += Opts.Model.CyclesAllocator;
     Result.AllocatorCycles += Opts.Model.CyclesAllocator;
-    uint64_t Size = Arg(0) * Arg(1);
+    uint64_t N = Arg(0), Each = Arg(1);
+    if (Each && N > UINT64_MAX / Each) {
+      fail("out of memory: calloc(" + std::to_string(N) + ", " +
+           std::to_string(Each) + ") overflows");
+      return;
+    }
+    uint64_t Size = N * Each;
     ++Result.AllocCount;
     Result.AllocBytes += Size;
-    SetDst(reinterpret_cast<uint64_t>(C->allocate(Size)));
+    void *P = AllocOrFail(Size, false, "calloc");
+    if (!P)
+      return;
+    SetDst(reinterpret_cast<uint64_t>(P));
     return;
   }
   case Builtin::Realloc: {
@@ -221,7 +254,9 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
     uint64_t Size = Arg(1);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
-    void *New = C->allocate(Size);
+    void *New = AllocOrFail(Size, false, "realloc");
+    if (!New)
+      return;
     if (Old) {
       size_t OldSize = C->objectSize(reinterpret_cast<void *>(Old));
       size_t CopyLen = OldSize < Size ? OldSize : Size;

@@ -79,6 +79,20 @@ struct VMOptions {
   /// Optional event sink shared with the collector: GC phase events plus
   /// a cat="vm" run summary are emitted here.
   support::TraceBuffer *Trace = nullptr;
+
+  /// Collector OOM policy. The VM itself always uses the typed-result
+  /// allocation surface, so exhaustion becomes a structured run error
+  /// ("out of memory: ...") rather than a process abort; this still
+  /// controls how hard the collector tries to recover first.
+  gc::OomPolicy GcOomPolicy = gc::OomPolicy::Graceful;
+  /// Recovery retries after the emergency collection.
+  unsigned GcOomRetries = 3;
+  /// Hard cap on collector heap pages (0 = unlimited).
+  size_t GcMaxHeapPages = 0;
+  /// Run a heap-integrity audit after every collection.
+  bool GcAuditEachCollection = false;
+  /// Optional failpoint registry passed through to the collector.
+  support::FaultInjector *Faults = nullptr;
 };
 
 struct RunResult {

@@ -1,0 +1,6 @@
+int main(void) {
+  int x = 3;
+  *x = 4;
+  &(x + 1);
+  return "seven";
+}

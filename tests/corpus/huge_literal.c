@@ -1,0 +1,4 @@
+int main(void) {
+  long x = 999999999999999999999999999999999999999;
+  return (int)x;
+}

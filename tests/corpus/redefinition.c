@@ -1,0 +1,4 @@
+int f(void) { return 1; }
+int f(void) { return 2; }
+int f;
+int main(void) { return f(); }

@@ -1,0 +1,1 @@
+struct node { struct node *next; int

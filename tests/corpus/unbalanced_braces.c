@@ -1,0 +1,4 @@
+int main(void) {
+  if (1) {
+    return 0;
+}

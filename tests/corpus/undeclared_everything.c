@@ -1,0 +1,4 @@
+int main(void) {
+  frobnicate(quux, zorp);
+  return blivet;
+}

@@ -1,0 +1,2 @@
+/* this comment swallows the whole file
+int main(void) { return 0; }

@@ -1,0 +1,4 @@
+int main(void) {
+  char *s = "this string never ends;
+  return 0;
+}

@@ -1,0 +1,455 @@
+//===- tests/test_robustness.cpp - Fault injection, OOM, heap audit ------===//
+//
+// The failure story: deterministic failpoints (support::FaultInjector), the
+// collector's graceful OOM recovery ladder, the heap-integrity audit, and
+// the dangling-pointer detection the audit and GC_same_obj provide. See
+// docs/ROBUSTNESS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cord/Cord.h"
+#include "driver/Pipeline.h"
+#include "gc/Check.h"
+#include "gc/Collector.h"
+#include "gc/Roots.h"
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace gcsafe;
+using namespace gcsafe::gc;
+
+namespace {
+
+CollectorConfig quietConfig() {
+  CollectorConfig C;
+  C.BytesTrigger = ~size_t(0) >> 1; // never auto-collect
+  return C;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjector, SeedDeterminism) {
+  support::FaultInjector A(42), B(42), D(43);
+  support::FaultSpec S;
+  S.Site = "x";
+  S.Probability = 0.5;
+  A.arm(S);
+  B.arm(S);
+  D.arm(S);
+  size_t IdA = A.siteId("x"), IdB = B.siteId("x"), IdD = D.siteId("x");
+  int SameAsD = 0;
+  for (int I = 0; I < 256; ++I) {
+    bool FA = A.shouldFail(IdA);
+    EXPECT_EQ(FA, B.shouldFail(IdB)) << "same seed must agree at hit " << I;
+    SameAsD += FA == D.shouldFail(IdD);
+  }
+  EXPECT_LT(SameAsD, 256) << "different seeds should diverge";
+  EXPECT_GT(A.totalFires(), 0u);
+  EXPECT_EQ(A.totalFires(), B.totalFires());
+}
+
+TEST(FaultInjector, NthHitFiresExactlyOnce) {
+  support::FaultInjector FI(1);
+  support::FaultSpec S;
+  S.Site = "x";
+  S.NthHit = 5;
+  FI.arm(S);
+  size_t Id = FI.siteId("x");
+  for (int I = 1; I <= 20; ++I)
+    EXPECT_EQ(FI.shouldFail(Id), I == 5) << "hit " << I;
+  EXPECT_EQ(FI.totalFires(), 1u);
+  EXPECT_EQ(FI.totalHits(), 20u);
+}
+
+TEST(FaultInjector, EveryNAndMaxFires) {
+  support::FaultInjector FI(1);
+  support::FaultSpec S;
+  S.Site = "x";
+  S.Every = 4;
+  S.MaxFires = 2;
+  FI.arm(S);
+  size_t Id = FI.siteId("x");
+  std::vector<int> Fires;
+  for (int I = 1; I <= 20; ++I)
+    if (FI.shouldFail(Id))
+      Fires.push_back(I);
+  ASSERT_EQ(Fires.size(), 2u); // the x2 cap
+  EXPECT_EQ(Fires[0], 4);
+  EXPECT_EQ(Fires[1], 8);
+}
+
+TEST(FaultInjector, WildcardCoversFutureSites) {
+  support::FaultInjector FI(1);
+  support::FaultSpec S;
+  S.Site = "*";
+  FI.arm(S); // "always"
+  size_t Late = FI.siteId("registered.after.arm");
+  EXPECT_TRUE(FI.shouldFail(Late));
+}
+
+TEST(FaultInjector, ParseAcceptsSeedAndEntries) {
+  support::FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(support::FaultInjector::parse(
+      "7:heap.segment_alloc@p0.05,gc.alloc_small@n100x3,*@every64", FI,
+      Error))
+      << Error;
+  EXPECT_EQ(FI.seed(), 7u);
+  // The wildcard must have armed the named sites too.
+  for (const auto &C : FI.counters())
+    EXPECT_TRUE(C.Armed) << C.Name;
+}
+
+TEST(FaultInjector, ParseRejectsMalformedSpecs) {
+  support::FaultInjector FI;
+  std::string Error;
+  EXPECT_FALSE(support::FaultInjector::parse("x:site@p0.5", FI, Error));
+  EXPECT_FALSE(support::FaultInjector::parse("", FI, Error));
+  EXPECT_FALSE(support::FaultInjector::parse("noat", FI, Error));
+  EXPECT_FALSE(support::FaultInjector::parse("site@p2.0", FI, Error));
+  EXPECT_FALSE(support::FaultInjector::parse("site@n0", FI, Error));
+  EXPECT_FALSE(support::FaultInjector::parse("site@bogus", FI, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// OOM recovery ladder
+//===----------------------------------------------------------------------===//
+
+TEST(OomLadder, OverflowingRequestIsTooLarge) {
+  Collector C(quietConfig());
+  AllocResult R = C.tryAllocate(~size_t(0) - 4);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Status, AllocStatus::TooLarge);
+  EXPECT_EQ(R.Ptr, nullptr);
+}
+
+TEST(OomLadder, GracefulExhaustionReturnsTypedError) {
+  CollectorConfig Cfg = quietConfig();
+  Cfg.MaxHeapPages = 8;
+  Collector C(Cfg);
+  RootVector Live(C);
+  // Keep everything live so no recovery rung can help.
+  AllocResult R;
+  for (int I = 0; I < 10000; ++I) {
+    R = C.tryAllocate(64);
+    if (!R.ok())
+      break;
+    Live.push(R.Ptr);
+  }
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Status, AllocStatus::OutOfMemory);
+  EXPECT_GT(C.stats().AllocFailures, 0u);
+  EXPECT_GT(C.stats().EmergencyCollections, 0u);
+  EXPECT_GT(C.stats().OomRetriesPerformed, 0u);
+  // The raw-pointer surface degrades to null, not abort, under Graceful.
+  EXPECT_EQ(C.allocate(64), nullptr);
+  EXPECT_LE(C.stats().HeapPages, 8u);
+}
+
+TEST(OomLadder, EmergencyCollectionRecoversGarbage) {
+  CollectorConfig Cfg = quietConfig();
+  Cfg.MaxHeapPages = 8;
+  Collector C(Cfg);
+  // Nothing is rooted: the emergency collection reclaims every prior
+  // object, so a bounded heap serves an unbounded allocation stream.
+  for (int I = 0; I < 10000; ++I)
+    ASSERT_NE(C.allocate(64), nullptr) << "allocation " << I;
+  EXPECT_GT(C.stats().EmergencyCollections, 0u);
+  EXPECT_LE(C.stats().HeapPages, 8u);
+}
+
+TEST(OomLadder, CallbackIsLastResort) {
+  std::vector<void *> External;
+  CollectorConfig Cfg = quietConfig();
+  Cfg.MaxHeapPages = 4;
+  Cfg.OomFn = [&External](size_t Padded) -> void * {
+    void *P = std::malloc(Padded);
+    External.push_back(P);
+    return P;
+  };
+  Collector C(Cfg);
+  RootVector Live(C);
+  void *P = nullptr;
+  for (int I = 0; I < 10000 && External.empty(); ++I) {
+    P = C.allocate(64);
+    ASSERT_NE(P, nullptr);
+    Live.push(P);
+  }
+  ASSERT_FALSE(External.empty()) << "callback never reached";
+  EXPECT_EQ(P, External.back()); // the callback's memory was handed out
+  EXPECT_EQ(C.baseOf(P), nullptr) << "callback memory is outside the heap";
+  EXPECT_GT(C.stats().OomCallbackInvocations, 0u);
+  for (void *E : External)
+    std::free(E);
+}
+
+TEST(OomLadder, FailPolicySkipsRecovery) {
+  CollectorConfig Cfg = quietConfig();
+  Cfg.MaxHeapPages = 4;
+  Cfg.Oom = OomPolicy::Fail;
+  Collector C(Cfg);
+  RootVector Live(C);
+  AllocResult R;
+  for (int I = 0; I < 10000; ++I) {
+    R = C.tryAllocate(64);
+    if (!R.ok())
+      break;
+    Live.push(R.Ptr);
+  }
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(C.stats().EmergencyCollections, 0u);
+  EXPECT_EQ(C.stats().OomRetriesPerformed, 0u);
+  EXPECT_EQ(C.stats().OomCallbackInvocations, 0u);
+}
+
+TEST(OomLadder, InjectedTransientFaultRecovers) {
+  support::FaultInjector FI(1);
+  support::FaultSpec S;
+  S.Site = "gc.alloc_small";
+  S.NthHit = 1; // fail only the very first small-allocation attempt
+  FI.arm(S);
+  CollectorConfig Cfg = quietConfig();
+  Cfg.Faults = &FI;
+  Collector C(Cfg);
+  void *P = C.allocate(64);
+  EXPECT_NE(P, nullptr) << "ladder must absorb a transient failure";
+  EXPECT_EQ(C.stats().FaultsInjected, 1u);
+  EXPECT_GT(C.stats().EmergencyCollections, 0u);
+  EXPECT_EQ(C.stats().AllocFailures, 0u);
+}
+
+TEST(OomLadder, PersistentSegmentFaultFailsTyped) {
+  support::FaultInjector FI(1);
+  support::FaultSpec S;
+  S.Site = "heap.segment_alloc";
+  FI.arm(S); // always
+  CollectorConfig Cfg = quietConfig();
+  Cfg.Faults = &FI;
+  Collector C(Cfg);
+  AllocResult R = C.tryAllocate(64);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.Status, AllocStatus::OutOfMemory);
+  EXPECT_GT(C.stats().FaultsInjected, 0u);
+  EXPECT_EQ(C.stats().HeapPages, 0u);
+}
+
+TEST(OomLadder, PageTableGrowFaultRollsBack) {
+  support::FaultInjector FI(9);
+  support::FaultSpec S;
+  S.Site = "heap.page_table_grow";
+  S.NthHit = 2; // fail mid-run while registering a multi-page object
+  FI.arm(S);
+  CollectorConfig Cfg = quietConfig();
+  Cfg.Faults = &FI;
+  Cfg.OomRetries = 0;
+  Cfg.Oom = OomPolicy::Fail; // isolate the rollback, no retries
+  Collector C(Cfg);
+  AllocResult R = C.tryAllocate(3 * PageSize); // needs a 4-page run
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(C.stats().HeapPages, 0u) << "partial run must be rolled back";
+  // With the failpoint spent, the same request now succeeds and the heap
+  // is fully consistent.
+  R = C.tryAllocate(3 * PageSize);
+  EXPECT_TRUE(R.ok());
+  HeapAuditReport Audit = C.auditHeap();
+  EXPECT_TRUE(Audit.Ok) << (Audit.Violations.empty()
+                                ? std::string("?")
+                                : Audit.Violations.front());
+}
+
+//===----------------------------------------------------------------------===//
+// Heap integrity audit
+//===----------------------------------------------------------------------===//
+
+TEST(HeapAudit, CleanHeapPasses) {
+  Collector C(quietConfig());
+  RootVector Live(C);
+  for (int I = 0; I < 500; ++I) {
+    void *P = C.allocate(16 + (I % 8) * 32);
+    ASSERT_NE(P, nullptr);
+    if (I % 3 == 0)
+      Live.push(P);
+  }
+  Live.push(C.allocate(3 * PageSize)); // a large run too
+  C.collect();
+  HeapAuditReport R = C.auditHeap();
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? std::string("?")
+                                             : R.Violations.front());
+  EXPECT_EQ(R.ViolationCount, 0u);
+  EXPECT_GT(R.PagesAudited, 0u);
+  EXPECT_GT(R.ObjectsAudited, 0u);
+  EXPECT_GT(R.FreeSlotsAudited, 0u);
+  EXPECT_EQ(R.LargeRunsAudited, 1u);
+  EXPECT_EQ(C.stats().AuditsRun, 1u);
+  EXPECT_EQ(C.stats().AuditViolations, 0u);
+}
+
+TEST(HeapAudit, DetectsPoisonDamageFromDanglingWrite) {
+  Collector C(quietConfig());
+  RootVector Live(C);
+  Live.push(C.allocate(64)); // keeps the page PK_Small after the free
+  void *P = C.allocate(64);
+  ASSERT_NE(P, nullptr);
+  C.deallocate(P);
+  // Premature free in action: write through the dangling pointer, past the
+  // free-list header the collector itself maintains in the first bytes.
+  static_cast<unsigned char *>(P)[16] = 0x42;
+  HeapAuditReport R = C.auditHeap();
+  EXPECT_FALSE(R.Ok);
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_NE(R.Violations[0].find("poison"), std::string::npos)
+      << R.Violations[0];
+  EXPECT_GT(C.stats().AuditViolations, 0u);
+}
+
+TEST(HeapAudit, DetectsMarkWithoutAlloc) {
+  Collector C(quietConfig());
+  void *P = C.allocate(64);
+  ASSERT_NE(P, nullptr);
+  PageDescriptor *D = C.pageTable().lookup(P);
+  ASSERT_NE(D, nullptr);
+  unsigned Slot = static_cast<unsigned>(
+      (static_cast<char *>(P) - D->PageStart) / D->ObjSize);
+  C.deallocate(P);
+  D->setMarkBit(Slot); // corrupt: marked but free
+  HeapAuditReport R = C.auditHeap();
+  EXPECT_FALSE(R.Ok);
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_NE(R.Violations[0].find("marked but not allocated"),
+            std::string::npos)
+      << R.Violations[0];
+}
+
+TEST(HeapAudit, RunsAfterEveryCollectionWhenConfigured) {
+  CollectorConfig Cfg = quietConfig();
+  Cfg.AuditEachCollection = true;
+  Collector C(Cfg);
+  RootVector Live(C);
+  for (int I = 0; I < 100; ++I)
+    Live.push(C.allocate(48));
+  C.collect();
+  C.collect();
+  EXPECT_EQ(C.stats().AuditsRun, 2u);
+  EXPECT_EQ(C.stats().AuditViolations, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Premature free is caught (GC_same_obj on dangling pointers)
+//===----------------------------------------------------------------------===//
+
+TEST(PrematureFree, SameObjCatchesDanglingBase) {
+  Collector C(quietConfig());
+  PointerCheck Check(C);
+  void *P = C.allocate(64);
+  ASSERT_NE(P, nullptr);
+  Check.sameObj(static_cast<char *>(P) + 8, P);
+  EXPECT_EQ(Check.violationCount(), 0u);
+  C.deallocate(P);
+  ASSERT_TRUE(C.pointsToFreedObject(P));
+  // Arithmetic whose base operand is a dangling interior pointer is a
+  // violation, not a silent skip.
+  Check.sameObj(static_cast<char *>(P) + 8, P);
+  EXPECT_EQ(Check.violationCount(), 1u);
+  // Non-heap bases (stack, statics) are still skipped, as in the paper.
+  int Local = 0;
+  Check.sameObj(&Local + 1, &Local);
+  EXPECT_EQ(Check.violationCount(), 1u);
+}
+
+TEST(PrematureFree, SweptObjectCaughtBySameObjAndAudit) {
+  Collector C(quietConfig());
+  RootVector Live(C);
+  Live.push(C.allocate(64)); // page survives the collection
+  void *P = C.allocate(64);  // unrooted: swept below
+  ASSERT_NE(P, nullptr);
+  PointerCheck Check(C);
+  C.collect();
+  ASSERT_TRUE(C.pointsToFreedObject(P)) << "object should have been swept";
+  Check.sameObj(static_cast<char *>(P) + 4, P);
+  EXPECT_EQ(Check.violationCount(), 1u);
+  static_cast<unsigned char *>(P)[20] = 0x99; // write-after-free
+  EXPECT_FALSE(C.auditHeap().Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Cord library degradation
+//===----------------------------------------------------------------------===//
+
+TEST(CordOom, DegradesToEmptyNotCrash) {
+  CollectorConfig Cfg = quietConfig();
+  Cfg.MaxHeapPages = 4;
+  Collector C(Cfg);
+  cord::CordHeap H(C);
+  gc::RootVector Pin(C);
+  cord::Cord Acc = H.fromString("0123456789abcdef0123456789abcdef!");
+  Pin.push(const_cast<cord::CordRep *>(Acc.rep()));
+  for (int I = 0; I < 4096 && !H.allocationFailed(); ++I) {
+    Acc = H.concat(Acc, H.fromString("0123456789abcdef"));
+    Pin[0] = const_cast<cord::CordRep *>(Acc.rep());
+  }
+  EXPECT_TRUE(H.allocationFailed()) << "a 4-page heap cannot hold that";
+  // Still a usable (degraded) value, and the heap is still sound.
+  (void)Acc.length();
+  EXPECT_TRUE(C.auditHeap().Ok);
+  H.clearAllocationFailure();
+  EXPECT_FALSE(H.allocationFailed());
+}
+
+//===----------------------------------------------------------------------===//
+// VM surfaces OOM as a structured error
+//===----------------------------------------------------------------------===//
+
+TEST(VmOom, LiveListExhaustionIsStructuredError) {
+  const char *Source =
+      "struct cell { struct cell *next; long pad[31]; };\n"
+      "int main(void) {\n"
+      "  struct cell *head;\n"
+      "  struct cell *n;\n"
+      "  long i;\n"
+      "  head = 0;\n"
+      "  for (i = 0; i < 100000; i = i + 1) {\n"
+      "    n = (struct cell *)gc_malloc(sizeof(struct cell));\n"
+      "    n->next = head;\n"
+      "    head = n;\n"
+      "  }\n"
+      "  return head != 0;\n"
+      "}\n";
+  vm::VMOptions VO;
+  VO.GcMaxHeapPages = 64; // 256 KiB: fills after ~1000 cells
+  vm::RunResult R = driver::compileAndRun("vm_oom.c", Source,
+                                          driver::CompileMode::O2Safe, VO);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of memory"), std::string::npos) << R.Error;
+  EXPECT_GT(R.Gc.AllocFailures, 0u);
+  EXPECT_LE(R.Gc.HeapPages, 64u);
+}
+
+TEST(VmOom, GarbageWorkloadSurvivesBoundedHeapWithAudit) {
+  const char *Source =
+      "int main(void) {\n"
+      "  long i;\n"
+      "  for (i = 0; i < 20000; i = i + 1)\n"
+      "    gc_malloc(64);\n"
+      "  return 0;\n"
+      "}\n";
+  vm::VMOptions VO;
+  VO.GcMaxHeapPages = 16;
+  VO.GcAuditEachCollection = true;
+  vm::RunResult R = driver::compileAndRun("vm_churn.c", Source,
+                                          driver::CompileMode::O2Safe, VO);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.Gc.AuditsRun, 0u);
+  EXPECT_EQ(R.Gc.AuditViolations, 0u);
+  EXPECT_LE(R.Gc.HeapPages, 16u);
+}

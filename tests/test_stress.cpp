@@ -1,0 +1,199 @@
+//===- tests/test_stress.cpp - Seed-sweeping fault-injection stress ------===//
+//
+// The acceptance harness for the robustness work: sweep many fault-injection
+// seeds over an allocation/collection churn workload with heap auditing
+// after every collection, and prove that every injected failure either
+// recovers or degrades to a typed error — never a crash, never a corrupted
+// heap. Registered under the `stress` ctest label.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cord/Cord.h"
+#include "gc/Collector.h"
+#include "gc/Roots.h"
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+using namespace gcsafe;
+using namespace gcsafe::gc;
+
+namespace {
+
+/// Local deterministic stream for workload shaping, independent of the
+/// injector's stream so arming more sites never changes the allocation mix.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+};
+
+/// One churn run under one fault seed. Every allocation outcome must be
+/// either a valid pointer or a typed failure; the audit after every
+/// collection (and a final explicit one) must stay clean.
+void churn(uint64_t Seed) {
+  SCOPED_TRACE("fault seed " + std::to_string(Seed));
+
+  support::FaultInjector FI(Seed);
+  for (const char *Site :
+       {"heap.segment_alloc", "gc.alloc_small", "gc.alloc_large",
+        "heap.page_table_grow"}) {
+    support::FaultSpec S;
+    S.Site = Site;
+    S.Probability = 0.03;
+    FI.arm(S);
+  }
+
+  CollectorConfig Cfg;
+  Cfg.BytesTrigger = 64 * 1024; // collect often
+  Cfg.MaxHeapPages = 64;        // bounded heap: the OOM ladder gets work
+  Cfg.AuditEachCollection = true;
+  Cfg.Faults = &FI;
+  Collector C(Cfg);
+  RootVector Live(C);
+  Rng R(Seed);
+
+  size_t TypedFailures = 0;
+  for (int I = 0; I < 3000; ++I) {
+    switch (R.next() % 8) {
+    case 0:
+    case 1:
+    case 2: { // small, kept live for a while
+      AllocResult A = C.tryAllocate(16 + R.next() % 256);
+      if (A.ok())
+        Live.push(A.Ptr);
+      else
+        ++TypedFailures;
+      break;
+    }
+    case 3: { // small atomic garbage
+      AllocResult A = C.tryAllocateAtomic(8 + R.next() % 128);
+      if (!A.ok())
+        ++TypedFailures;
+      break;
+    }
+    case 4: { // large object, immediately garbage
+      AllocResult A = C.tryAllocate(PageSize + R.next() % (3 * PageSize));
+      if (!A.ok())
+        ++TypedFailures;
+      break;
+    }
+    case 5: // drop a root: creates garbage for the next collection
+      if (Live.size() > 0)
+        Live.pop();
+      break;
+    case 6: // explicit free of a rooted object, then forget it
+      if (Live.size() > 4) {
+        C.deallocate(Live[Live.size() - 1]);
+        Live.pop();
+      }
+      break;
+    case 7:
+      if (I % 11 == 0)
+        C.collect();
+      break;
+    }
+  }
+  C.collect();
+
+  const CollectorStats &S = C.stats();
+  EXPECT_EQ(S.AuditViolations, 0u)
+      << "audits run: " << S.AuditsRun << ", faults: " << S.FaultsInjected;
+  EXPECT_GT(S.AuditsRun, 0u);
+  EXPECT_LE(S.HeapPages, 64u);
+  HeapAuditReport Final = C.auditHeap();
+  EXPECT_TRUE(Final.Ok) << (Final.Violations.empty()
+                                ? std::string("?")
+                                : Final.Violations.front());
+  // A fired fault must surface as either a recovery (emergency collection /
+  // retry) or a typed failure — the run itself got here, so no crash.
+  if (FI.totalFires() > 0) {
+    EXPECT_TRUE(S.EmergencyCollections > 0 || TypedFailures > 0 ||
+                S.OomRetriesPerformed > 0)
+        << "fires: " << FI.totalFires();
+  }
+}
+
+/// Cord churn under injected faults: the library must degrade (shorter or
+/// empty cords, AllocFailed flag) rather than crash or corrupt the heap.
+void cordChurn(uint64_t Seed) {
+  SCOPED_TRACE("cord fault seed " + std::to_string(Seed));
+
+  support::FaultInjector FI(Seed);
+  support::FaultSpec S;
+  S.Site = "*";
+  S.Probability = 0.05;
+  FI.arm(S);
+
+  CollectorConfig Cfg;
+  Cfg.BytesTrigger = 32 * 1024;
+  Cfg.MaxHeapPages = 32;
+  Cfg.AuditEachCollection = true;
+  Cfg.Faults = &FI;
+  Collector C(Cfg);
+  cord::CordHeap H(C);
+  RootVector Pin(C);
+  Rng R(Seed);
+
+  cord::Cord Acc;
+  Pin.push(nullptr);
+  for (int I = 0; I < 400; ++I) {
+    switch (R.next() % 4) {
+    case 0:
+    case 1:
+      Acc = H.concat(Acc, H.fromString("the quick brown fox"));
+      break;
+    case 2:
+      if (Acc.length() > 8)
+        Acc = H.substr(Acc, 2, Acc.length() / 2);
+      break;
+    case 3:
+      Acc = cord::Cord(); // drop it all; the next collection reclaims
+      break;
+    }
+    Pin[0] = const_cast<cord::CordRep *>(Acc.rep());
+  }
+  (void)Acc.length();
+
+  EXPECT_EQ(C.stats().AuditViolations, 0u);
+  EXPECT_TRUE(C.auditHeap().Ok);
+}
+
+} // namespace
+
+TEST(StressSweep, CollectorChurnAcross32Seeds) {
+  for (uint64_t Seed = 1; Seed <= 32; ++Seed)
+    churn(Seed);
+}
+
+TEST(StressSweep, CordChurnAcross16Seeds) {
+  for (uint64_t Seed = 101; Seed <= 116; ++Seed)
+    cordChurn(Seed);
+}
+
+TEST(StressSweep, AggressiveAlwaysFireStillTyped) {
+  // Every failpoint always fires: nothing can ever be allocated, and every
+  // surface must say so with a typed error.
+  support::FaultInjector FI(7);
+  support::FaultSpec S;
+  S.Site = "*";
+  FI.arm(S);
+  CollectorConfig Cfg;
+  Cfg.Faults = &FI;
+  Collector C(Cfg);
+  for (int I = 0; I < 64; ++I) {
+    AllocResult A = C.tryAllocate(32 + I);
+    EXPECT_FALSE(A.ok());
+    EXPECT_EQ(A.Status, AllocStatus::OutOfMemory);
+  }
+  EXPECT_EQ(C.stats().HeapPages, 0u);
+  EXPECT_TRUE(C.auditHeap().Ok);
+}

@@ -109,7 +109,13 @@ def check_trace(doc):
 GC_KEYS = ["collections", "alloc_count", "alloc_bytes", "heap_pages",
            "live_bytes_after_last_gc", "freed_objects_last_gc", "mark_ns",
            "sweep_ns", "words_scanned", "pointer_hits", "marked_objects",
-           "interior_pointer_hits", "false_retention_candidates", "events"]
+           "interior_pointer_hits", "false_retention_candidates", "oom",
+           "audit", "events"]
+
+GC_OOM_KEYS = ["emergency_collections", "retries", "callback_invocations",
+               "alloc_failures", "faults_injected", "segment_backoffs"]
+
+GC_AUDIT_KEYS = ["runs", "violations"]
 
 GC_EVENT_KEYS = ["index", "mark_ns", "sweep_ns", "pages_scanned",
                  "words_scanned", "pointer_hits", "marked_objects",
@@ -188,8 +194,14 @@ def check_run_report(doc):
     gc = run["gc"]
     expect_keys(gc, "$.run.gc", GC_KEYS)
     for key in GC_KEYS:
-        if key != "events":
+        if key not in ("events", "oom", "audit"):
             expect_num(gc, "$.run.gc", key, integer=True)
+    expect_keys(gc["oom"], "$.run.gc.oom", GC_OOM_KEYS)
+    for key in GC_OOM_KEYS:
+        expect_num(gc["oom"], "$.run.gc.oom", key, integer=True)
+    expect_keys(gc["audit"], "$.run.gc.audit", GC_AUDIT_KEYS)
+    for key in GC_AUDIT_KEYS:
+        expect_num(gc["audit"], "$.run.gc.audit", key, integer=True)
     events = gc["events"]
     expect(isinstance(events, list), "$.run.gc.events", "expected an array")
     for i, ev in enumerate(events):

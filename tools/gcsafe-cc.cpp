@@ -56,6 +56,19 @@ void usage() {
       "  --machine=sparc2|sparc10|pentium90\n"
       "  --gc-period=N --gc-alloc-trigger=N --gc-call-period=N\n"
       "  --no-opt1 --no-opt2 --slow-bases --at-calls-only\n"
+      "  --oom-policy=graceful|fail|abort   what allocation exhaustion does\n"
+      "                             (default graceful: recovery ladder,\n"
+      "                             then a structured run error)\n"
+      "  --oom-retries=N            recovery retries after the emergency\n"
+      "                             collection (default 3)\n"
+      "  --max-heap-pages=N         hard cap on GC heap pages (0=unlimited)\n"
+      "  --heap-audit               run a heap-integrity audit after every\n"
+      "                             collection; violations are reported\n"
+      "  --fail-inject=SEED:SPEC    arm deterministic failpoints, e.g.\n"
+      "                             7:heap.segment_alloc@p0.05,*@n100\n"
+      "                             (sites: heap.segment_alloc,\n"
+      "                             heap.page_table_grow, gc.alloc_small,\n"
+      "                             gc.alloc_large)\n"
       "  --stats                    human-readable statistics on stderr\n"
       "  --stats-json[=FILE]        gcsafe-run-report-v1 JSON (implies\n"
       "                             --run; without =FILE the report goes to\n"
@@ -101,6 +114,8 @@ int main(int argc, char **argv) {
   bool StatsJson = false, TraceJson = false;
   std::string StatsJsonPath, TraceJsonPath, MachineName = "sparc10";
   std::string InputPath;
+  support::FaultInjector Faults;
+  bool UseFaults = false;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -172,6 +187,32 @@ int main(int argc, char **argv) {
       VO.GcAllocTrigger = std::strtoull(Rest, nullptr, 10);
     } else if (startsWith(Arg, "--gc-call-period=", Rest)) {
       VO.GcCallPeriod = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--oom-policy=", Rest)) {
+      std::string P = Rest;
+      if (P == "graceful")
+        VO.GcOomPolicy = gc::OomPolicy::Graceful;
+      else if (P == "fail")
+        VO.GcOomPolicy = gc::OomPolicy::Fail;
+      else if (P == "abort")
+        VO.GcOomPolicy = gc::OomPolicy::Abort;
+      else {
+        std::fprintf(stderr, "unknown OOM policy '%s'\n", Rest);
+        return 2;
+      }
+    } else if (startsWith(Arg, "--oom-retries=", Rest)) {
+      VO.GcOomRetries =
+          static_cast<unsigned>(std::strtoul(Rest, nullptr, 10));
+    } else if (startsWith(Arg, "--max-heap-pages=", Rest)) {
+      VO.GcMaxHeapPages = std::strtoull(Rest, nullptr, 10);
+    } else if (!std::strcmp(Arg, "--heap-audit")) {
+      VO.GcAuditEachCollection = true;
+    } else if (startsWith(Arg, "--fail-inject=", Rest)) {
+      std::string Error;
+      if (!support::FaultInjector::parse(Rest, Faults, Error)) {
+        std::fprintf(stderr, "bad --fail-inject spec: %s\n", Error.c_str());
+        return 2;
+      }
+      UseFaults = true;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
       usage();
       return 0;
@@ -196,6 +237,8 @@ int main(int argc, char **argv) {
   support::TraceBuffer Trace;
   support::TraceBuffer *TraceSink = TraceJson ? &Trace : nullptr;
   VO.Trace = TraceSink;
+  if (UseFaults)
+    VO.Faults = &Faults;
 
   std::string Source;
   if (InputPath == "-") {
@@ -327,10 +370,27 @@ int main(int argc, char **argv) {
   }
   if (TraceJson && !writeReport(TraceJsonPath, Trace.toJson().dump()))
     return 1;
+  if (R.Gc.AuditViolations)
+    std::fprintf(stderr,
+                 "gcsafe-cc: heap audit found %llu violation(s) over %llu "
+                 "audit(s)\n",
+                 static_cast<unsigned long long>(R.Gc.AuditViolations),
+                 static_cast<unsigned long long>(R.Gc.AuditsRun));
+  if (UseFaults && Stats)
+    std::fprintf(stderr,
+                 "fault injection: %llu hits, %llu fires; recovery: %llu "
+                 "emergency collections, %llu retries, %llu alloc failures\n",
+                 static_cast<unsigned long long>(Faults.totalHits()),
+                 static_cast<unsigned long long>(Faults.totalFires()),
+                 static_cast<unsigned long long>(R.Gc.EmergencyCollections),
+                 static_cast<unsigned long long>(R.Gc.OomRetriesPerformed),
+                 static_cast<unsigned long long>(R.Gc.AllocFailures));
   if (!R.Ok) {
     std::fprintf(stderr, "gcsafe-cc: runtime error: %s\n", R.Error.c_str());
     return 1;
   }
+  if (R.Gc.AuditViolations)
+    return 1;
   if (Stats || R.CheckViolations || R.FreedAccesses)
     std::fprintf(stderr,
                  "[%s on %s] cycles=%llu instructions=%llu collections=%llu "

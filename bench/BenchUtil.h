@@ -23,6 +23,7 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -133,10 +134,16 @@ public:
     return Doc;
   }
 
-  /// Writes BENCH_<name>.json next to the binary's working directory.
-  /// Returns false (with a note on stderr) on I/O failure.
+  /// Writes BENCH_<name>.json into $GCSAFE_BENCH_DIR (when set; it must
+  /// already exist) or the working directory. The env override is what
+  /// lets the bench_gate ctest collect fresh outputs away from the
+  /// committed bench/baselines/. Returns false (with a note on stderr) on
+  /// I/O failure.
   bool write() const {
     std::string Path = "BENCH_" + Bench + ".json";
+    if (const char *Dir = std::getenv("GCSAFE_BENCH_DIR"))
+      if (*Dir)
+        Path = std::string(Dir) + "/" + Path;
     std::string Text = toJson().dump(2);
     Text.push_back('\n');
     std::FILE *F = std::fopen(Path.c_str(), "w");

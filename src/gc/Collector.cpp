@@ -166,6 +166,12 @@ AllocResult Collector::tryAllocateImpl(size_t Size, bool Atomic) {
     return {nullptr, AllocStatus::OutOfMemory};
   }
   std::memset(Result, 0, Padded);
+  // OomFn can hand out memory outside the collected heap; only heap
+  // objects enter the profile (the sweep never reports frees for the
+  // rest, and the live-bytes invariant is over heap objects only).
+  if (Config.Profile && baseOf(Result) == Result)
+    Config.Profile->recordAlloc(Result, Size, Padded, CurAllocSite,
+                                Stats.Collections);
   return {Result, AllocStatus::Ok};
 }
 
@@ -515,15 +521,21 @@ void Collector::markAddress(uintptr_t Addr, bool FromHeap) {
 
   bool Interior = Addr != reinterpret_cast<uintptr_t>(Base);
   ++CurEvent.PointerHits;
-  if (Interior)
+  if (Interior) {
     ++CurEvent.InteriorHits;
+    if (Config.Profile)
+      Config.Profile->recordInteriorHit(Base);
+  }
 
   if (BitsDesc->markBit(BitSlot))
     return;
   BitsDesc->setMarkBit(BitSlot);
   ++CurEvent.MarkedObjects;
-  if (Interior)
+  if (Interior) {
     ++CurEvent.FalseRetentionCandidates;
+    if (Config.Profile)
+      Config.Profile->recordFalseRetention(Base);
+  }
   if (!Atomic)
     MarkStack.push_back({Base, Size});
 }
@@ -648,6 +660,9 @@ void Collector::sweep() {
         if (Desc->allocBit(Slot) && !Desc->markBit(Slot)) {
           Desc->clearAllocBit(Slot);
           ++Freed;
+          if (Config.Profile)
+            Config.Profile->recordFree(
+                Desc->PageStart + size_t(Slot) * Desc->ObjSize, CurEvent.Index);
           if (Config.PoisonOnFree)
             std::memset(Desc->PageStart + size_t(Slot) * Desc->ObjSize,
                         PoisonByte, Desc->ObjSize);
@@ -681,6 +696,8 @@ void Collector::sweep() {
         break;
       }
       ++Freed;
+      if (Config.Profile)
+        Config.Profile->recordFree(Desc->PageStart, CurEvent.Index);
       if (Config.PoisonOnFree)
         std::memset(Desc->PageStart, PoisonByte, Desc->LargeSize);
       Desc->clearAllocBit(0);
@@ -700,12 +717,17 @@ void Collector::sweep() {
 
   Stats.LiveBytesAfterLastGC = LiveBytes;
   Stats.FreedObjectsLastGC = Freed;
+
+  if (Config.Profile)
+    Config.Profile->snapshotAfterGc();
 }
 
 void Collector::deallocate(void *P) {
   void *Base = baseOf(P);
   if (!Base)
     return;
+  if (Config.Profile)
+    Config.Profile->recordFree(Base, Stats.Collections);
   PageDescriptor *Desc = Table.lookup(Base);
   if (Desc->Kind == PageKind::PK_Small) {
     unsigned Slot = static_cast<unsigned>(

@@ -34,6 +34,7 @@
 
 #include "gc/Heap.h"
 #include "support/FaultInject.h"
+#include "support/Profile.h"
 #include "support/Trace.h"
 
 #include <cstddef>
@@ -165,6 +166,12 @@ struct CollectorConfig {
   /// gc.alloc_small, gc.alloc_large) and fail on demand, exercising the
   /// OOM ladder deterministically.
   support::FaultInjector *Faults = nullptr;
+
+  /// Optional allocation-site heap profiler (docs/OBSERVABILITY.md §6).
+  /// When set, every successful allocation, sweep/deallocate free, and
+  /// mark-time interior/false-retention hit is reported to it, attributed
+  /// to the site last passed to Collector::setAllocSite().
+  support::HeapProfile *Profile = nullptr;
 };
 
 /// One collection, as observed by the instrumentation: timing for the two
@@ -327,6 +334,12 @@ public:
   const CollectorConfig &config() const { return Config; }
   void setAllocCountTrigger(size_t N) { Config.AllocCountTrigger = N; }
 
+  /// Tags subsequent allocations with an allocation site interned in
+  /// Config.Profile (HeapProfile::UntaggedSite = untagged). The VM sets
+  /// this before each gc_malloc/calloc/realloc builtin; the tag is sticky
+  /// until the next call. No-op without a profiler attached.
+  void setAllocSite(size_t Site) { CurAllocSite = Site; }
+
   /// Test hook: the page table.
   const PageTable &pageTable() const { return Table; }
 
@@ -386,6 +399,7 @@ private:
   std::vector<MarkItem> MarkStack;
 
   CollectionEvent CurEvent; ///< Scratch for the collection in progress.
+  size_t CurAllocSite = support::HeapProfile::UntaggedSite;
   size_t BytesSinceGC = 0;
   size_t AllocsSinceGC = 0;
   unsigned DisableDepth = 0;

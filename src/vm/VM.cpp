@@ -39,6 +39,7 @@ VM::VM(const Module &MIn, VMOptions Options) : M(MIn), Opts(std::move(Options)) 
   GC.MaxHeapPages = Opts.GcMaxHeapPages;
   GC.AuditEachCollection = Opts.GcAuditEachCollection;
   GC.Faults = Opts.Faults;
+  GC.Profile = Opts.Profile ? &Opts.Profile->Heap : nullptr;
   C = std::make_unique<gc::Collector>(GC);
   Check = std::make_unique<gc::PointerCheck>(*C);
 
@@ -170,6 +171,94 @@ unsigned VM::instructionCycles(const Instruction &I) const {
   }
 }
 
+void VM::tagAllocSite(const Frame &Fr, const Instruction &I,
+                      const char *Kind) {
+  if (!Opts.Profile)
+    return;
+  auto It = SiteCache.find(&I);
+  if (It == SiteCache.end()) {
+    auto OffIt = BlockOffsetCache.find(Fr.F);
+    if (OffIt == BlockOffsetCache.end()) {
+      std::vector<uint32_t> Offsets;
+      Offsets.reserve(Fr.F->Blocks.size());
+      uint32_t Off = 0;
+      for (const BasicBlock &B : Fr.F->Blocks) {
+        Offsets.push_back(Off);
+        Off += static_cast<uint32_t>(B.Insts.size());
+      }
+      OffIt = BlockOffsetCache.emplace(Fr.F, std::move(Offsets)).first;
+    }
+    // Fr.IP was already advanced past I by the dispatch loop.
+    uint32_t Flat = OffIt->second[Fr.Block] + Fr.IP - 1;
+    size_t Site = Opts.Profile->Heap.internSite(Fr.F->Name, Flat, Kind);
+    It = SiteCache.emplace(&I, Site).first;
+  }
+  C->setAllocSite(It->second);
+}
+
+namespace {
+/// Sampling-profiler category for the executing instruction: the cycle
+/// attribution buckets of RunResult, refined with memory/branch/call/alu.
+const char *sampleKind(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::KeepLive:
+    return "keep_live";
+  case Opcode::CheckSameObj:
+    return "checks";
+  case Opcode::Kill:
+    return "kill";
+  case Opcode::Load:
+  case Opcode::LoadIdx:
+  case Opcode::Store:
+  case Opcode::StoreIdx:
+  case Opcode::AddrLocal:
+  case Opcode::AddrGlobal:
+    return "memory";
+  case Opcode::Jmp:
+  case Opcode::Br:
+    return "branch";
+  case Opcode::Call:
+    switch (I.BuiltinCallee) {
+    case Builtin::GcMalloc:
+    case Builtin::GcMallocAtomic:
+    case Builtin::Malloc:
+    case Builtin::Calloc:
+    case Builtin::Realloc:
+      return "allocator";
+    case Builtin::SameObj:
+    case Builtin::PreIncr:
+    case Builtin::PostIncr:
+      return "checks";
+    default:
+      return "call";
+    }
+  case Opcode::Ret:
+    return "call";
+  default:
+    return "alu";
+  }
+}
+} // namespace
+
+void VM::recordCycleSample(const Function *Leaf, const Instruction &I) {
+  uint64_t Weight = Result.Cycles - LastSampleCycles;
+  LastSampleCycles = Result.Cycles;
+  // Stack at sample time; the executing function may already have returned
+  // (Ret) or called out (Call), so force it to be the leaf.
+  std::string Stack;
+  for (const Frame &Fr : Frames) {
+    if (!Stack.empty())
+      Stack += ';';
+    Stack += Fr.F->Name;
+  }
+  if (Frames.empty() || Frames.back().F != Leaf) {
+    if (!Stack.empty())
+      Stack += ';';
+    Stack += Leaf->Name;
+  }
+  Opts.Profile->Cycles.addSample(Stack, Leaf->Name, sampleKind(I), Weight);
+}
+
 bool VM::checkMemoryAccess(uint64_t Addr, const char *What) {
   if (Addr < 0x1000) {
     fail(std::string("null/small-pointer dereference in ") + What);
@@ -211,6 +300,8 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
     uint64_t Size = Arg(0);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
+    tagAllocSite(Fr, I,
+                 I.BuiltinCallee == Builtin::Malloc ? "malloc" : "GC_malloc");
     void *P = AllocOrFail(Size, false, "GC_malloc");
     if (!P)
       return;
@@ -223,6 +314,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
     uint64_t Size = Arg(0);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
+    tagAllocSite(Fr, I, "GC_malloc_atomic");
     void *P = AllocOrFail(Size, true, "GC_malloc_atomic");
     if (!P)
       return;
@@ -241,6 +333,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
     uint64_t Size = N * Each;
     ++Result.AllocCount;
     Result.AllocBytes += Size;
+    tagAllocSite(Fr, I, "calloc");
     void *P = AllocOrFail(Size, false, "calloc");
     if (!P)
       return;
@@ -254,6 +347,7 @@ void VM::runBuiltin(Frame &Fr, const Instruction &I) {
     uint64_t Size = Arg(1);
     ++Result.AllocCount;
     Result.AllocBytes += Size;
+    tagAllocSite(Fr, I, "realloc");
     void *New = AllocOrFail(Size, false, "realloc");
     if (!New)
       return;
@@ -367,6 +461,10 @@ RunResult VM::run() {
   if (!InGlobalInit)
     pushFrame(M.Functions[M.MainIndex], {}, NoReg);
 
+  const uint64_t SampleEvery =
+      Opts.Profile ? Opts.Profile->SamplePeriodCycles : 0;
+  LastSampleCycles = 0;
+
   while (!Halted && !Frames.empty()) {
     Frame &Fr = Frames.back();
     const BasicBlock &Blk = Fr.F->Blocks[Fr.Block];
@@ -376,6 +474,7 @@ RunResult VM::run() {
       break;
     }
     const Instruction &I = Blk.Insts[Fr.IP];
+    const Function *ExecF = Fr.F;
     ++Fr.IP;
 
     ++Result.InstructionsExecuted;
@@ -650,6 +749,13 @@ RunResult VM::run() {
         Fr.Regs[I.A.Reg] = 0;
       break;
     }
+
+    // Cycle sampling: the period elapsed sometime during this instruction
+    // (it may charge several cycle sources at once — spill penalties,
+    // builtin costs); attribute the whole gap to it. Fr may dangle after a
+    // Call/Ret, so the captured ExecF carries the leaf.
+    if (SampleEvery && Result.Cycles - LastSampleCycles >= SampleEvery)
+      recordCycleSample(ExecF, I);
 
     if (Opts.GcInstructionPeriod &&
         Result.InstructionsExecuted % Opts.GcInstructionPeriod == 0)

@@ -93,6 +93,13 @@ struct VMOptions {
   bool GcAuditEachCollection = false;
   /// Optional failpoint registry passed through to the collector.
   support::FaultInjector *Faults = nullptr;
+
+  /// Optional profiler (docs/OBSERVABILITY.md §6). When set, its
+  /// HeapProfile is attached to the collector and every allocation builtin
+  /// is tagged with its (function, flat instruction index) site; when
+  /// Profile->SamplePeriodCycles > 0 the VM additionally records one cycle
+  /// sample (call stack + leaf instruction kind) per period.
+  support::Profiler *Profile = nullptr;
 };
 
 struct RunResult {
@@ -169,6 +176,9 @@ private:
   unsigned instructionCycles(const ir::Instruction &I) const;
   const std::vector<unsigned> &pressurePenalties(const ir::Function &F);
   void runBuiltin(Frame &Fr, const ir::Instruction &I);
+  void tagAllocSite(const Frame &Fr, const ir::Instruction &I,
+                    const char *Kind);
+  void recordCycleSample(const ir::Function *Leaf, const ir::Instruction &I);
   bool checkMemoryAccess(uint64_t Addr, const char *What);
   void fail(const std::string &Message);
 
@@ -189,6 +199,14 @@ private:
 
   std::unordered_map<const ir::Function *, std::vector<unsigned>>
       PressureCache;
+
+  // Profiling state (unused when Opts.Profile is null). Site ids are
+  // cached per allocation instruction; flat instruction indices come from
+  // per-function block-offset prefix sums, cached like PressureCache.
+  std::unordered_map<const ir::Instruction *, size_t> SiteCache;
+  std::unordered_map<const ir::Function *, std::vector<uint32_t>>
+      BlockOffsetCache;
+  uint64_t LastSampleCycles = 0;
 };
 
 } // namespace vm

@@ -6,13 +6,17 @@ Schemas (see docs/OBSERVABILITY.md):
   gcsafe-bench-v1       BENCH_<name>.json, written by every bench_* binary
   gcsafe-run-report-v1  gcsafe-cc --stats-json
   gcsafe-trace-v1       gcsafe-cc --trace-json
+  gcsafe-profile-v1     gcsafe-cc --profile-json
 
 Usage:
   check_bench_json.py FILE [FILE...]   validate the named report files
   check_bench_json.py --scan DIR       validate every BENCH_*.json under DIR
+  check_bench_json.py --chrome FILE    validate a Chrome trace_event file
+                                       (gcsafe-cc --trace-chrome output)
 
 Files are dispatched on their top-level "schema" field, so the same checker
-covers all three formats. Exits nonzero (listing each problem) if any file
+covers all four formats; Chrome traces carry no schema field and are named
+explicitly with --chrome. Exits nonzero (listing each problem) if any file
 fails; a --scan that finds no BENCH_*.json at all is also an error, so the
 ctest wiring catches a bench that silently stopped emitting its report.
 """
@@ -211,10 +215,138 @@ def check_run_report(doc):
             expect_num(ev, path, key, integer=True)
 
 
+# --- gcsafe-profile-v1 ------------------------------------------------------
+
+SITE_KEYS = ["id", "function", "inst_index", "kind", "allocs",
+             "bytes_requested", "bytes_padded", "freed", "live_bytes",
+             "live_objects", "peak_live_bytes", "interior_hits",
+             "false_retentions", "age_histogram"]
+
+
+def check_profile(doc):
+    expect_keys(doc, "$", ["schema", "input", "mode", "machine",
+                           "sample_period_cycles", "heap", "cycles"])
+    for key in ("input", "mode", "machine"):
+        expect_str(doc, "$", key)
+    expect_num(doc, "$", "sample_period_cycles", integer=True)
+
+    heap = doc["heap"]
+    expect_keys(heap, "$.heap", ["live_bytes_after_last_gc", "gc_snapshots",
+                                 "tracked_live_objects", "sites"])
+    for key in ("live_bytes_after_last_gc", "gc_snapshots",
+                "tracked_live_objects"):
+        expect_num(heap, "$.heap", key, integer=True)
+    sites = heap["sites"]
+    expect(isinstance(sites, list), "$.heap.sites", "expected an array")
+    live_sum = 0
+    for i, site in enumerate(sites):
+        path = f"$.heap.sites[{i}]"
+        expect_keys(site, path, SITE_KEYS)
+        expect_str(site, path, "function")
+        expect_str(site, path, "kind")
+        for key in SITE_KEYS:
+            if key not in ("function", "kind", "age_histogram"):
+                expect_num(site, path, key, integer=True)
+        expect(site["id"] == i, f"{path}.id",
+               f"site ids must be dense and ordered (got {site['id']})")
+        ages = site["age_histogram"]
+        expect(isinstance(ages, list) and len(ages) == 8,
+               f"{path}.age_histogram", "expected an array of 8 buckets")
+        for j, bucket in enumerate(ages):
+            expect(isinstance(bucket, int) and not isinstance(bucket, bool),
+                   f"{path}.age_histogram[{j}]", "expected an integer")
+        expect(sum(ages) == site["freed"], f"{path}.age_histogram",
+               f"age buckets sum to {sum(ages)}, freed is {site['freed']}")
+        live_sum += site["live_bytes"]
+    # The attribution invariant: every live byte the sweep counted belongs
+    # to exactly one site (with snapshots, i.e. at least one collection).
+    if heap["gc_snapshots"] > 0:
+        expect(live_sum == heap["live_bytes_after_last_gc"], "$.heap.sites",
+               f"per-site live_bytes sum to {live_sum}, collector reports "
+               f"{heap['live_bytes_after_last_gc']}")
+
+    cycles = doc["cycles"]
+    expect_keys(cycles, "$.cycles", ["sampled_cycles", "samples", "functions",
+                                     "folded"])
+    for key in ("sampled_cycles", "samples"):
+        expect_num(cycles, "$.cycles", key, integer=True)
+    functions = cycles["functions"]
+    expect(isinstance(functions, list), "$.cycles.functions",
+           "expected an array")
+    self_sum = 0
+    for i, fn in enumerate(functions):
+        path = f"$.cycles.functions[{i}]"
+        expect_keys(fn, path, ["name", "self_cycles", "by_kind"])
+        expect_str(fn, path, "name")
+        expect_num(fn, path, "self_cycles", integer=True)
+        by_kind = fn["by_kind"]
+        expect(isinstance(by_kind, dict), f"{path}.by_kind",
+               "expected an object")
+        for key in by_kind:
+            expect_num(by_kind, f"{path}.by_kind", key, integer=True)
+        expect(sum(by_kind.values()) == fn["self_cycles"], f"{path}.by_kind",
+               f"by_kind sums to {sum(by_kind.values())}, self_cycles is "
+               f"{fn['self_cycles']}")
+        self_sum += fn["self_cycles"]
+    expect(self_sum == cycles["sampled_cycles"], "$.cycles.functions",
+           f"per-function self_cycles sum to {self_sum}, sampled total is "
+           f"{cycles['sampled_cycles']}")
+    folded = cycles["folded"]
+    expect(isinstance(folded, list), "$.cycles.folded", "expected an array")
+    folded_sum = 0
+    for i, entry in enumerate(folded):
+        path = f"$.cycles.folded[{i}]"
+        expect_keys(entry, path, ["stack", "cycles"])
+        expect_str(entry, path, "stack")
+        expect(entry["stack"], f"{path}.stack", "stack must be non-empty")
+        expect_num(entry, path, "cycles", integer=True)
+        folded_sum += entry["cycles"]
+    expect(folded_sum == cycles["sampled_cycles"], "$.cycles.folded",
+           f"folded stacks sum to {folded_sum}, sampled total is "
+           f"{cycles['sampled_cycles']}")
+
+
+# --- Chrome trace_event (gcsafe-cc --trace-chrome) --------------------------
+
+def check_chrome_trace(doc, path="$"):
+    """Array form or {"traceEvents": [...]} object form; every event needs
+    ph/pid/tid; non-metadata events need a monotonically nondecreasing ts."""
+    if isinstance(doc, dict):
+        expect("traceEvents" in doc, path,
+               "object-form trace needs a 'traceEvents' array")
+        events = doc["traceEvents"]
+        path += ".traceEvents"
+    else:
+        events = doc
+    expect(isinstance(events, list), path, "expected an array of events")
+    last_ts = None
+    for i, ev in enumerate(events):
+        epath = f"{path}[{i}]"
+        expect(isinstance(ev, dict), epath, "expected an event object")
+        for key in ("ph", "pid", "tid"):
+            expect(key in ev, epath, f"missing required key '{key}'")
+        expect_str(ev, epath, "ph")
+        for key in ("pid", "tid"):
+            expect_num(ev, epath, key, integer=True)
+        if ev["ph"] == "M":
+            continue  # metadata events carry no timestamp
+        expect("ts" in ev, epath, "non-metadata event missing 'ts'")
+        expect_num(ev, epath, "ts")
+        if ev["ph"] == "X":
+            expect("dur" in ev, epath, "complete event missing 'dur'")
+            expect_num(ev, epath, "dur")
+            expect(ev["dur"] >= 0, f"{epath}.dur", "negative duration")
+        if last_ts is not None:
+            expect(ev["ts"] >= last_ts, f"{epath}.ts",
+                   "events must be in nondecreasing ts order")
+        last_ts = ev["ts"]
+
+
 CHECKERS = {
     "gcsafe-bench-v1": check_bench,
     "gcsafe-trace-v1": check_trace,
     "gcsafe-run-report-v1": check_run_report,
+    "gcsafe-profile-v1": check_profile,
 }
 
 
@@ -236,11 +368,26 @@ def check_file(path):
     return None
 
 
+def check_chrome_file(path):
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return f"{path}: {exc}"
+    try:
+        check_chrome_trace(doc)
+    except SchemaError as exc:
+        return f"{path}: [chrome-trace] {exc}"
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", help="report files to validate")
     parser.add_argument("--scan", metavar="DIR",
                         help="also validate every BENCH_*.json under DIR")
+    parser.add_argument("--chrome", metavar="FILE", action="append",
+                        default=[],
+                        help="validate FILE as Chrome trace_event JSON")
     args = parser.parse_args()
 
     files = [Path(f) for f in args.files]
@@ -251,8 +398,9 @@ def main():
                   file=sys.stderr)
             return 1
         files.extend(scanned)
-    if not files:
-        parser.error("no files given (pass FILEs and/or --scan DIR)")
+    if not files and not args.chrome:
+        parser.error("no files given (pass FILEs, --scan DIR, and/or "
+                     "--chrome FILE)")
 
     failures = []
     for path in files:
@@ -262,6 +410,12 @@ def main():
         else:
             doc = json.loads(Path(path).read_text())
             print(f"ok: {path} [{doc['schema']}]")
+    for path in args.chrome:
+        problem = check_chrome_file(path)
+        if problem:
+            failures.append(problem)
+        else:
+            print(f"ok: {path} [chrome-trace]")
     for problem in failures:
         print(f"error: {problem}", file=sys.stderr)
     return 1 if failures else 0

@@ -31,6 +31,7 @@
 #include "driver/Pipeline.h"
 #include "rewrite/EditList.h"
 #include "ir/Verify.h"
+#include "support/Profile.h"
 
 #include <cstdio>
 #include <cstring>
@@ -75,7 +76,20 @@ void usage() {
       "                             stdout and the program's output is only\n"
       "                             inside the report)\n"
       "  --trace-json=FILE          gcsafe-trace-v1 event trace (phases,\n"
-      "                             passes, GC collections; '-' = stdout)\n");
+      "                             passes, GC collections; '-' = stdout)\n"
+      "  --trace-chrome=FILE        the same trace as Chrome trace_event\n"
+      "                             JSON (open in Perfetto / about:tracing)\n"
+      "  --trace-capacity=N         trace ring size in events (default\n"
+      "                             4096); a dropped>0 warning on stderr\n"
+      "                             means the ring was too small\n"
+      "  --profile-json[=FILE]      gcsafe-profile-v1 JSON (implies --run):\n"
+      "                             per-allocation-site heap counters with\n"
+      "                             retention attribution, plus cycle\n"
+      "                             samples when --profile-period is set\n"
+      "  --profile-period=N         sample the executing function every N\n"
+      "                             modeled cycles (0 = heap profile only)\n"
+      "  --profile-folded=FILE      collapsed call stacks (flamegraph.pl\n"
+      "                             input; implies --run)\n");
 }
 
 bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
@@ -111,8 +125,13 @@ int main(int argc, char **argv) {
   annotate::AnnotatorOptions Annot;
   bool Run = false, DumpIR = false, DumpAST = false, DumpEdits = false,
        Stats = false;
-  bool StatsJson = false, TraceJson = false;
-  std::string StatsJsonPath, TraceJsonPath, MachineName = "sparc10";
+  bool StatsJson = false, TraceJson = false, TraceChrome = false;
+  bool ProfileJson = false, ProfileFolded = false;
+  std::string StatsJsonPath, TraceJsonPath, TraceChromePath, MachineName =
+                                                                "sparc10";
+  std::string ProfileJsonPath, ProfileFoldedPath;
+  uint64_t ProfilePeriod = 0;
+  size_t TraceCapacity = 4096;
   std::string InputPath;
   support::FaultInjector Faults;
   bool UseFaults = false;
@@ -144,6 +163,25 @@ int main(int argc, char **argv) {
     } else if (startsWith(Arg, "--trace-json=", Rest)) {
       TraceJson = true;
       TraceJsonPath = Rest;
+    } else if (startsWith(Arg, "--trace-chrome=", Rest)) {
+      TraceChrome = true;
+      TraceChromePath = Rest;
+    } else if (startsWith(Arg, "--trace-capacity=", Rest)) {
+      TraceCapacity = std::strtoull(Rest, nullptr, 10);
+      if (!TraceCapacity) {
+        std::fprintf(stderr, "--trace-capacity must be positive\n");
+        return 2;
+      }
+    } else if (!std::strcmp(Arg, "--profile-json")) {
+      ProfileJson = true;
+    } else if (startsWith(Arg, "--profile-json=", Rest)) {
+      ProfileJson = true;
+      ProfileJsonPath = Rest;
+    } else if (startsWith(Arg, "--profile-period=", Rest)) {
+      ProfilePeriod = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--profile-folded=", Rest)) {
+      ProfileFolded = true;
+      ProfileFoldedPath = Rest;
     } else if (!std::strcmp(Arg, "--no-opt1")) {
       Annot.SkipCopies = false;
     } else if (!std::strcmp(Arg, "--no-opt2")) {
@@ -230,15 +268,31 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  // --stats-json reports a full run (compile + execute); --trace-json alone
-  // still needs the middle end to produce phase/pass events.
-  if (StatsJson)
+  // --stats-json and the profile outputs report a full run (compile +
+  // execute); --trace-json/--trace-chrome alone still need the middle end
+  // to produce phase/pass events.
+  if (StatsJson || ProfileJson || ProfileFolded)
     Run = true;
-  support::TraceBuffer Trace;
-  support::TraceBuffer *TraceSink = TraceJson ? &Trace : nullptr;
+  support::TraceBuffer Trace(TraceCapacity);
+  support::TraceBuffer *TraceSink =
+      (TraceJson || TraceChrome) ? &Trace : nullptr;
   VO.Trace = TraceSink;
   if (UseFaults)
     VO.Faults = &Faults;
+  support::Profiler Prof;
+  Prof.SamplePeriodCycles = ProfilePeriod;
+  if (ProfileJson || ProfileFolded || ProfilePeriod)
+    VO.Profile = &Prof;
+  // The ring silently overwrites its oldest events; surface that whenever a
+  // trace is actually written out.
+  auto WarnIfTraceDropped = [&Trace] {
+    if (Trace.dropped())
+      std::fprintf(stderr,
+                   "gcsafe-cc: warning: trace ring dropped %llu event(s) "
+                   "(capacity %zu); raise --trace-capacity\n",
+                   static_cast<unsigned long long>(Trace.dropped()),
+                   Trace.capacity());
+  };
 
   std::string Source;
   if (InputPath == "-") {
@@ -294,7 +348,7 @@ int main(int argc, char **argv) {
       return 0;
   }
 
-  if (!Run && !DumpIR && !TraceJson) {
+  if (!Run && !DumpIR && !TraceJson && !TraceChrome) {
     std::string Out = Comp.annotatedSource(OutputMode, Annot);
     std::fputs(Out.c_str(), stdout);
     if (Stats) {
@@ -348,7 +402,13 @@ int main(int argc, char **argv) {
       if (!writeReport(StatsJsonPath, Report.dump()))
         return 1;
     }
+    if (TraceJson || TraceChrome)
+      WarnIfTraceDropped();
     if (TraceJson && !writeReport(TraceJsonPath, Trace.toJson().dump()))
+      return 1;
+    if (TraceChrome &&
+        !writeReport(TraceChromePath,
+                     support::traceToChromeJson(Trace).dump()))
       return 1;
     return 0;
   }
@@ -359,7 +419,8 @@ int main(int argc, char **argv) {
   // only when the report goes elsewhere.
   bool ReportOnStdout =
       (StatsJson && (StatsJsonPath.empty() || StatsJsonPath == "-")) ||
-      (TraceJson && (TraceJsonPath.empty() || TraceJsonPath == "-"));
+      (TraceJson && (TraceJsonPath.empty() || TraceJsonPath == "-")) ||
+      (ProfileJson && (ProfileJsonPath.empty() || ProfileJsonPath == "-"));
   if (!ReportOnStdout)
     std::fputs(R.Output.c_str(), stdout);
   if (StatsJson) {
@@ -368,7 +429,22 @@ int main(int argc, char **argv) {
     if (!writeReport(StatsJsonPath, Report.dump()))
       return 1;
   }
+  if (ProfileJson) {
+    support::Json Report =
+        Prof.toJson(InputPath == "-" ? "<stdin>" : InputPath,
+                    driver::compileModeName(Mode), MachineName);
+    if (!writeReport(ProfileJsonPath, Report.dump()))
+      return 1;
+  }
+  if (ProfileFolded &&
+      !writeReport(ProfileFoldedPath, Prof.Cycles.foldedOutput()))
+    return 1;
+  if (TraceJson || TraceChrome)
+    WarnIfTraceDropped();
   if (TraceJson && !writeReport(TraceJsonPath, Trace.toJson().dump()))
+    return 1;
+  if (TraceChrome &&
+      !writeReport(TraceChromePath, support::traceToChromeJson(Trace).dump()))
     return 1;
   if (R.Gc.AuditViolations)
     std::fprintf(stderr,

@@ -1,0 +1,98 @@
+//===- analysis/BaseLiveness.h - Derived-pointer base dataflow -*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dataflow substrate of the static GC-safety verifier
+/// (docs/ANALYSIS.md). Two cooperating analyses over one ir::Function:
+///
+/// *Plain liveness* — classic backward liveness WITHOUT the KEEP_LIVE base
+/// extension that opt::Liveness applies. The verifier needs the unextended
+/// facts: "will this register's current value be read again?" is the
+/// question, and the extension is exactly the property under test.
+///
+/// *Derived-pointer facts* — a forward analysis computing, per program
+/// point, which registers hold KEEP_LIVE-derived pointers and the set of
+/// base registers each one depends on. The lattice per register is a set
+/// of bases (bottom = not derived); the join at block merges is set union
+/// (a register that is derived-from-b along any inflowing path must be
+/// treated as pinned to b). Transfer functions:
+///
+///   KeepLive d, a, b   facts(d) = {b} ∪ facts(b)    (chained KEEP_LIVEs)
+///   Mov d, s           facts(d) = facts(s) \ {d}    (copies carry the
+///                      derivation; the writeback `p = KEEP_LIVE(p+1, p)`
+///                      of the specialized ++/-- expansion self-anchors,
+///                      hence the \ {d})
+///   any other def of d facts(d) = ⊥                 (fresh value)
+///
+/// The distinction between a fact that the kill-insertion contract honors
+/// (d is literally a KeepLive destination, so opt::Liveness::expandUse
+/// extends its bases' live ranges) and one carried through copies matters
+/// to the verifier's diagnostics; inKillContract() exposes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_ANALYSIS_BASELIVENESS_H
+#define GCSAFE_ANALYSIS_BASELIVENESS_H
+
+#include "ir/IR.h"
+#include "opt/CFG.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gcsafe {
+namespace analysis {
+
+/// Derived register -> the base registers it is pinned to.
+using BaseFacts = std::map<uint32_t, std::set<uint32_t>>;
+
+class BaseLiveness {
+public:
+  BaseLiveness(const ir::Function &F, const opt::CFGInfo &CFG);
+
+  /// Plain (unextended) liveness at block boundaries.
+  const opt::RegSet &liveIn(uint32_t B) const { return LiveIn[B]; }
+  const opt::RegSet &liveOut(uint32_t B) const { return LiveOut[B]; }
+
+  /// Derived-pointer facts at block entry.
+  const BaseFacts &factsIn(uint32_t B) const { return FactsIn[B]; }
+
+  /// Steps \p Facts forward across one instruction (the transfer function
+  /// above). Exposed so the verifier can walk a block instruction by
+  /// instruction from factsIn().
+  static void transfer(const ir::Instruction &I, BaseFacts &Facts);
+
+  /// Fills \p LiveAfter with the plain live-after set of each instruction
+  /// in block \p B (LiveAfter[i] = live just after Insts[i]).
+  void liveAfterPerInstruction(uint32_t B,
+                               std::vector<opt::RegSet> &LiveAfter) const;
+
+  /// True when register \p Derived is a KeepLive destination whose
+  /// transitive base closure (the one opt::Liveness::expandUse honors when
+  /// kills are placed) contains \p Base. Facts carried only through copies
+  /// are outside the kill-insertion contract.
+  bool inKillContract(uint32_t Derived, uint32_t Base) const;
+
+  /// Number of distinct derived registers that ever carry a fact.
+  unsigned derivedCount() const;
+
+private:
+  const ir::Function &F;
+  const opt::CFGInfo &CFG;
+  std::vector<opt::RegSet> LiveIn, LiveOut;
+  std::vector<BaseFacts> FactsIn;
+  /// Flow-insensitive KeepLive closure: ContractBases[d] = every register
+  /// expandUse reaches from d, minus d itself. Empty for non-KL dests.
+  std::vector<std::set<uint32_t>> ContractBases;
+};
+
+} // namespace analysis
+} // namespace gcsafe
+
+#endif // GCSAFE_ANALYSIS_BASELIVENESS_H

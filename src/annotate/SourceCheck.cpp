@@ -2,6 +2,7 @@
 
 #include "annotate/SourceCheck.h"
 
+#include <set>
 #include <string>
 
 using namespace gcsafe;
@@ -55,6 +56,29 @@ const Type *underlyingPointee(const Expr *E) {
   return nullptr;
 }
 
+/// Matches `Ptr ± IntLiteral` (pointer-typed result) and accumulates the
+/// element displacement into \p Disp; returns the pointer side, or null if
+/// the node is not a constant pointer-arithmetic step.
+const Expr *peelConstStep(const Expr *E, long &Disp) {
+  const auto *BE = dyn_cast<BinaryExpr>(E);
+  if (!BE || (BE->op() != BinaryOp::Add && BE->op() != BinaryOp::Sub))
+    return nullptr;
+  if (!BE->type()->isPointer())
+    return nullptr;
+  const Expr *L = BE->lhs()->ignoreParensAndImplicitCasts();
+  const Expr *R = BE->rhs()->ignoreParensAndImplicitCasts();
+  if (const auto *IL = dyn_cast<IntLiteralExpr>(R)) {
+    Disp += BE->op() == BinaryOp::Add ? IL->value() : -IL->value();
+    return BE->lhs();
+  }
+  if (BE->op() == BinaryOp::Add)
+    if (const auto *IL = dyn_cast<IntLiteralExpr>(L)) {
+      Disp += IL->value();
+      return BE->rhs();
+    }
+  return nullptr;
+}
+
 class CallWalker {
 public:
   CallWalker(DiagnosticsEngine &Diags, SourceCheckStats &Stats)
@@ -63,6 +87,10 @@ public:
   void visitExpr(const Expr *E) {
     if (const auto *CE = dyn_cast<CallExpr>(E))
       checkCall(CE);
+    if (const auto *BE = dyn_cast<BinaryExpr>(E))
+      checkPointerArith(BE);
+    if (const auto *CE = dyn_cast<CastExpr>(E))
+      checkPointerTruncation(CE);
     forEachChild(E, [&](const Expr *Child) { visitExpr(Child); });
   }
 
@@ -170,8 +198,82 @@ private:
     }
   }
 
+  /// Out-of-object pointer arithmetic: a chain of constant displacements
+  /// whose total lands before the object or beyond one past the end of a
+  /// known array bound. Fires once per chain, at the outermost node.
+  void checkPointerArith(const BinaryExpr *BE) {
+    if (ChainInterior.count(BE))
+      return;
+    long Disp = 0;
+    const Expr *Cur = BE;
+    while (true) {
+      const Expr *Stripped = Cur->ignoreParensAndImplicitCasts();
+      if (const Expr *Next = peelConstStep(Stripped, Disp)) {
+        if (Stripped != BE)
+          ChainInterior.insert(Stripped);
+        Cur = Next;
+        continue;
+      }
+      Cur = Stripped;
+      break;
+    }
+    if (Cur == BE)
+      return; // not a constant pointer-arithmetic chain
+
+    uint64_t Bound = 0;
+    if (arrayBound(Cur, Bound)) {
+      // One past the end is legal ANSI C; anything else is out of object.
+      if (Disp < 0 || static_cast<uint64_t>(Disp) > Bound) {
+        ++Stats.OutOfObjectArith;
+        warn(BE, "pointer arithmetic lands outside the array object "
+                 "(beyond one past the end); an out-of-object pointer can "
+                 "hide the object from the garbage collector");
+      }
+      return;
+    }
+    // Unknown-bound pointer base: only a *negative* total displacement is
+    // provably out of object, and only when the base is a simple pointer
+    // expression — `p + n - 1` style arithmetic on a computed base is
+    // routinely in bounds.
+    if (Disp < 0 && !isa<BinaryExpr>(Cur) && !isa<ConditionalExpr>(Cur) &&
+        !isa<AssignExpr>(Cur)) {
+      ++Stats.OutOfObjectArith;
+      warn(BE, "pointer arithmetic with a negative constant offset points "
+               "before the object; an out-of-object pointer can hide the "
+               "object from the garbage collector");
+    }
+  }
+
+  /// Explicit pointer-to-narrow-integer casts truncate the address; the
+  /// collector's conservative scan can no longer recognize it.
+  void checkPointerTruncation(const CastExpr *CE) {
+    if (CE->castKind() != CastKind::Explicit)
+      return;
+    const Type *From = CE->sub()->type();
+    const Type *To = CE->type();
+    if (From->isObjectPointer() && To->isInteger() && To->size() < 8) {
+      ++Stats.PointerTruncCast;
+      warn(CE, "casting a pointer to a narrower integer truncates it and "
+               "hides the pointer from the garbage collector");
+    }
+  }
+
+  /// If \p E (through parens and implicit casts) names an array object,
+  /// yields its element count. Stops at explicit casts — a reinterpreted
+  /// array has a different effective element size.
+  static bool arrayBound(const Expr *E, uint64_t &N) {
+    if (const auto *AT = dyn_cast<ArrayType>(E->type())) {
+      N = AT->numElements();
+      return true;
+    }
+    return false;
+  }
+
   DiagnosticsEngine &Diags;
   SourceCheckStats &Stats;
+  /// Interior nodes of constant pointer-arithmetic chains already folded
+  /// into an outer node's total — skipped to avoid duplicate reports.
+  std::set<const Expr *> ChainInterior;
 };
 
 void CallWalker::visitStmt(const Stmt *S) {

@@ -23,6 +23,18 @@
 ///     have different pointee types (after stripping explicit casts), or
 ///     where exactly one side contains pointers.
 ///
+/// It also walks every expression for the paper's assumption 1 hazards the
+/// type checker cannot see ("All pointers to an object are either stored in
+/// memory as recognizable pointers to the object, or are recomputed from
+/// such a pointer before the object is referenced again"):
+///   * pointer arithmetic with a constant displacement that lands outside
+///     the object — before its start, or beyond one past the end of a
+///     known array bound (the paper's opening p[i-1000] hazard, written in
+///     the source instead of introduced by the optimizer);
+///   * an explicit cast of an object pointer to an integer type narrower
+///     than a pointer — the truncated value is unrecognizable to the
+///     collector's conservative scan.
+///
 /// (The int-to-pointer conversion warning of assumption 1 is emitted during
 /// type checking; see Sema::convertTo.)
 ///
@@ -42,9 +54,12 @@ struct SourceCheckStats {
   unsigned ScanfPercentP = 0;
   unsigned FreadPointerful = 0;
   unsigned MemcpyMismatch = 0;
+  unsigned OutOfObjectArith = 0;
+  unsigned PointerTruncCast = 0;
 
   unsigned total() const {
-    return ScanfPercentP + FreadPointerful + MemcpyMismatch;
+    return ScanfPercentP + FreadPointerful + MemcpyMismatch +
+           OutOfObjectArith + PointerTruncCast;
   }
 };
 

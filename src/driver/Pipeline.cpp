@@ -7,6 +7,7 @@
 #include "ir/Verify.h"
 
 #include <cassert>
+#include <cstring>
 
 using namespace gcsafe;
 using namespace gcsafe::driver;
@@ -110,6 +111,34 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
     return Result;
   }
 
+  // Static GC-safety verification (docs/ANALYSIS.md). Layer 1 runs on
+  // whatever IR exists at each checkpoint; the kill-placement audit
+  // (layer 2) only once kills have been inserted, i.e. on the final
+  // module.
+  bool WantSafety = Options.Verify != SafetyVerify::None;
+  uint64_t SafetyNs = 0;
+  unsigned SafetyRuns = 0;
+  auto CheckSafety = [&](const ir::Function &F, const char *Pass,
+                         bool KillPlacement) {
+    uint64_t StartNs = support::monotonicNowNs();
+    analysis::SafetyVerifyOptions VO;
+    VO.Pass = Pass;
+    VO.CheckKillPlacement = KillPlacement;
+    size_t Before = Result.SafetyDiags.size();
+    analysis::verifyFunctionSafety(F, VO, Result.SafetyDiags);
+    uint64_t ElapsedNs = support::monotonicNowNs() - StartNs;
+    SafetyNs += ElapsedNs;
+    ++SafetyRuns;
+    if (Options.Trace && Result.SafetyDiags.size() != Before)
+      Options.Trace->emit("analysis", Pass, ElapsedNs,
+                          unsigned(Result.SafetyDiags.size() - Before),
+                          F.Name);
+  };
+
+  if (WantSafety)
+    for (const ir::Function &F : Result.Module.Functions)
+      CheckSafety(F, "(lower)", /*KillPlacement=*/false);
+
   opt::OptPipelineOptions PO;
   PO.Level = (Options.Mode == CompileMode::Debug ||
               Options.Mode == CompileMode::DebugChecked)
@@ -118,9 +147,35 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
   PO.Postprocess = Options.Mode == CompileMode::O2SafePost;
   PO.Stats = &Result.Stats;
   PO.Trace = Options.Trace;
+  PO.PassMutator = Options.PassMutator;
+  analysis::KeepLiveContinuity Continuity;
+  bool EachPass = Options.Verify == SafetyVerify::EachPass;
+  if (EachPass || Options.VerifyIREachPass)
+    PO.PassCheck = [&](const char *Pass, const ir::Function &F) {
+      if (std::strcmp(Pass, "(entry)") == 0) {
+        if (EachPass)
+          Continuity.record(F);
+        return;
+      }
+      if (EachPass) {
+        CheckSafety(F, Pass, /*KillPlacement=*/false);
+        Continuity.check(F, Pass, Result.SafetyDiags);
+      }
+      if (Options.VerifyIREachPass)
+        ir::verifyFunction(F, Result.IRVerifyErrors, Pass);
+    };
   uint64_t OptStartNs = support::monotonicNowNs();
   Result.OptStats = opt::optimizeModule(Result.Module, PO);
   Phase("optimize", support::monotonicNowNs() - OptStartNs);
+
+  if (WantSafety) {
+    for (const ir::Function &F : Result.Module.Functions)
+      CheckSafety(F, "(final)", /*KillPlacement=*/true);
+    Result.SafetyOk = Result.SafetyDiags.empty();
+    Result.Stats.add("analysis.verify.runs", SafetyRuns);
+    Result.Stats.add("analysis.verify.diags", Result.SafetyDiags.size());
+    Result.Stats.add("analysis.verify.ns", SafetyNs);
+  }
 
 #ifndef NDEBUG
   {
@@ -278,6 +333,42 @@ support::Json gcsafe::driver::buildRunReport(const std::string &Input,
 
     Root["run"] = std::move(RJ);
   }
+  return Root;
+}
+
+support::Json gcsafe::driver::buildLintReport(const std::string &Input,
+                                              CompileMode Mode,
+                                              bool EachPass,
+                                              const CompileResult &CR,
+                                              const SourceBuffer *Buffer) {
+  using support::Json;
+  Json Root = Json::object();
+  Root["schema"] = Json::string("gcsafe-lint-v1");
+  Root["input"] = Json::string(Input);
+  Root["mode"] = Json::string(compileModeName(Mode));
+  Root["verify"] = Json::string(EachPass ? "each-pass" : "final");
+  Root["clean"] = Json::boolean(CR.SafetyDiags.empty());
+
+  Json Diags = Json::array();
+  for (const analysis::SafetyDiag &D : CR.SafetyDiags) {
+    Json J = Json::object();
+    J["function"] = Json::string(D.Function);
+    J["block"] = Json::integer(uint64_t(D.Block));
+    J["index"] = Json::integer(uint64_t(D.Index));
+    uint64_t Line = 0;
+    if (Buffer && D.SrcOffset != ~0u && D.SrcOffset <= Buffer->size())
+      Line = Buffer->lineColumn(SourceLocation(D.SrcOffset)).Line;
+    J["line"] = Json::integer(Line);
+    J["pass"] = Json::string(D.Pass);
+    J["kind"] = Json::string(D.Kind);
+    J["derived"] = Json::integer(
+        D.Derived == ir::NoReg ? int64_t(-1) : int64_t(D.Derived));
+    J["base"] =
+        Json::integer(D.Base == ir::NoReg ? int64_t(-1) : int64_t(D.Base));
+    J["message"] = Json::string(D.Message);
+    Diags.push(std::move(J));
+  }
+  Root["diagnostics"] = std::move(Diags);
   return Root;
 }
 

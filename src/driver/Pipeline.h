@@ -24,6 +24,7 @@
 #ifndef GCSAFE_DRIVER_PIPELINE_H
 #define GCSAFE_DRIVER_PIPELINE_H
 
+#include "analysis/SafetyVerifier.h"
 #include "annotate/Annotator.h"
 #include "cfront/Parser.h"
 #include "cfront/Sema.h"
@@ -34,6 +35,7 @@
 #include "support/Trace.h"
 #include "vm/VM.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -50,11 +52,29 @@ enum class CompileMode {
 
 const char *compileModeName(CompileMode Mode);
 
+/// When (and how often) the static GC-safety verifier runs during
+/// compilation. See docs/ANALYSIS.md.
+enum class SafetyVerify {
+  None,     ///< Verifier off (default).
+  Final,    ///< Once, on the fully optimized module.
+  EachPass, ///< After lowering and after every optimizer pass — bisects
+            ///< the offending pass when a violation appears.
+};
+
 struct CompileOptions {
   CompileMode Mode = CompileMode::O2;
   annotate::AnnotatorOptions Annot;
   /// Optional event sink: phase and pass events are emitted here.
   support::TraceBuffer *Trace = nullptr;
+  /// Static GC-safety verification (gcsafe-cc --verify-safety).
+  SafetyVerify Verify = SafetyVerify::None;
+  /// Run the structural IR verifier after every optimizer pass too
+  /// (gcsafe-cc --verify-ir=each-pass); violations land in
+  /// CompileResult::IRVerifyErrors with the pass name.
+  bool VerifyIREachPass = false;
+  /// Test hook forwarded to the optimizer: mutates the IR after the named
+  /// pass, emulating a buggy optimization for verifier self-tests.
+  std::function<void(const char *Pass, ir::Function &F)> PassMutator;
 };
 
 struct CompileResult {
@@ -66,9 +86,15 @@ struct CompileResult {
   opt::PassStats OptStats;
   /// Phase wall times ("phase.parse_ns", "phase.annotate_ns",
   /// "phase.lower_ns", "phase.optimize_ns", "phase.verify_ns") plus the
-  /// optimizer's per-pass counters ("opt.<pass>.*", "opt.total.*"). See
+  /// optimizer's per-pass counters ("opt.<pass>.*", "opt.total.*") and,
+  /// when the safety verifier ran, "analysis.verify.*". See
   /// docs/OBSERVABILITY.md.
   support::Stats Stats;
+  /// Static safety verifier results (empty/true unless Verify was set).
+  std::vector<analysis::SafetyDiag> SafetyDiags;
+  bool SafetyOk = true;
+  /// Structural IR verifier violations from VerifyIREachPass.
+  std::vector<std::string> IRVerifyErrors;
 };
 
 /// One source file's frontend state; reusable across modes (the AST is
@@ -148,6 +174,14 @@ support::Json buildRunReport(const std::string &Input, CompileMode Mode,
                              const std::string &Machine,
                              const CompileResult &CR,
                              const vm::RunResult *Run);
+
+/// Serializes the safety verifier's diagnostics into the gcsafe-lint-v1
+/// JSON schema (docs/ANALYSIS.md) behind gcsafe-cc --lint-json. When
+/// \p Buffer is non-null, diagnostics carrying a source offset gain a
+/// 1-based "line"; unknown locations serialize as line 0.
+support::Json buildLintReport(const std::string &Input, CompileMode Mode,
+                              bool EachPass, const CompileResult &CR,
+                              const SourceBuffer *Buffer);
 
 } // namespace driver
 } // namespace gcsafe

@@ -156,6 +156,9 @@ struct Instruction {
   Opcode Op = Opcode::Nop;
   uint8_t Size = 8;        ///< Memory access / extension width in bytes.
   bool SignedLoad = true;  ///< Load sign-extension.
+  uint32_t Loc = ~0u;      ///< Source byte offset of the originating
+                           ///< statement (~0u unknown). Survives the
+                           ///< optimizer; diagnostics map it to a line.
   uint32_t Dst = NoReg;
   Value A, B, C;
   int64_t Aux = 0;         ///< Frame offset / global index.

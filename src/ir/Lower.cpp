@@ -248,6 +248,8 @@ private:
   }
   void setBlock(uint32_t B) { Cur = B; }
   Instruction &emit(Instruction I) {
+    if (I.Loc == ~0u)
+      I.Loc = CurLoc;
     F.Blocks[Cur].Insts.push_back(std::move(I));
     return F.Blocks[Cur].Insts.back();
   }
@@ -345,6 +347,7 @@ private:
   const LowerOptions &Opts;
   Function &F;
   uint32_t Cur = 0;
+  uint32_t CurLoc = ~0u; ///< Source offset of the statement being lowered.
   std::unordered_map<const VarDecl *, VarLoc> VarLocs;
   std::unordered_map<const Expr *, Value> ExprValues;
   std::vector<uint32_t> BreakTargets;
@@ -1112,6 +1115,8 @@ Value FunctionLowering::lowerCast(const CastExpr *CE) {
 //===----------------------------------------------------------------------===//
 
 void FunctionLowering::lowerStmt(const Stmt *S) {
+  if (S->location().isValid())
+    CurLoc = S->location().Offset;
   switch (S->kind()) {
   case StmtKind::Compound:
     for (const Stmt *Sub : cast<CompoundStmt>(S)->body()) {

@@ -26,10 +26,14 @@ void successorsOf(const BasicBlock &B, std::vector<uint32_t> &Out) {
 struct Reporter {
   const Function &F;
   std::vector<std::string> &Errors;
+  const char *Context = nullptr;
 
   void report(uint32_t Block, size_t Index, const std::string &Message) {
     std::ostringstream OS;
-    OS << F.Name << ": b" << Block << "[" << Index << "]: " << Message;
+    OS << F.Name << ": b" << Block << "[" << Index << "]: ";
+    if (Context)
+      OS << "after " << Context << ": ";
+    OS << Message;
     Errors.push_back(OS.str());
   }
 };
@@ -37,9 +41,10 @@ struct Reporter {
 } // namespace
 
 bool gcsafe::ir::verifyFunction(const Function &F,
-                                std::vector<std::string> &Errors) {
+                                std::vector<std::string> &Errors,
+                                const char *Context) {
   size_t Before = Errors.size();
-  Reporter R{F, Errors};
+  Reporter R{F, Errors, Context};
   size_t NumBlocks = F.Blocks.size();
 
   if (NumBlocks == 0) {
@@ -160,10 +165,11 @@ bool gcsafe::ir::verifyFunction(const Function &F,
 }
 
 bool gcsafe::ir::verifyModule(const Module &M,
-                              std::vector<std::string> &Errors) {
+                              std::vector<std::string> &Errors,
+                              const char *Context) {
   bool Ok = true;
   for (const Function &F : M.Functions)
-    Ok = verifyFunction(F, Errors) && Ok;
+    Ok = verifyFunction(F, Errors, Context) && Ok;
   if (M.MainIndex >= 0 &&
       static_cast<size_t>(M.MainIndex) >= M.Functions.size()) {
     Errors.push_back("module main index out of range");

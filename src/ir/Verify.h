@@ -34,11 +34,16 @@ namespace gcsafe {
 namespace ir {
 
 /// Verifies \p F; appends human-readable violation messages to \p Errors.
-/// Returns true when no violations were found.
-bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+/// Returns true when no violations were found. When \p Context is non-null
+/// (e.g. the name of the optimizer pass that just ran), every message is
+/// prefixed with it so pipeline-interleaved runs attribute violations to
+/// the offending pass.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors,
+                    const char *Context = nullptr);
 
 /// Verifies every function; returns true if the whole module is clean.
-bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+bool verifyModule(const Module &M, std::vector<std::string> &Errors,
+                  const char *Context = nullptr);
 
 } // namespace ir
 } // namespace gcsafe

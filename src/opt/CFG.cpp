@@ -221,12 +221,16 @@ Liveness::Liveness(const Function &F, const CFGInfo &CFG) {
   LiveIn.assign(N, RegSet(F.NumRegs));
   LiveOut.assign(N, RegSet(F.NumRegs));
   MaxPressure.assign(N, 0);
-  KLBase.assign(F.NumRegs, NoReg);
+  KLBases.assign(F.NumRegs, {});
 
   for (const BasicBlock &B : F.Blocks)
     for (const Instruction &I : B.Insts)
-      if (I.Op == Opcode::KeepLive && I.Dst != NoReg && I.B.isReg())
-        KLBase[I.Dst] = I.B.Reg;
+      if (I.Op == Opcode::KeepLive && I.Dst != NoReg && I.B.isReg() &&
+          I.B.Reg != I.Dst) {
+        std::vector<uint32_t> &Bases = KLBases[I.Dst];
+        if (std::find(Bases.begin(), Bases.end(), I.B.Reg) == Bases.end())
+          Bases.push_back(I.B.Reg);
+      }
 
   // Iterate backward dataflow to fixpoint.
   bool Changed = true;
@@ -270,11 +274,16 @@ Liveness::Liveness(const Function &F, const CFGInfo &CFG) {
 }
 
 void Liveness::expandUse(uint32_t R, RegSet &S) const {
-  // Follow the KEEP_LIVE base chain: wherever a KeepLive destination is
-  // live, its base is live too. The chain terminates because sets only
-  // grow.
+  // Follow the KEEP_LIVE base chains: wherever a KeepLive destination is
+  // live, all its bases are live too. Terminates because sets only grow;
+  // the common single-base case stays iterative.
   while (R != NoReg && !S.test(R)) {
     S.set(R);
-    R = KLBase[R];
+    const std::vector<uint32_t> &Bases = KLBases[R];
+    if (Bases.empty())
+      return;
+    for (size_t I = 1; I < Bases.size(); ++I)
+      expandUse(Bases[I], S);
+    R = Bases[0];
   }
 }

@@ -141,6 +141,12 @@ public:
   /// Adds \p R and any KEEP_LIVE bases it transitively pins to \p S.
   void expandUse(uint32_t R, RegSet &S) const;
 
+  /// The KEEP_LIVE bases pinned by register \p R (empty if R is not a
+  /// KeepLive destination). Exposed for the static safety verifier.
+  const std::vector<uint32_t> &keepLiveBases(uint32_t R) const {
+    return KLBases[R];
+  }
+
   /// Maximum number of simultaneously live registers at any point in block
   /// \p B (used by the register-pressure cost model).
   unsigned maxPressure(uint32_t B) const { return MaxPressure[B]; }
@@ -148,8 +154,12 @@ public:
 private:
   std::vector<RegSet> LiveIn, LiveOut;
   std::vector<unsigned> MaxPressure;
-  /// KeepLive destination -> base register (NoReg if none).
-  std::vector<uint32_t> KLBase;
+  /// KeepLive destination -> base registers. Several KeepLives may write
+  /// the same destination along different paths; treating the mapping as a
+  /// set (rather than last-writer-wins) keeps the extension conservative —
+  /// every base any of them pins stays live wherever the destination is
+  /// live.
+  std::vector<std::vector<uint32_t>> KLBases;
 };
 
 } // namespace opt

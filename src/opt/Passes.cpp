@@ -1084,27 +1084,41 @@ PassStats gcsafe::opt::optimizeModule(Module &M,
         Options.Trace->emit("pass", Name, ElapsedNs, Delta.total(), F.Name);
     };
 
+    // Wraps RunPass with the test mutator and the per-pass checker so a
+    // safety verifier can attribute any violation to the pass that just
+    // ran (or to the mutator emulating a bug in it).
+    auto RunChecked = [&](const char *Name, void (*Pass)(Function &,
+                                                         PassStats &)) {
+      RunPass(Name, Pass);
+      if (Options.PassMutator)
+        Options.PassMutator(Name, F);
+      if (Options.PassCheck)
+        Options.PassCheck(Name, F);
+    };
+
     removeUnreachableBlocks(F);
+    if (Options.PassCheck)
+      Options.PassCheck("(entry)", F);
     if (Options.Level == OptLevel::O2) {
-      RunPass("simplify", simplifyFunction);
-      RunPass("local_cse", localCSE);
-      RunPass("simplify", simplifyFunction);
-      RunPass("reassociate", reassociateDisplacements);
-      RunPass("strength_reduce", strengthReduceIVs);
-      RunPass("simplify", simplifyFunction);
-      RunPass("licm", hoistLoopInvariants);
-      RunPass("simplify", simplifyFunction);
-      RunPass("fuse_addressing", fuseAddressing);
+      RunChecked("simplify", simplifyFunction);
+      RunChecked("local_cse", localCSE);
+      RunChecked("simplify", simplifyFunction);
+      RunChecked("reassociate", reassociateDisplacements);
+      RunChecked("strength_reduce", strengthReduceIVs);
+      RunChecked("simplify", simplifyFunction);
+      RunChecked("licm", hoistLoopInvariants);
+      RunChecked("simplify", simplifyFunction);
+      RunChecked("fuse_addressing", fuseAddressing);
       // A production optimizer coalesces copies anyway; patterns 2 and 3
       // run in every optimized build so the baseline is honest.
-      RunPass("coalesce_copies", coalesceCopies);
-      RunPass("simplify", simplifyFunction);
+      RunChecked("coalesce_copies", coalesceCopies);
+      RunChecked("simplify", simplifyFunction);
       if (Options.Postprocess) {
-        RunPass("postprocess", peepholePostprocess);
-        RunPass("simplify", simplifyFunction);
+        RunChecked("postprocess", peepholePostprocess);
+        RunChecked("simplify", simplifyFunction);
       }
     }
-    RunPass("insert_kills", insertKills);
+    RunChecked("insert_kills", insertKills);
     Total.accumulate(S);
   }
 

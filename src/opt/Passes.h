@@ -40,6 +40,7 @@
 
 #include "ir/IR.h"
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -138,6 +139,15 @@ struct OptPipelineOptions {
   /// When set, every pass invocation that changed the module emits a
   /// cat="pass" trace event (Value = ns, Aux = counter delta).
   support::TraceBuffer *Trace = nullptr;
+  /// Test hook: invoked after each pass runs on a function, before
+  /// PassCheck, with the pass name. Lets the safety-verifier self-test
+  /// emulate a buggy optimizer by mutating the IR mid-pipeline.
+  std::function<void(const char *Pass, ir::Function &F)> PassMutator;
+  /// When set, invoked after every pass on every function (and once with
+  /// pass name "(entry)" before the first pass) so a checker can verify
+  /// invariants pass-by-pass and attribute violations to the offending
+  /// pass.
+  std::function<void(const char *Pass, const ir::Function &F)> PassCheck;
 };
 
 /// Runs the configured pipeline over every function.

@@ -7,12 +7,15 @@ Schemas (see docs/OBSERVABILITY.md):
   gcsafe-run-report-v1  gcsafe-cc --stats-json
   gcsafe-trace-v1       gcsafe-cc --trace-json
   gcsafe-profile-v1     gcsafe-cc --profile-json
+  gcsafe-lint-v1        gcsafe-cc --lint-json (docs/ANALYSIS.md)
 
 Usage:
   check_bench_json.py FILE [FILE...]   validate the named report files
   check_bench_json.py --scan DIR       validate every BENCH_*.json under DIR
   check_bench_json.py --chrome FILE    validate a Chrome trace_event file
                                        (gcsafe-cc --trace-chrome output)
+  check_bench_json.py --lint FILE      validate FILE and require it to be a
+                                       gcsafe-lint-v1 report
 
 Files are dispatched on their top-level "schema" field, so the same checker
 covers all four formats; Chrome traces carry no schema field and are named
@@ -306,6 +309,43 @@ def check_profile(doc):
            f"{cycles['sampled_cycles']}")
 
 
+# --- gcsafe-lint-v1 ---------------------------------------------------------
+
+LINT_KINDS = {"kill_live_register", "base_killed", "base_clobbered",
+              "kill_missing", "kill_spurious", "keep_live_dropped",
+              "structure"}
+
+LINT_DIAG_KEYS = ["function", "block", "index", "line", "pass", "kind",
+                  "derived", "base", "message"]
+
+
+def check_lint(doc):
+    expect_keys(doc, "$", ["schema", "input", "mode", "verify", "clean",
+                           "diagnostics"])
+    expect_str(doc, "$", "input")
+    expect_str(doc, "$", "mode")
+    expect(doc["verify"] in ("final", "each-pass"), "$.verify",
+           f"expected 'final' or 'each-pass', got {doc['verify']!r}")
+    expect(isinstance(doc["clean"], bool), "$.clean", "expected a bool")
+    diags = doc["diagnostics"]
+    expect(isinstance(diags, list), "$.diagnostics", "expected an array")
+    expect(doc["clean"] == (len(diags) == 0), "$.clean",
+           "clean flag must match diagnostics being empty")
+    for i, diag in enumerate(diags):
+        path = f"$.diagnostics[{i}]"
+        expect_keys(diag, path, LINT_DIAG_KEYS)
+        expect_str(diag, path, "function")
+        expect_str(diag, path, "pass")
+        expect_str(diag, path, "message")
+        expect(diag["message"], f"{path}.message",
+               "message must be non-empty")
+        for key in ("block", "index", "line", "derived", "base"):
+            expect_num(diag, path, key, integer=True)
+        expect(diag["kind"] in LINT_KINDS, f"{path}.kind",
+               f"unknown diagnostic kind {diag['kind']!r} "
+               f"(known: {', '.join(sorted(LINT_KINDS))})")
+
+
 # --- Chrome trace_event (gcsafe-cc --trace-chrome) --------------------------
 
 def check_chrome_trace(doc, path="$"):
@@ -347,6 +387,7 @@ CHECKERS = {
     "gcsafe-trace-v1": check_trace,
     "gcsafe-run-report-v1": check_run_report,
     "gcsafe-profile-v1": check_profile,
+    "gcsafe-lint-v1": check_lint,
 }
 
 
@@ -388,6 +429,9 @@ def main():
     parser.add_argument("--chrome", metavar="FILE", action="append",
                         default=[],
                         help="validate FILE as Chrome trace_event JSON")
+    parser.add_argument("--lint", metavar="FILE", action="append",
+                        default=[],
+                        help="validate FILE as a gcsafe-lint-v1 report")
     args = parser.parse_args()
 
     files = [Path(f) for f in args.files]
@@ -398,11 +442,22 @@ def main():
                   file=sys.stderr)
             return 1
         files.extend(scanned)
-    if not files and not args.chrome:
-        parser.error("no files given (pass FILEs, --scan DIR, and/or "
-                     "--chrome FILE)")
+    if not files and not args.chrome and not args.lint:
+        parser.error("no files given (pass FILEs, --scan DIR, --lint FILE, "
+                     "and/or --chrome FILE)")
 
     failures = []
+    for path in args.lint:
+        problem = check_file(path)
+        if problem is None:
+            doc = json.loads(Path(path).read_text())
+            if doc["schema"] != "gcsafe-lint-v1":
+                problem = (f"{path}: expected schema gcsafe-lint-v1, "
+                           f"got '{doc['schema']}'")
+        if problem:
+            failures.append(problem)
+        else:
+            print(f"ok: {path} [gcsafe-lint-v1]")
     for path in files:
         problem = check_file(path)
         if problem:

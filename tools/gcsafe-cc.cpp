@@ -70,6 +70,17 @@ void usage() {
       "                             (sites: heap.segment_alloc,\n"
       "                             heap.page_table_grow, gc.alloc_small,\n"
       "                             gc.alloc_large)\n"
+      "  --verify-safety[=each-pass]  statically verify the KEEP_LIVE\n"
+      "                             invariant (docs/ANALYSIS.md) on the\n"
+      "                             optimized IR; with =each-pass, after\n"
+      "                             lowering and after every optimizer pass\n"
+      "                             so violations name the offending pass.\n"
+      "                             Violations exit with status 3\n"
+      "  --lint-json[=FILE]         gcsafe-lint-v1 JSON report of the\n"
+      "                             safety diagnostics (implies\n"
+      "                             --verify-safety; '-' = stdout)\n"
+      "  --verify-ir=each-pass      run the structural IR verifier after\n"
+      "                             every optimizer pass too\n"
       "  --stats                    human-readable statistics on stderr\n"
       "  --stats-json[=FILE]        gcsafe-run-report-v1 JSON (implies\n"
       "                             --run; without =FILE the report goes to\n"
@@ -127,6 +138,9 @@ int main(int argc, char **argv) {
        Stats = false;
   bool StatsJson = false, TraceJson = false, TraceChrome = false;
   bool ProfileJson = false, ProfileFolded = false;
+  driver::SafetyVerify Verify = driver::SafetyVerify::None;
+  bool LintJson = false, VerifyIREachPass = false;
+  std::string LintJsonPath;
   std::string StatsJsonPath, TraceJsonPath, TraceChromePath, MachineName =
                                                                 "sparc10";
   std::string ProfileJsonPath, ProfileFoldedPath;
@@ -182,6 +196,29 @@ int main(int argc, char **argv) {
     } else if (startsWith(Arg, "--profile-folded=", Rest)) {
       ProfileFolded = true;
       ProfileFoldedPath = Rest;
+    } else if (!std::strcmp(Arg, "--verify-safety")) {
+      Verify = driver::SafetyVerify::Final;
+    } else if (startsWith(Arg, "--verify-safety=", Rest)) {
+      if (!std::strcmp(Rest, "each-pass"))
+        Verify = driver::SafetyVerify::EachPass;
+      else if (!std::strcmp(Rest, "final"))
+        Verify = driver::SafetyVerify::Final;
+      else {
+        std::fprintf(stderr, "unknown --verify-safety mode '%s'\n", Rest);
+        return 2;
+      }
+    } else if (!std::strcmp(Arg, "--lint-json")) {
+      LintJson = true;
+    } else if (startsWith(Arg, "--lint-json=", Rest)) {
+      LintJson = true;
+      LintJsonPath = Rest;
+    } else if (startsWith(Arg, "--verify-ir=", Rest)) {
+      if (!std::strcmp(Rest, "each-pass"))
+        VerifyIREachPass = true;
+      else {
+        std::fprintf(stderr, "unknown --verify-ir mode '%s'\n", Rest);
+        return 2;
+      }
     } else if (!std::strcmp(Arg, "--no-opt1")) {
       Annot.SkipCopies = false;
     } else if (!std::strcmp(Arg, "--no-opt2")) {
@@ -273,6 +310,9 @@ int main(int argc, char **argv) {
   // to produce phase/pass events.
   if (StatsJson || ProfileJson || ProfileFolded)
     Run = true;
+  // A lint report is the verifier's output; asking for one turns it on.
+  if (LintJson && Verify == driver::SafetyVerify::None)
+    Verify = driver::SafetyVerify::Final;
   support::TraceBuffer Trace(TraceCapacity);
   support::TraceBuffer *TraceSink =
       (TraceJson || TraceChrome) ? &Trace : nullptr;
@@ -348,7 +388,8 @@ int main(int argc, char **argv) {
       return 0;
   }
 
-  if (!Run && !DumpIR && !TraceJson && !TraceChrome) {
+  if (!Run && !DumpIR && !TraceJson && !TraceChrome &&
+      Verify == driver::SafetyVerify::None && !VerifyIREachPass) {
     std::string Out = Comp.annotatedSource(OutputMode, Annot);
     std::fputs(Out.c_str(), stdout);
     if (Stats) {
@@ -369,6 +410,8 @@ int main(int argc, char **argv) {
   CO.Mode = Mode;
   CO.Annot = Annot;
   CO.Trace = TraceSink;
+  CO.Verify = Verify;
+  CO.VerifyIREachPass = VerifyIREachPass;
   driver::CompileResult CR = Comp.compile(CO);
   if (!CR.Ok) {
     std::fputs(CR.Errors.c_str(), stderr);
@@ -379,6 +422,27 @@ int main(int argc, char **argv) {
     for (const std::string &E : VerifyErrors)
       std::fprintf(stderr, "IR verifier: %s\n", E.c_str());
     return 1;
+  }
+  if (!CR.IRVerifyErrors.empty()) {
+    for (const std::string &E : CR.IRVerifyErrors)
+      std::fprintf(stderr, "IR verifier: %s\n", E.c_str());
+    return 1;
+  }
+  if (Verify != driver::SafetyVerify::None) {
+    for (const analysis::SafetyDiag &D : CR.SafetyDiags)
+      std::fprintf(stderr, "safety: %s\n",
+                   analysis::formatSafetyDiag(D).c_str());
+    if (LintJson) {
+      support::Json Report = driver::buildLintReport(
+          InputPath == "-" ? "<stdin>" : InputPath, Mode,
+          Verify == driver::SafetyVerify::EachPass, CR, &Comp.buffer());
+      if (!writeReport(LintJsonPath, Report.dump()))
+        return 1;
+    }
+    // Exit code 3 is the stable "safety verification failed" status —
+    // distinct from 1 (compile/runtime error) and 2 (usage).
+    if (!CR.SafetyOk)
+      return 3;
   }
 
   if (DumpIR)

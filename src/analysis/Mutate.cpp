@@ -58,7 +58,18 @@ std::vector<Mutation>
 gcsafe::analysis::enumerateMutations(const Module &M) {
   std::vector<Mutation> Out;
   for (uint32_t FI = 0; FI < M.Functions.size(); ++FI) {
-    const Function &F = M.Functions[FI];
+    std::vector<Mutation> Fn = enumerateFunctionMutations(M.Functions[FI], FI);
+    Out.insert(Out.end(), Fn.begin(), Fn.end());
+  }
+  return Out;
+}
+
+std::vector<Mutation>
+gcsafe::analysis::enumerateFunctionMutations(const Function &F,
+                                             uint32_t FnIndex) {
+  std::vector<Mutation> Out;
+  {
+    const uint32_t FI = FnIndex;
     CFGInfo CFG(F);
     BaseLiveness BL(F, CFG);
     std::vector<RegSet> LiveAfter;
@@ -112,7 +123,10 @@ gcsafe::analysis::enumerateMutations(const Module &M) {
 bool gcsafe::analysis::applyMutation(Module &M, const Mutation &Mu) {
   if (Mu.FunctionIndex >= M.Functions.size())
     return false;
-  Function &F = M.Functions[Mu.FunctionIndex];
+  return applyMutation(M.Functions[Mu.FunctionIndex], Mu);
+}
+
+bool gcsafe::analysis::applyMutation(Function &F, const Mutation &Mu) {
   if (Mu.Block >= F.Blocks.size())
     return false;
   BasicBlock &B = F.Blocks[Mu.Block];

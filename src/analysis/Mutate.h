@@ -61,9 +61,19 @@ struct Mutation {
 /// result is deterministic (module order).
 std::vector<Mutation> enumerateMutations(const ir::Module &M);
 
+/// Enumerates the mutations of a single function (FunctionIndex fixed to
+/// \p FnIndex). This is the mid-pipeline surface behind the
+/// opt.pass.corrupt failpoint: the self-healing pipeline corrupts one
+/// function between a pass and its commit gate (docs/ROBUSTNESS.md §5).
+std::vector<Mutation> enumerateFunctionMutations(const ir::Function &F,
+                                                 uint32_t FnIndex = 0);
+
 /// Applies \p Mu to \p M in place. Returns false if the site no longer
 /// matches (stale mutation).
 bool applyMutation(ir::Module &M, const Mutation &Mu);
+
+/// Same, against one function (Mu.FunctionIndex is ignored).
+bool applyMutation(ir::Function &F, const Mutation &Mu);
 
 } // namespace analysis
 } // namespace gcsafe

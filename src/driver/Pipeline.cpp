@@ -2,10 +2,13 @@
 
 #include "driver/Pipeline.h"
 
+#include "analysis/Mutate.h"
 #include "annotate/SourceCheck.h"
 #include "cfront/Lexer.h"
 #include "ir/Verify.h"
+#include "support/FaultInject.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -140,11 +143,13 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
       CheckSafety(F, "(lower)", /*KillPlacement=*/false);
 
   opt::OptPipelineOptions PO;
-  PO.Level = (Options.Mode == CompileMode::Debug ||
-              Options.Mode == CompileMode::DebugChecked)
-                 ? opt::OptLevel::O0
-                 : opt::OptLevel::O2;
-  PO.Postprocess = Options.Mode == CompileMode::O2SafePost;
+  opt::OptLevel ModeLevel = (Options.Mode == CompileMode::Debug ||
+                             Options.Mode == CompileMode::DebugChecked)
+                                ? opt::OptLevel::O0
+                                : opt::OptLevel::O2;
+  PO.Level = std::min(ModeLevel, Options.MaxOptLevel);
+  PO.Postprocess = Options.Mode == CompileMode::O2SafePost &&
+                   PO.Level == opt::OptLevel::O2;
   PO.Stats = &Result.Stats;
   PO.Trace = Options.Trace;
   PO.PassMutator = Options.PassMutator;
@@ -164,13 +169,114 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
       if (Options.VerifyIREachPass)
         ir::verifyFunction(F, Result.IRVerifyErrors, Pass);
     };
+
+  // Self-healing transactions (docs/ROBUSTNESS.md §5): the safety
+  // verifier, structural IR verifier and KEEP_LIVE continuity check form
+  // the commit gate for every pass; failpoints can corrupt a pass result
+  // or simulate a verifier timeout.
+  analysis::KeepLiveContinuity TxnContinuity;
+  size_t CorruptSite = 0, VerifyTimeoutSite = 0;
+  if (Options.Txn) {
+    PassTransactions &Txn = *Options.Txn;
+    if (Txn.Faults) {
+      CorruptSite = Txn.Faults->siteId("opt.pass.corrupt");
+      VerifyTimeoutSite = Txn.Faults->siteId("analysis.verify.timeout");
+      auto UserMutator = PO.PassMutator;
+      PO.PassMutator = [&Txn, &Result, UserMutator, CorruptSite,
+                        &Options](const char *Pass, ir::Function &F) {
+        if (UserMutator)
+          UserMutator(Pass, F);
+        if (!Txn.Faults->shouldFail(CorruptSite))
+          return;
+        std::vector<analysis::Mutation> Ms =
+            analysis::enumerateFunctionMutations(F);
+        if (Txn.CorruptKind >= 0) {
+          Ms.erase(std::remove_if(Ms.begin(), Ms.end(),
+                                  [&](const analysis::Mutation &Mu) {
+                                    return static_cast<int>(Mu.Kind) !=
+                                           Txn.CorruptKind;
+                                  }),
+                   Ms.end());
+        }
+        if (Ms.empty())
+          return;
+        const analysis::Mutation &Mu = Ms[Txn.Faults->draw() % Ms.size()];
+        if (!analysis::applyMutation(F, Mu))
+          return;
+        ++Txn.CorruptionsApplied;
+        Result.Stats.add("robust.fault.pass_corrupt");
+        if (Options.Trace)
+          Options.Trace->emit("robust", "fault.pass_corrupt", 0,
+                              static_cast<unsigned>(Mu.Kind),
+                              std::string(Pass) + ": " + Mu.Description);
+      };
+    }
+    auto PrevCheck = PO.PassCheck;
+    PO.PassCheck = [&TxnContinuity, PrevCheck](const char *Pass,
+                                               const ir::Function &F) {
+      // The transactional continuity baseline must track committed states
+      // only; PassCheck runs after the commit/rollback decision.
+      if (std::strcmp(Pass, "(entry)") == 0)
+        TxnContinuity.record(F);
+      if (PrevCheck)
+        PrevCheck(Pass, F);
+    };
+    PO.Quarantine = &Txn.Quarantine;
+    PO.PassDeadlineNs = Txn.PassDeadlineNs;
+    PO.Rollbacks = &Txn.Rollbacks;
+    PO.CommitGate = [&Txn, &TxnContinuity, VerifyTimeoutSite](
+                        const char *Pass, const ir::Function &F,
+                        std::string &Reason) {
+      if (Txn.Faults && Txn.Faults->shouldFail(VerifyTimeoutSite)) {
+        Reason = "verify_timeout";
+        return false;
+      }
+      analysis::SafetyVerifyOptions VO;
+      VO.Pass = Pass;
+      VO.CheckKillPlacement = std::strcmp(Pass, "insert_kills") == 0;
+      std::vector<analysis::SafetyDiag> Diags;
+      if (!analysis::verifyFunctionSafety(F, VO, Diags)) {
+        Reason = "verify_failed:" + Diags.front().Kind;
+        return false;
+      }
+      std::vector<std::string> IRErrors;
+      if (!ir::verifyFunction(F, IRErrors, Pass)) {
+        Reason = "ir_verify_failed";
+        return false;
+      }
+      // A KEEP_LIVE that vanished while its derived value still has uses
+      // is invisible to the point checks (the kill audit diffs only
+      // recomputed-vs-actual kills); the pass-to-pass continuity snapshot
+      // is what catches a deleted annotation. Check against a copy so a
+      // veto leaves the baseline at the pre-pass (rolled-back) state.
+      analysis::KeepLiveContinuity Candidate = TxnContinuity;
+      Candidate.check(F, Pass, Diags);
+      if (!Diags.empty()) {
+        Reason = "verify_failed:" + Diags.front().Kind;
+        return false;
+      }
+      TxnContinuity = std::move(Candidate);
+      return true;
+    };
+  }
   uint64_t OptStartNs = support::monotonicNowNs();
   Result.OptStats = opt::optimizeModule(Result.Module, PO);
   Phase("optimize", support::monotonicNowNs() - OptStartNs);
+  if (Options.Txn) {
+    Result.Stats.set("robust.quarantined", Options.Txn->Quarantine.size());
+    for (const std::string &Q : Options.Txn->Quarantine)
+      if (Options.Trace)
+        Options.Trace->emit("robust", "pass.quarantine", 0, 0, Q);
+  }
 
   if (WantSafety) {
+    // A transactionally quarantined insert_kills leaves registers unkilled
+    // — pure false retention, which the placement audit would flag on
+    // every register; skip layer 2 in that (already-degraded) case.
+    bool KillAudit =
+        !Options.Txn || !Options.Txn->Quarantine.count("insert_kills");
     for (const ir::Function &F : Result.Module.Functions)
-      CheckSafety(F, "(final)", /*KillPlacement=*/true);
+      CheckSafety(F, "(final)", KillAudit);
     Result.SafetyOk = Result.SafetyDiags.empty();
     Result.Stats.add("analysis.verify.runs", SafetyRuns);
     Result.Stats.add("analysis.verify.diags", Result.SafetyDiags.size());
@@ -263,6 +369,10 @@ support::Json gcsafe::driver::buildRunReport(const std::string &Input,
     Compile["passes"] = *Opt;
   else
     Compile["passes"] = Json::object();
+  // Present only when the self-healing pipeline ran (gcsafe-cc
+  // --self-heal): rollback/quarantine counters and the ladder outcome.
+  if (const Json *Robust = StatsTree.get("robust"))
+    Compile["robust"] = *Robust;
   Root["compile"] = std::move(Compile);
 
   if (Run) {
@@ -270,6 +380,8 @@ support::Json gcsafe::driver::buildRunReport(const std::string &Input,
     Json RJ = Json::object();
     RJ["ok"] = Json::boolean(R.Ok);
     RJ["exit_code"] = Json::integer(int64_t(R.ExitCode));
+    if (R.WatchdogTimeout)
+      RJ["watchdog_timeout"] = Json::boolean(true);
     if (!R.Error.empty())
       RJ["error"] = Json::string(R.Error);
     RJ["output"] = Json::string(R.Output);
@@ -324,6 +436,7 @@ support::Json gcsafe::driver::buildRunReport(const std::string &Input,
     Audit["runs"] = Json::integer(G.AuditsRun);
     Audit["violations"] = Json::integer(G.AuditViolations);
     GJ["audit"] = std::move(Audit);
+    GJ["deadline_exceeded"] = Json::integer(G.GcDeadlineExceeded);
 
     Json Events = Json::array();
     for (const gc::CollectionEvent &E : G.Events)

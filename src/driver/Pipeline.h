@@ -37,9 +37,14 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 
 namespace gcsafe {
+namespace support {
+class FaultInjector;
+} // namespace support
+
 namespace driver {
 
 enum class CompileMode {
@@ -61,6 +66,30 @@ enum class SafetyVerify {
             ///< the offending pass when a violation appears.
 };
 
+/// Shared state of the self-healing transactional pipeline
+/// (docs/ROBUSTNESS.md §5). One instance lives across the degradation
+/// ladder's attempts, so a pass quarantined at one rung stays quarantined
+/// at the next.
+struct PassTransactions {
+  /// Pass names vetoed by the commit gate; skipped from then on.
+  std::set<std::string> Quarantine;
+  /// Per-pass wall budget in ns (0 = none); exceeding it is a fault.
+  uint64_t PassDeadlineNs = 0;
+  /// Optional failpoints: "opt.pass.corrupt" applies one Mutate.h
+  /// corruption operator to the function after a pass when it fires;
+  /// "analysis.verify.timeout" makes the commit gate act as if the
+  /// verifier timed out (conservative veto).
+  support::FaultInjector *Faults = nullptr;
+  /// Restrict injected corruption to one analysis::MutationKind
+  /// (-1 = injector-drawn choice among all applicable operators).
+  int CorruptKind = -1;
+  /// Appended with one record per rollback, across all attempts.
+  std::vector<opt::PassRollback> Rollbacks;
+  /// Injected corruptions actually applied (a fire with no applicable
+  /// mutation site applies nothing and is not counted).
+  uint64_t CorruptionsApplied = 0;
+};
+
 struct CompileOptions {
   CompileMode Mode = CompileMode::O2;
   annotate::AnnotatorOptions Annot;
@@ -75,6 +104,14 @@ struct CompileOptions {
   /// Test hook forwarded to the optimizer: mutates the IR after the named
   /// pass, emulating a buggy optimization for verifier self-tests.
   std::function<void(const char *Pass, ir::Function &F)> PassMutator;
+  /// Self-healing transaction context (driver/SelfHeal.h). When set,
+  /// every optimizer pass runs transactionally: the safety verifier,
+  /// structural IR verifier and KEEP_LIVE continuity check form the
+  /// commit gate, and a vetoed pass is rolled back and quarantined.
+  PassTransactions *Txn = nullptr;
+  /// Degradation-ladder ceiling on the optimizer: the pipeline never runs
+  /// above this level regardless of Mode.
+  opt::OptLevel MaxOptLevel = opt::OptLevel::O2;
 };
 
 struct CompileResult {

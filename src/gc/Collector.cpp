@@ -615,6 +615,15 @@ void Collector::collect() {
                        CurEvent.LiveBytes);
   }
 
+  if (Config.CollectDeadlineNs &&
+      CurEvent.MarkNs + CurEvent.SweepNs > Config.CollectDeadlineNs) {
+    ++Stats.GcDeadlineExceeded;
+    if (Config.Trace)
+      Config.Trace->emit("robust", "gc.deadline",
+                         CurEvent.MarkNs + CurEvent.SweepNs,
+                         Config.CollectDeadlineNs);
+  }
+
   Stats.MarkNs += CurEvent.MarkNs;
   Stats.SweepNs += CurEvent.SweepNs;
   Stats.WordsScanned += CurEvent.WordsScanned;

@@ -160,6 +160,13 @@ struct CollectorConfig {
   /// CollectorStats and the trace.
   bool AuditEachCollection = false;
 
+  /// Per-collection wall budget in nanoseconds (0 = none). A collection
+  /// whose mark+sweep exceeds it counts in
+  /// CollectorStats::GcDeadlineExceeded and emits a cat="robust"
+  /// gc.deadline trace event; the embedder (the VM's --gc-deadline
+  /// watchdog) decides whether that is fatal.
+  uint64_t CollectDeadlineNs = 0;
+
   /// Optional failpoint registry. When set, page-segment acquisition,
   /// page-table growth, and the small/large allocation entry points
   /// consult it (sites: heap.segment_alloc, heap.page_table_grow,
@@ -227,6 +234,8 @@ struct CollectorStats {
                                 ///< the request's minimum page count.
   uint64_t AuditsRun = 0;
   uint64_t AuditViolations = 0;
+  /// Collections whose mark+sweep blew CollectorConfig::CollectDeadlineNs.
+  uint64_t GcDeadlineExceeded = 0;
 
   std::vector<CollectionEvent> Events;
 };

@@ -1055,22 +1055,15 @@ PassStats gcsafe::opt::optimizeModule(Module &M,
   support::Stats *Reg = Options.Stats;
   uint64_t PipelineStartNs = Reg ? support::monotonicNowNs() : 0;
 
+  const bool Transactional = static_cast<bool>(Options.CommitGate);
   for (Function &F : M.Functions) {
     PassStats S;
 
-    // Runs one named pass over F, accumulating its counter deltas both
-    // into the function-local stats and — when a registry is attached —
-    // under "opt.<name>.*", with a trace event per changing invocation.
-    auto RunPass = [&](const char *Name, void (*Pass)(Function &,
-                                                      PassStats &)) {
-      if (!Reg && !Options.Trace) {
-        Pass(F, S);
-        return;
-      }
-      PassStats Delta;
-      uint64_t StartNs = support::monotonicNowNs();
-      Pass(F, Delta);
-      uint64_t ElapsedNs = support::monotonicNowNs() - StartNs;
+    // Records one committed pass invocation: counter deltas into the
+    // function-local stats and — when a registry is attached — under
+    // "opt.<name>.*", with a trace event per changing invocation.
+    auto Commit = [&](const char *Name, const PassStats &Delta,
+                      uint64_t ElapsedNs) {
       S.accumulate(Delta);
       if (Reg) {
         std::string Prefix = std::string("opt.") + Name + ".";
@@ -1084,14 +1077,56 @@ PassStats gcsafe::opt::optimizeModule(Module &M,
         Options.Trace->emit("pass", Name, ElapsedNs, Delta.total(), F.Name);
     };
 
-    // Wraps RunPass with the test mutator and the per-pass checker so a
-    // safety verifier can attribute any violation to the pass that just
-    // ran (or to the mutator emulating a bug in it).
+    // Runs one named pass over F: the test mutator, then — in
+    // transactional mode — the commit gate, which either keeps the result
+    // or rolls the function back to its pre-pass snapshot and quarantines
+    // the pass. PassCheck always sees the committed state, so a safety
+    // verifier can attribute any violation to the pass that just ran (or
+    // to the mutator emulating a bug in it).
     auto RunChecked = [&](const char *Name, void (*Pass)(Function &,
                                                          PassStats &)) {
-      RunPass(Name, Pass);
+      if (Transactional && Options.Quarantine &&
+          Options.Quarantine->count(Name)) {
+        if (Reg)
+          Reg->add("robust.quarantine_skips");
+        return;
+      }
+      Function Snapshot;
+      if (Transactional)
+        Snapshot = F;
+      PassStats Delta;
+      bool Timed = Reg || Options.Trace || Transactional;
+      uint64_t StartNs = Timed ? support::monotonicNowNs() : 0;
+      Pass(F, Delta);
+      uint64_t ElapsedNs = Timed ? support::monotonicNowNs() - StartNs : 0;
       if (Options.PassMutator)
         Options.PassMutator(Name, F);
+      bool Committed = true;
+      if (Transactional) {
+        std::string Reason;
+        if (Options.PassDeadlineNs && ElapsedNs > Options.PassDeadlineNs)
+          Reason = "deadline";
+        else if (!Options.CommitGate(Name, F, Reason) && Reason.empty())
+          Reason = "verify_failed";
+        if (!Reason.empty()) {
+          Committed = false;
+          F = std::move(Snapshot);
+          if (Options.Quarantine)
+            Options.Quarantine->insert(Name);
+          if (Options.Rollbacks)
+            Options.Rollbacks->push_back({Name, F.Name, Reason, ElapsedNs});
+          if (Reg) {
+            Reg->add("robust.rollbacks");
+            Reg->add(std::string("robust.rollback.") + Name);
+          }
+          if (Options.Trace)
+            Options.Trace->emit("robust", "pass.rollback", ElapsedNs, 0,
+                                std::string(Name) + " in " + F.Name + ": " +
+                                    Reason);
+        }
+      }
+      if (Committed)
+        Commit(Name, Delta, ElapsedNs);
       if (Options.PassCheck)
         Options.PassCheck(Name, F);
     };
@@ -1117,6 +1152,11 @@ PassStats gcsafe::opt::optimizeModule(Module &M,
         RunChecked("postprocess", peepholePostprocess);
         RunChecked("simplify", simplifyFunction);
       }
+    } else if (Options.Level == OptLevel::Peephole) {
+      // The degradation ladder's middle rung: only the KEEP_LIVE-safe
+      // copy coalescing and cleanup, no disguising transformations.
+      RunChecked("coalesce_copies", coalesceCopies);
+      RunChecked("simplify", simplifyFunction);
     }
     RunChecked("insert_kills", insertKills);
     Total.accumulate(S);

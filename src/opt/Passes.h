@@ -41,6 +41,8 @@
 #include "ir/IR.h"
 
 #include <functional>
+#include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -124,8 +126,21 @@ void insertKills(ir::Function &F, PassStats &Stats);
 void removeUnreachableBlocks(ir::Function &F);
 
 enum class OptLevel : uint8_t {
-  O0, ///< Debuggable: no optimization (kills still inserted).
-  O2, ///< Full pipeline.
+  O0,       ///< Debuggable: no optimization (kills still inserted).
+  Peephole, ///< Copy coalescing + simplification only — the degradation
+            ///< ladder's "peephole-only" rung (docs/ROBUSTNESS.md §5).
+  O2,       ///< Full pipeline.
+};
+
+/// One transactional rollback: a pass whose result the commit gate vetoed
+/// (or that blew its deadline) and was undone. Reason values are stable:
+/// "deadline", "verify_timeout", "ir_verify_failed", or
+/// "verify_failed:<diag kind>".
+struct PassRollback {
+  std::string Pass;
+  std::string Function;
+  std::string Reason;
+  uint64_t ElapsedNs = 0;
 };
 
 struct OptPipelineOptions {
@@ -148,6 +163,26 @@ struct OptPipelineOptions {
   /// invariants pass-by-pass and attribute violations to the offending
   /// pass.
   std::function<void(const char *Pass, const ir::Function &F)> PassCheck;
+
+  // Transactional execution (docs/ROBUSTNESS.md §5). When CommitGate is
+  // set, every pass runs against a snapshot of the function: after the
+  // pass (and PassMutator) the gate either commits (true) or vetoes
+  // (false, filling Reason). A vetoed — or deadline-exceeded — pass is
+  // rolled back to the snapshot and quarantined for the rest of the
+  // pipeline; its counters and trace events are discarded with it.
+  std::function<bool(const char *Pass, const ir::Function &F,
+                     std::string &Reason)>
+      CommitGate;
+  /// In/out set of quarantined pass names, shared across the module's
+  /// functions (and, via driver::SelfHeal, across ladder attempts).
+  /// Required when CommitGate is set; quarantined passes are skipped.
+  std::set<std::string> *Quarantine = nullptr;
+  /// Per-pass wall-clock budget in nanoseconds (0 = none). A pass
+  /// exceeding it is treated as a stuck/failed transaction: rolled back
+  /// and quarantined with Reason "deadline". Only honored with CommitGate.
+  uint64_t PassDeadlineNs = 0;
+  /// When set, one record is appended per rollback.
+  std::vector<PassRollback> *Rollbacks = nullptr;
 };
 
 /// Runs the configured pipeline over every function.

@@ -1,0 +1,64 @@
+//===- support/ExitCodes.h - Process exit-code contract --------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one exit-code contract shared by every gcsafe process (gcsafe-cc,
+/// safety_mutate, gcsafe-batch and its forked workers). Scripts and the
+/// batch driver's triage classify outcomes by these values, so they are
+/// stable API; the README carries the user-facing table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SUPPORT_EXITCODES_H
+#define GCSAFE_SUPPORT_EXITCODES_H
+
+namespace gcsafe {
+namespace support {
+
+enum ExitCode : int {
+  /// Everything succeeded; no recovery machinery engaged.
+  ExitSuccess = 0,
+  /// Compile failure, runtime error, unreadable input, or tool error.
+  ExitError = 1,
+  /// Bad command line.
+  ExitUsage = 2,
+  /// Static GC-safety verification failed (gcsafe-cc --verify-safety) and
+  /// no recovery was possible.
+  ExitSafetyViolation = 3,
+  /// safety_mutate: at least one seeded corruption escaped the verifier.
+  ExitMutantEscape = 4,
+  /// The run produced correct output, but only after the self-healing
+  /// ladder engaged: a pass was rolled back and quarantined, or the
+  /// optimizer degraded to a lower rung (gcsafe-cc --self-heal).
+  ExitDegradedSuccess = 5,
+  /// A deadline watchdog expired (--pass-deadline / --gc-deadline /
+  /// --vm-deadline, or a gcsafe-batch per-worker --timeout).
+  ExitWatchdogTimeout = 6,
+};
+
+inline const char *exitCodeName(int Code) {
+  switch (Code) {
+  case ExitSuccess: return "success";
+  case ExitError: return "error";
+  case ExitUsage: return "usage";
+  case ExitSafetyViolation: return "safety-violation";
+  case ExitMutantEscape: return "mutant-escape";
+  case ExitDegradedSuccess: return "degraded-success";
+  case ExitWatchdogTimeout: return "watchdog-timeout";
+  }
+  return "unknown";
+}
+
+/// Codes that mean the process produced usable output.
+inline bool exitCodeIsSuccess(int Code) {
+  return Code == ExitSuccess || Code == ExitDegradedSuccess;
+}
+
+} // namespace support
+} // namespace gcsafe
+
+#endif // GCSAFE_SUPPORT_EXITCODES_H

@@ -28,6 +28,18 @@
 ///   gc.alloc_large@every64      fire on every 64th hit
 ///   heap.page_table_grow@always fire on every hit
 ///
+/// Beyond the collector's four sites, the self-healing pipeline
+/// (docs/ROBUSTNESS.md §5) consults two compile-time sites:
+///
+///   opt.pass.corrupt        after an optimizer pass runs, apply one of
+///                           the four Mutate.h corruption operators to the
+///                           function — a deterministic stand-in for a
+///                           buggy optimization, exercising the
+///                           rollback/quarantine path end to end;
+///   analysis.verify.timeout the transactional commit gate behaves as if
+///                           the safety verifier timed out, forcing the
+///                           conservative degradation-ladder descent.
+///
 /// An entry may append "xK" (e.g. "@p0.1x3") to cap total fires at K.
 /// The site name "*" arms all sites, present and future.
 ///
@@ -78,6 +90,11 @@ public:
   /// this hit fails. Unarmed sites always return false (and still count
   /// the hit).
   bool shouldFail(size_t Id);
+
+  /// One draw from the injector's deterministic PRNG stream, for
+  /// consumers that need a reproducible choice once a site fires (e.g.
+  /// which corruption operator an opt.pass.corrupt firing applies).
+  uint64_t draw() { return nextRand(); }
 
   /// Parses "SEED:SPEC" (or bare "SPEC", seed 0) into \p Out. On a
   /// malformed spec returns false and describes the problem in \p Error.

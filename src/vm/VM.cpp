@@ -3,6 +3,8 @@
 #include "vm/VM.h"
 
 #include "opt/CFG.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <cinttypes>
@@ -39,6 +41,7 @@ VM::VM(const Module &MIn, VMOptions Options) : M(MIn), Opts(std::move(Options)) 
   GC.MaxHeapPages = Opts.GcMaxHeapPages;
   GC.AuditEachCollection = Opts.GcAuditEachCollection;
   GC.Faults = Opts.Faults;
+  GC.CollectDeadlineNs = Opts.GcDeadlineNs;
   GC.Profile = Opts.Profile ? &Opts.Profile->Heap : nullptr;
   C = std::make_unique<gc::Collector>(GC);
   Check = std::make_unique<gc::PointerCheck>(*C);
@@ -465,6 +468,9 @@ RunResult VM::run() {
       Opts.Profile ? Opts.Profile->SamplePeriodCycles : 0;
   LastSampleCycles = 0;
 
+  const bool Watchdogs = Opts.VmDeadlineNs || Opts.GcDeadlineNs;
+  const uint64_t RunStartNs = Watchdogs ? support::monotonicNowNs() : 0;
+
   while (!Halted && !Frames.empty()) {
     Frame &Fr = Frames.back();
     const BasicBlock &Blk = Fr.F->Blocks[Fr.Block];
@@ -501,6 +507,26 @@ RunResult VM::run() {
     if (Result.Output.size() > Opts.MaxOutputBytes) {
       fail("output limit exceeded");
       break;
+    }
+    // Deadline watchdogs: wall clock is polled every ~512 instructions to
+    // keep the hot loop free of syscalls; the GC deadline is detected by
+    // the collector itself and only acted on here.
+    if (Watchdogs && (Result.InstructionsExecuted & 511) == 0) {
+      if (Opts.VmDeadlineNs &&
+          support::monotonicNowNs() - RunStartNs > Opts.VmDeadlineNs) {
+        Result.WatchdogTimeout = true;
+        if (Opts.Trace)
+          Opts.Trace->emit("robust", "vm.deadline",
+                           support::monotonicNowNs() - RunStartNs,
+                           Opts.VmDeadlineNs);
+        fail("watchdog: VM run deadline exceeded");
+        break;
+      }
+      if (Opts.GcDeadlineNs && C->stats().GcDeadlineExceeded > 0) {
+        Result.WatchdogTimeout = true;
+        fail("watchdog: GC collection deadline exceeded");
+        break;
+      }
     }
 
     auto A = [&] { return evalValue(Fr, I.A); };

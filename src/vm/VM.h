@@ -63,6 +63,14 @@ struct VMOptions {
   size_t StackSize = 1 << 20;
   size_t MaxOutputBytes = 4 << 20;
 
+  /// Wall-clock watchdogs (docs/ROBUSTNESS.md §5), 0 = off. A stuck run
+  /// is a fault, not a hang: exceeding VmDeadlineNs (whole-run budget,
+  /// checked every ~512 instructions) or GcDeadlineNs (per-collection
+  /// mark+sweep budget, via CollectorStats::GcDeadlineExceeded) stops the
+  /// VM with RunResult::WatchdogTimeout set.
+  uint64_t VmDeadlineNs = 0;
+  uint64_t GcDeadlineNs = 0;
+
   /// Cost KEEP_LIVE as a real external call (the paper's naive
   /// implementation: "a call to an external function whose implementation
   /// is unavailable to the compiler ... terribly inefficient"). Semantics
@@ -107,6 +115,9 @@ struct RunResult {
   std::string Error;
   std::string Output;
   long ExitCode = 0;
+  /// The run was stopped by a deadline watchdog (VmDeadlineNs /
+  /// GcDeadlineNs); Error says which. Maps to ExitWatchdogTimeout.
+  bool WatchdogTimeout = false;
 
   uint64_t InstructionsExecuted = 0;
   uint64_t Cycles = 0;

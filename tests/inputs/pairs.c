@@ -1,0 +1,43 @@
+/* Healthy batch-driver input: cons-pair chains on the collecting
+ * allocator, summed twice to keep live pointers flowing across calls. */
+
+struct pair {
+  struct pair *rest;
+  long a;
+  long b;
+};
+
+struct pair *build(long n) {
+  struct pair *head;
+  struct pair *p;
+  long i;
+  head = 0;
+  for (i = 0; i < n; i++) {
+    p = (struct pair *)gc_malloc(sizeof(struct pair));
+    p->a = i;
+    p->b = i * 3;
+    p->rest = head;
+    head = p;
+  }
+  return head;
+}
+
+long total(struct pair *p) {
+  long s;
+  s = 0;
+  while (p) {
+    s = s + p->a + p->b;
+    p = p->rest;
+  }
+  return s;
+}
+
+int main(void) {
+  struct pair *one;
+  struct pair *two;
+  one = build(40);
+  two = build(25);
+  print_int(total(one) + total(two));
+  print_char(10);
+  return 0;
+}

@@ -1,0 +1,17 @@
+/* Deliberately long-running input for the batch driver's timeout tests:
+ * a tight counting loop that far outlasts any reasonable per-attempt
+ * deadline, so the parent's SIGKILL (or the VM watchdog) must fire. */
+
+int main(void) {
+  long i;
+  long acc;
+  i = 0;
+  acc = 0;
+  while (i < 2000000000) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  print_int(acc);
+  print_char(10);
+  return 0;
+}

@@ -8,6 +8,7 @@ Schemas (see docs/OBSERVABILITY.md):
   gcsafe-trace-v1       gcsafe-cc --trace-json
   gcsafe-profile-v1     gcsafe-cc --profile-json
   gcsafe-lint-v1        gcsafe-cc --lint-json (docs/ANALYSIS.md)
+  gcsafe-batch-v1       gcsafe-batch --summary (docs/ROBUSTNESS.md §6)
 
 Usage:
   check_bench_json.py FILE [FILE...]   validate the named report files
@@ -16,6 +17,9 @@ Usage:
                                        (gcsafe-cc --trace-chrome output)
   check_bench_json.py --lint FILE      validate FILE and require it to be a
                                        gcsafe-lint-v1 report
+  check_bench_json.py --batch FILE     validate FILE as a gcsafe-batch-v1
+                                       summary; --expect-status SUBSTR=STATUS
+                                       additionally pins one input's outcome
 
 Files are dispatched on their top-level "schema" field, so the same checker
 covers all four formats; Chrome traces carry no schema field and are named
@@ -117,7 +121,7 @@ GC_KEYS = ["collections", "alloc_count", "alloc_bytes", "heap_pages",
            "live_bytes_after_last_gc", "freed_objects_last_gc", "mark_ns",
            "sweep_ns", "words_scanned", "pointer_hits", "marked_objects",
            "interior_pointer_hits", "false_retention_candidates", "oom",
-           "audit", "events"]
+           "audit", "deadline_exceeded", "events"]
 
 GC_OOM_KEYS = ["emergency_collections", "retries", "callback_invocations",
                "alloc_failures", "faults_injected", "segment_backoffs"]
@@ -138,12 +142,15 @@ ANNOTATOR_KEYS = ["keep_lives", "incdec_expansions",
 ATTRIBUTION_KEYS = ["user", "keep_live", "checks", "allocator", "spill"]
 
 
-def check_counter_tree(obj, path):
-    """phases_ns / passes: nested objects with numeric leaves."""
+def check_counter_tree(obj, path, strings_ok=False):
+    """phases_ns / passes: nested objects with numeric leaves. The robust
+    subtree also carries string leaves (robust.ladder.rung_name)."""
     expect(isinstance(obj, dict), path, "expected an object")
     for key, value in obj.items():
         if isinstance(value, dict):
-            check_counter_tree(value, f"{path}.{key}")
+            check_counter_tree(value, f"{path}.{key}", strings_ok)
+        elif strings_ok and isinstance(value, str):
+            pass
         else:
             expect_num(obj, path, key)
 
@@ -157,7 +164,11 @@ def check_run_report(doc):
 
     compile_ = doc["compile"]
     expect_keys(compile_, "$.compile",
-                ["ok", "code_size_units", "phases_ns", "annotator", "passes"])
+                ["ok", "code_size_units", "phases_ns", "annotator", "passes"],
+                optional=["robust"])
+    if "robust" in compile_:
+        check_counter_tree(compile_["robust"], "$.compile.robust",
+                           strings_ok=True)
     expect(isinstance(compile_["ok"], bool), "$.compile.ok",
            "expected a bool")
     expect_num(compile_, "$.compile", "code_size_units", integer=True)
@@ -175,8 +186,11 @@ def check_run_report(doc):
                 ["ok", "exit_code", "output", "instructions", "cycles",
                  "cycle_attribution", "keep_lives_executed", "kills_executed",
                  "checks", "gc"],
-                optional=["error"])
+                optional=["error", "watchdog_timeout"])
     expect(isinstance(run["ok"], bool), "$.run.ok", "expected a bool")
+    if "watchdog_timeout" in run:
+        expect(isinstance(run["watchdog_timeout"], bool),
+               "$.run.watchdog_timeout", "expected a bool")
     expect_num(run, "$.run", "exit_code", integer=True)
     expect_str(run, "$.run", "output")
     for key in ("instructions", "cycles", "keep_lives_executed",
@@ -216,6 +230,80 @@ def check_run_report(doc):
         expect_keys(ev, path, GC_EVENT_KEYS)
         for key in GC_EVENT_KEYS:
             expect_num(ev, path, key, integer=True)
+
+
+# --- gcsafe-batch-v1 --------------------------------------------------------
+
+BATCH_STATUSES = {"ok", "degraded", "failed"}
+BATCH_OUTCOMES = {"ok", "degraded", "error", "safety", "timeout", "signal",
+                  "usage"}
+BATCH_RUNGS = {"full", "quarantined", "peephole", "unoptimized"}
+
+
+def check_batch(doc):
+    expect_keys(doc, "$", ["schema", "mode", "jobs", "timeout_ms", "retries",
+                           "inputs", "totals"])
+    expect_str(doc, "$", "mode")
+    for key in ("jobs", "timeout_ms", "retries"):
+        expect_num(doc, "$", key, integer=True)
+    inputs = doc["inputs"]
+    expect(isinstance(inputs, list), "$.inputs", "expected an array")
+    expect(inputs, "$.inputs", "a batch report must contain inputs")
+    counts = {"ok": 0, "degraded": 0, "failed": 0}
+    attempts_total = 0
+    for i, entry in enumerate(inputs):
+        path = f"$.inputs[{i}]"
+        expect_keys(entry, path, ["input", "status", "attempts"])
+        expect_str(entry, path, "input")
+        expect(entry["status"] in BATCH_STATUSES, f"{path}.status",
+               f"unknown status {entry['status']!r} "
+               f"(known: {', '.join(sorted(BATCH_STATUSES))})")
+        counts[entry["status"]] += 1
+        attempts = entry["attempts"]
+        expect(isinstance(attempts, list), f"{path}.attempts",
+               "expected an array")
+        expect(attempts, f"{path}.attempts",
+               "every input must record at least one attempt")
+        attempts_total += len(attempts)
+        for j, att in enumerate(attempts):
+            apath = f"{path}.attempts[{j}]"
+            expect_keys(att, apath,
+                        ["rung", "outcome", "exit_code", "signal",
+                         "duration_ms"], optional=["detail"])
+            expect(att["rung"] in BATCH_RUNGS, f"{apath}.rung",
+                   f"unknown rung {att['rung']!r}")
+            expect(att["outcome"] in BATCH_OUTCOMES, f"{apath}.outcome",
+                   f"unknown outcome {att['outcome']!r}")
+            for key in ("exit_code", "signal", "duration_ms"):
+                expect_num(att, apath, key, integer=True)
+            if "detail" in att:
+                expect_str(att, apath, "detail")
+        # Only the last attempt may have succeeded: earlier ones are the
+        # failures that triggered the retries.
+        for j, att in enumerate(attempts[:-1]):
+            expect(att["outcome"] not in ("ok", "degraded"),
+                   f"{path}.attempts[{j}].outcome",
+                   "a non-final attempt cannot have succeeded")
+    totals = doc["totals"]
+    expect_keys(totals, "$.totals",
+                ["inputs", "ok", "degraded", "failed", "attempts", "retries",
+                 "timeouts", "signals"])
+    for key in ("inputs", "ok", "degraded", "failed", "attempts", "retries",
+                "timeouts", "signals"):
+        expect_num(totals, "$.totals", key, integer=True)
+    expect(totals["inputs"] == len(inputs), "$.totals.inputs",
+           f"totals.inputs is {totals['inputs']}, "
+           f"inputs array has {len(inputs)}")
+    for key in ("ok", "degraded", "failed"):
+        expect(totals[key] == counts[key], f"$.totals.{key}",
+               f"totals.{key} is {totals[key]}, counted {counts[key]}")
+    expect(totals["attempts"] == attempts_total, "$.totals.attempts",
+           f"totals.attempts is {totals['attempts']}, "
+           f"counted {attempts_total}")
+    expect(totals["retries"] == attempts_total - len(inputs),
+           "$.totals.retries",
+           f"totals.retries is {totals['retries']}, attempts minus inputs "
+           f"is {attempts_total - len(inputs)}")
 
 
 # --- gcsafe-profile-v1 ------------------------------------------------------
@@ -388,6 +476,7 @@ CHECKERS = {
     "gcsafe-run-report-v1": check_run_report,
     "gcsafe-profile-v1": check_profile,
     "gcsafe-lint-v1": check_lint,
+    "gcsafe-batch-v1": check_batch,
 }
 
 
@@ -432,6 +521,13 @@ def main():
     parser.add_argument("--lint", metavar="FILE", action="append",
                         default=[],
                         help="validate FILE as a gcsafe-lint-v1 report")
+    parser.add_argument("--batch", metavar="FILE", action="append",
+                        default=[],
+                        help="validate FILE as a gcsafe-batch-v1 summary")
+    parser.add_argument("--expect-status", metavar="SUBSTR=STATUS",
+                        action="append", default=[],
+                        help="require the --batch input whose name contains "
+                             "SUBSTR to have final status STATUS")
     args = parser.parse_args()
 
     files = [Path(f) for f in args.files]
@@ -442,11 +538,44 @@ def main():
                   file=sys.stderr)
             return 1
         files.extend(scanned)
-    if not files and not args.chrome and not args.lint:
+    if not files and not args.chrome and not args.lint and not args.batch:
         parser.error("no files given (pass FILEs, --scan DIR, --lint FILE, "
-                     "and/or --chrome FILE)")
+                     "--batch FILE, and/or --chrome FILE)")
+
+    expectations = []
+    for spec in args.expect_status:
+        substr, sep, status = spec.partition("=")
+        if not sep or not substr or status not in BATCH_STATUSES:
+            parser.error(f"bad --expect-status '{spec}' "
+                         f"(want SUBSTR=STATUS, STATUS one of "
+                         f"{', '.join(sorted(BATCH_STATUSES))})")
+        expectations.append((substr, status))
+    if expectations and not args.batch:
+        parser.error("--expect-status requires --batch")
 
     failures = []
+    for path in args.batch:
+        problem = check_file(path)
+        if problem is None:
+            doc = json.loads(Path(path).read_text())
+            if doc["schema"] != "gcsafe-batch-v1":
+                problem = (f"{path}: expected schema gcsafe-batch-v1, "
+                           f"got '{doc['schema']}'")
+        if problem:
+            failures.append(problem)
+            continue
+        print(f"ok: {path} [gcsafe-batch-v1]")
+        for substr, status in expectations:
+            matches = [e for e in doc["inputs"] if substr in e["input"]]
+            if not matches:
+                failures.append(f"{path}: --expect-status: no input "
+                                f"matches '{substr}'")
+                continue
+            for entry in matches:
+                if entry["status"] != status:
+                    failures.append(
+                        f"{path}: input '{entry['input']}' has status "
+                        f"'{entry['status']}', expected '{status}'")
     for path in args.lint:
         problem = check_file(path)
         if problem is None:

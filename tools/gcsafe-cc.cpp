@@ -29,8 +29,11 @@
 
 #include "cfront/ASTPrinter.h"
 #include "driver/Pipeline.h"
+#include "driver/SelfHeal.h"
 #include "rewrite/EditList.h"
 #include "ir/Verify.h"
+#include "support/ExitCodes.h"
+#include "support/FaultInject.h"
 #include "support/Profile.h"
 
 #include <cstdio>
@@ -70,6 +73,23 @@ void usage() {
       "                             (sites: heap.segment_alloc,\n"
       "                             heap.page_table_grow, gc.alloc_small,\n"
       "                             gc.alloc_large)\n"
+      "  --self-heal                compile transactionally down the\n"
+      "                             degradation ladder (docs/ROBUSTNESS.md\n"
+      "                             §5): every pass is verifier-gated and a\n"
+      "                             vetoed pass is rolled back and\n"
+      "                             quarantined. A recovered-but-degraded\n"
+      "                             run exits 5 instead of 0\n"
+      "  --opt-rung=full|peephole|unoptimized\n"
+      "                             ladder entry rung (default full)\n"
+      "  --pass-deadline=MS         per-optimizer-pass wall budget; a pass\n"
+      "                             exceeding it is rolled back (self-heal)\n"
+      "  --gc-deadline=MS           per-collection mark+sweep budget; a\n"
+      "                             collection exceeding it stops the VM\n"
+      "                             with exit 6 (watchdog timeout)\n"
+      "  --vm-deadline=MS           whole-run wall budget; exceeded = exit 6\n"
+      "  --corrupt-kind=K           restrict the opt.pass.corrupt failpoint\n"
+      "                             to one operator: delete_keep_live,\n"
+      "                             drop_kill, hoist_kill or clobber_base\n"
       "  --verify-safety[=each-pass]  statically verify the KEEP_LIVE\n"
       "                             invariant (docs/ANALYSIS.md) on the\n"
       "                             optimized IR; with =each-pass, after\n"
@@ -149,6 +169,10 @@ int main(int argc, char **argv) {
   std::string InputPath;
   support::FaultInjector Faults;
   bool UseFaults = false;
+  bool SelfHeal = false;
+  driver::OptRung StartRung = driver::OptRung::Full;
+  uint64_t PassDeadlineNs = 0, GcDeadlineNs = 0, VmDeadlineNs = 0;
+  int CorruptKind = -1;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -184,7 +208,7 @@ int main(int argc, char **argv) {
       TraceCapacity = std::strtoull(Rest, nullptr, 10);
       if (!TraceCapacity) {
         std::fprintf(stderr, "--trace-capacity must be positive\n");
-        return 2;
+        return support::ExitUsage;
       }
     } else if (!std::strcmp(Arg, "--profile-json")) {
       ProfileJson = true;
@@ -205,7 +229,7 @@ int main(int argc, char **argv) {
         Verify = driver::SafetyVerify::Final;
       else {
         std::fprintf(stderr, "unknown --verify-safety mode '%s'\n", Rest);
-        return 2;
+        return support::ExitUsage;
       }
     } else if (!std::strcmp(Arg, "--lint-json")) {
       LintJson = true;
@@ -217,7 +241,7 @@ int main(int argc, char **argv) {
         VerifyIREachPass = true;
       else {
         std::fprintf(stderr, "unknown --verify-ir mode '%s'\n", Rest);
-        return 2;
+        return support::ExitUsage;
       }
     } else if (!std::strcmp(Arg, "--no-opt1")) {
       Annot.SkipCopies = false;
@@ -241,7 +265,7 @@ int main(int argc, char **argv) {
         Mode = driver::CompileMode::DebugChecked;
       else {
         std::fprintf(stderr, "unknown mode '%s'\n", Rest);
-        return 2;
+        return support::ExitUsage;
       }
     } else if (startsWith(Arg, "--machine=", Rest)) {
       std::string M = Rest;
@@ -254,7 +278,7 @@ int main(int argc, char **argv) {
         VO.Model = vm::pentium90();
       else {
         std::fprintf(stderr, "unknown machine '%s'\n", Rest);
-        return 2;
+        return support::ExitUsage;
       }
     } else if (startsWith(Arg, "--gc-period=", Rest)) {
       VO.GcInstructionPeriod = std::strtoull(Rest, nullptr, 10);
@@ -272,7 +296,7 @@ int main(int argc, char **argv) {
         VO.GcOomPolicy = gc::OomPolicy::Abort;
       else {
         std::fprintf(stderr, "unknown OOM policy '%s'\n", Rest);
-        return 2;
+        return support::ExitUsage;
       }
     } else if (startsWith(Arg, "--oom-retries=", Rest)) {
       VO.GcOomRetries =
@@ -281,20 +305,49 @@ int main(int argc, char **argv) {
       VO.GcMaxHeapPages = std::strtoull(Rest, nullptr, 10);
     } else if (!std::strcmp(Arg, "--heap-audit")) {
       VO.GcAuditEachCollection = true;
+    } else if (!std::strcmp(Arg, "--self-heal")) {
+      SelfHeal = true;
+    } else if (startsWith(Arg, "--opt-rung=", Rest)) {
+      SelfHeal = true;
+      if (!driver::parseOptRung(Rest, StartRung)) {
+        std::fprintf(stderr, "unknown --opt-rung '%s'\n", Rest);
+        return support::ExitUsage;
+      }
+    } else if (startsWith(Arg, "--pass-deadline=", Rest)) {
+      SelfHeal = true;
+      PassDeadlineNs = std::strtoull(Rest, nullptr, 10) * 1000000ull;
+    } else if (startsWith(Arg, "--gc-deadline=", Rest)) {
+      GcDeadlineNs = std::strtoull(Rest, nullptr, 10) * 1000000ull;
+    } else if (startsWith(Arg, "--vm-deadline=", Rest)) {
+      VmDeadlineNs = std::strtoull(Rest, nullptr, 10) * 1000000ull;
+    } else if (startsWith(Arg, "--corrupt-kind=", Rest)) {
+      std::string K = Rest;
+      if (K == "delete_keep_live")
+        CorruptKind = 0;
+      else if (K == "drop_kill")
+        CorruptKind = 1;
+      else if (K == "hoist_kill")
+        CorruptKind = 2;
+      else if (K == "clobber_base")
+        CorruptKind = 3;
+      else {
+        std::fprintf(stderr, "unknown --corrupt-kind '%s'\n", Rest);
+        return support::ExitUsage;
+      }
     } else if (startsWith(Arg, "--fail-inject=", Rest)) {
       std::string Error;
       if (!support::FaultInjector::parse(Rest, Faults, Error)) {
         std::fprintf(stderr, "bad --fail-inject spec: %s\n", Error.c_str());
-        return 2;
+        return support::ExitUsage;
       }
       UseFaults = true;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
       usage();
-      return 0;
+      return support::ExitSuccess;
     } else if (Arg[0] == '-' && Arg[1] != '\0') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg);
       usage();
-      return 2;
+      return support::ExitUsage;
     } else {
       InputPath = Arg;
     }
@@ -302,7 +355,7 @@ int main(int argc, char **argv) {
 
   if (InputPath.empty()) {
     usage();
-    return 2;
+    return support::ExitUsage;
   }
 
   // --stats-json and the profile outputs report a full run (compile +
@@ -317,6 +370,8 @@ int main(int argc, char **argv) {
   support::TraceBuffer *TraceSink =
       (TraceJson || TraceChrome) ? &Trace : nullptr;
   VO.Trace = TraceSink;
+  VO.VmDeadlineNs = VmDeadlineNs;
+  VO.GcDeadlineNs = GcDeadlineNs;
   if (UseFaults)
     VO.Faults = &Faults;
   support::Profiler Prof;
@@ -344,7 +399,7 @@ int main(int argc, char **argv) {
     if (!In) {
       std::fprintf(stderr, "gcsafe-cc: cannot open '%s'\n",
                    InputPath.c_str());
-      return 1;
+      return support::ExitError;
     }
     std::stringstream SS;
     SS << In.rdbuf();
@@ -355,7 +410,7 @@ int main(int argc, char **argv) {
                            std::move(Source));
   if (!Comp.parse()) {
     std::fputs(Comp.renderedDiagnostics().c_str(), stderr);
-    return 1;
+    return support::ExitError;
   }
   // Surface warnings (e.g. the nonpointer-to-pointer warning) even on
   // success.
@@ -365,7 +420,7 @@ int main(int argc, char **argv) {
   if (DumpAST) {
     std::fputs(cfront::printTranslationUnit(Comp.tu()).c_str(), stdout);
     if (!Run && !DumpIR)
-      return 0;
+      return support::ExitSuccess;
   }
 
   if (DumpEdits) {
@@ -385,7 +440,7 @@ int main(int argc, char **argv) {
       std::printf("\n");
     });
     if (!Run && !DumpIR)
-      return 0;
+      return support::ExitSuccess;
   }
 
   if (!Run && !DumpIR && !TraceJson && !TraceChrome &&
@@ -403,7 +458,7 @@ int main(int argc, char **argv) {
                    S.CompoundAssignExpansions, S.TempsIntroduced,
                    S.SkippedCopies, S.SkippedCallResults, S.SkippedNonHeap);
     }
-    return 0;
+    return support::ExitSuccess;
   }
 
   driver::CompileOptions CO;
@@ -412,21 +467,48 @@ int main(int argc, char **argv) {
   CO.Trace = TraceSink;
   CO.Verify = Verify;
   CO.VerifyIREachPass = VerifyIREachPass;
-  driver::CompileResult CR = Comp.compile(CO);
+  driver::CompileResult CR;
+  driver::SelfHealReport Heal;
+  if (SelfHeal) {
+    driver::SelfHealOptions SH;
+    SH.StartRung = StartRung;
+    SH.PassDeadlineNs = PassDeadlineNs;
+    SH.Faults = UseFaults ? &Faults : nullptr;
+    SH.CorruptKind = CorruptKind;
+    CR = driver::compileSelfHealing(Comp, CO, SH, Heal);
+    for (const std::string &Line : Heal.Log)
+      std::fprintf(stderr, "gcsafe-cc: self-heal: %s\n", Line.c_str());
+    if (Heal.Degraded)
+      std::fprintf(stderr,
+                   "gcsafe-cc: self-heal: committed at rung '%s' after %u "
+                   "attempt(s), %zu rollback(s), %zu quarantined pass(es)\n",
+                   driver::optRungName(Heal.Rung), Heal.Attempts,
+                   Heal.Rollbacks.size(), Heal.Quarantined.size());
+    if (CR.Ok && !Heal.Ok) {
+      // Every rung failed final verification — unsafe code with nowhere
+      // left to descend.
+      for (const analysis::SafetyDiag &D : CR.SafetyDiags)
+        std::fprintf(stderr, "safety: %s\n",
+                     analysis::formatSafetyDiag(D).c_str());
+      return support::ExitSafetyViolation;
+    }
+  } else {
+    CR = Comp.compile(CO);
+  }
   if (!CR.Ok) {
     std::fputs(CR.Errors.c_str(), stderr);
-    return 1;
+    return support::ExitError;
   }
   std::vector<std::string> VerifyErrors;
   if (!ir::verifyModule(CR.Module, VerifyErrors)) {
     for (const std::string &E : VerifyErrors)
       std::fprintf(stderr, "IR verifier: %s\n", E.c_str());
-    return 1;
+    return support::ExitError;
   }
   if (!CR.IRVerifyErrors.empty()) {
     for (const std::string &E : CR.IRVerifyErrors)
       std::fprintf(stderr, "IR verifier: %s\n", E.c_str());
-    return 1;
+    return support::ExitError;
   }
   if (Verify != driver::SafetyVerify::None) {
     for (const analysis::SafetyDiag &D : CR.SafetyDiags)
@@ -437,12 +519,12 @@ int main(int argc, char **argv) {
           InputPath == "-" ? "<stdin>" : InputPath, Mode,
           Verify == driver::SafetyVerify::EachPass, CR, &Comp.buffer());
       if (!writeReport(LintJsonPath, Report.dump()))
-        return 1;
+        return support::ExitError;
     }
     // Exit code 3 is the stable "safety verification failed" status —
     // distinct from 1 (compile/runtime error) and 2 (usage).
     if (!CR.SafetyOk)
-      return 3;
+      return support::ExitSafetyViolation;
   }
 
   if (DumpIR)
@@ -464,17 +546,18 @@ int main(int argc, char **argv) {
           InputPath == "-" ? "<stdin>" : InputPath, Mode, MachineName, CC,
           nullptr);
       if (!writeReport(StatsJsonPath, Report.dump()))
-        return 1;
+        return support::ExitError;
     }
     if (TraceJson || TraceChrome)
       WarnIfTraceDropped();
     if (TraceJson && !writeReport(TraceJsonPath, Trace.toJson().dump()))
-      return 1;
+      return support::ExitError;
     if (TraceChrome &&
         !writeReport(TraceChromePath,
                      support::traceToChromeJson(Trace).dump()))
-      return 1;
-    return 0;
+      return support::ExitError;
+    return SelfHeal && Heal.Degraded ? support::ExitDegradedSuccess
+                                     : support::ExitSuccess;
   }
 
   vm::VM Machine(CR.Module, VO);
@@ -491,25 +574,25 @@ int main(int argc, char **argv) {
     support::Json Report = driver::buildRunReport(
         InputPath == "-" ? "<stdin>" : InputPath, Mode, MachineName, CR, &R);
     if (!writeReport(StatsJsonPath, Report.dump()))
-      return 1;
+      return support::ExitError;
   }
   if (ProfileJson) {
     support::Json Report =
         Prof.toJson(InputPath == "-" ? "<stdin>" : InputPath,
                     driver::compileModeName(Mode), MachineName);
     if (!writeReport(ProfileJsonPath, Report.dump()))
-      return 1;
+      return support::ExitError;
   }
   if (ProfileFolded &&
       !writeReport(ProfileFoldedPath, Prof.Cycles.foldedOutput()))
-    return 1;
+    return support::ExitError;
   if (TraceJson || TraceChrome)
     WarnIfTraceDropped();
   if (TraceJson && !writeReport(TraceJsonPath, Trace.toJson().dump()))
-    return 1;
+    return support::ExitError;
   if (TraceChrome &&
       !writeReport(TraceChromePath, support::traceToChromeJson(Trace).dump()))
-    return 1;
+    return support::ExitError;
   if (R.Gc.AuditViolations)
     std::fprintf(stderr,
                  "gcsafe-cc: heap audit found %llu violation(s) over %llu "
@@ -525,12 +608,16 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(R.Gc.EmergencyCollections),
                  static_cast<unsigned long long>(R.Gc.OomRetriesPerformed),
                  static_cast<unsigned long long>(R.Gc.AllocFailures));
+  if (R.WatchdogTimeout) {
+    std::fprintf(stderr, "gcsafe-cc: %s\n", R.Error.c_str());
+    return support::ExitWatchdogTimeout;
+  }
   if (!R.Ok) {
     std::fprintf(stderr, "gcsafe-cc: runtime error: %s\n", R.Error.c_str());
-    return 1;
+    return support::ExitError;
   }
   if (R.Gc.AuditViolations)
-    return 1;
+    return support::ExitError;
   if (Stats || R.CheckViolations || R.FreedAccesses)
     std::fprintf(stderr,
                  "[%s on %s] cycles=%llu instructions=%llu collections=%llu "
@@ -543,5 +630,10 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(R.CheckViolations),
                  static_cast<unsigned long long>(R.FreedAccesses),
                  R.ExitCode);
+  // A degraded-but-correct run reports ExitDegradedSuccess in place of 0;
+  // a nonzero program exit always wins (the program's status is the
+  // contract the caller cares about first).
+  if (R.ExitCode == 0 && SelfHeal && Heal.Degraded)
+    return support::ExitDegradedSuccess;
   return static_cast<int>(R.ExitCode & 0xFF);
 }

@@ -20,6 +20,7 @@
 #include "analysis/Mutate.h"
 #include "analysis/SafetyVerifier.h"
 #include "driver/Pipeline.h"
+#include "support/ExitCodes.h"
 
 #include <cstdio>
 #include <cstring>
@@ -39,7 +40,8 @@ void usage() {
 }
 
 /// Runs the clean-verify + mutate-and-verify cycle for one mode.
-/// Returns 0/3/4 per the tool contract (never 1; compile failures are the
+/// Returns ExitSuccess / ExitSafetyViolation / ExitMutantEscape per the
+/// support/ExitCodes.h contract (never ExitError; compile failures are the
 /// caller's).
 int runMode(driver::Compilation &Comp, driver::CompileMode Mode,
             bool Verbose) {
@@ -49,7 +51,7 @@ int runMode(driver::Compilation &Comp, driver::CompileMode Mode,
   if (!CR.Ok) {
     std::fprintf(stderr, "safety_mutate: compile failed in mode %s:\n%s",
                  driver::compileModeName(Mode), CR.Errors.c_str());
-    return 1;
+    return support::ExitError;
   }
 
   analysis::SafetyVerifyOptions VO; // final check, kill audit on
@@ -59,7 +61,7 @@ int runMode(driver::Compilation &Comp, driver::CompileMode Mode,
       std::fprintf(stderr, "safety_mutate: clean module [%s]: %s\n",
                    driver::compileModeName(Mode),
                    analysis::formatSafetyDiag(D).c_str());
-    return 3;
+    return support::ExitSafetyViolation;
   }
 
   std::vector<analysis::Mutation> Mutations =
@@ -70,7 +72,7 @@ int runMode(driver::Compilation &Comp, driver::CompileMode Mode,
     if (!analysis::applyMutation(Mutant, Mu)) {
       std::fprintf(stderr, "safety_mutate: stale mutation site: %s\n",
                    Mu.Description.c_str());
-      return 1;
+      return support::ExitError;
     }
     std::vector<analysis::SafetyDiag> Diags;
     analysis::verifyModuleSafety(Mutant, VO, Diags);
@@ -90,7 +92,7 @@ int runMode(driver::Compilation &Comp, driver::CompileMode Mode,
 
   std::printf("[%s] clean verified; %zu mutant(s), %u escaped\n",
               driver::compileModeName(Mode), Mutations.size(), Escaped);
-  return Escaped ? 4 : 0;
+  return Escaped ? support::ExitMutantEscape : support::ExitSuccess;
 }
 
 } // namespace
@@ -108,17 +110,17 @@ int main(int argc, char **argv) {
       Verbose = true;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
       usage();
-      return 0;
+      return support::ExitSuccess;
     } else if (Arg[0] == '-' && Arg[1] != '\0') {
       usage();
-      return 1;
+      return support::ExitUsage;
     } else {
       InputPath = Arg;
     }
   }
   if (InputPath.empty()) {
     usage();
-    return 1;
+    return support::ExitUsage;
   }
 
   std::vector<driver::CompileMode> Modes;
@@ -139,14 +141,14 @@ int main(int argc, char **argv) {
   } else {
     std::fprintf(stderr, "safety_mutate: unknown mode '%s'\n",
                  ModeArg.c_str());
-    return 1;
+    return support::ExitUsage;
   }
 
   std::ifstream In(InputPath);
   if (!In) {
     std::fprintf(stderr, "safety_mutate: cannot open '%s'\n",
                  InputPath.c_str());
-    return 1;
+    return support::ExitError;
   }
   std::stringstream SS;
   SS << In.rdbuf();
@@ -154,14 +156,14 @@ int main(int argc, char **argv) {
   driver::Compilation Comp(InputPath, SS.str());
   if (!Comp.parse()) {
     std::fputs(Comp.renderedDiagnostics().c_str(), stderr);
-    return 1;
+    return support::ExitError;
   }
 
-  int Worst = 0;
+  int Worst = support::ExitSuccess;
   for (driver::CompileMode Mode : Modes) {
     int RC = runMode(Comp, Mode, Verbose);
-    if (RC == 1)
-      return 1;
+    if (RC == support::ExitError)
+      return support::ExitError;
     if (RC > Worst)
       Worst = RC;
   }

@@ -21,3 +21,5 @@ gcsafe_bench(bench_strcpy_opt3)
 gcsafe_bench(bench_gc)
 gcsafe_bench(bench_annotator)
 gcsafe_bench(bench_ablation)
+gcsafe_bench(bench_serve)
+target_link_libraries(bench_serve gcsafe_serve)

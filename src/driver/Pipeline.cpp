@@ -7,6 +7,7 @@
 #include "cfront/Lexer.h"
 #include "ir/Verify.h"
 #include "support/FaultInject.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <cassert>
@@ -24,6 +25,57 @@ const char *gcsafe::driver::compileModeName(CompileMode Mode) {
   case CompileMode::DebugChecked: return "-g checked";
   }
   return "?";
+}
+
+bool VerifyMemo::lookup(const std::string &Key, const char *Pass,
+                        std::vector<analysis::SafetyDiag> &Out,
+                        bool &OkOut) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  OkOut = It->second.Ok;
+  for (analysis::SafetyDiag D : It->second.Diags) {
+    // The verdict is a function of the IR alone; the pass attribution is
+    // the caller's pipeline position, so rewrite it on replay.
+    D.Pass = Pass;
+    Out.push_back(std::move(D));
+  }
+  return true;
+}
+
+void VerifyMemo::insert(const std::string &Key, bool Ok,
+                        std::vector<analysis::SafetyDiag> Diags) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.emplace(Key, Entry{Ok, std::move(Diags)});
+}
+
+size_t VerifyMemo::entries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+bool gcsafe::driver::verifyFunctionSafetyMemo(
+    VerifyMemo *Memo, const ir::Function &F,
+    const analysis::SafetyVerifyOptions &Options,
+    std::vector<analysis::SafetyDiag> &Out) {
+  if (!Memo)
+    return analysis::verifyFunctionSafety(F, Options, Out);
+  std::string Key = support::contentHash(ir::printFunction(F));
+  if (Options.CheckKillPlacement)
+    Key += "+kp";
+  bool Ok = true;
+  if (Memo->lookup(Key, Options.Pass, Out, Ok))
+    return Ok;
+  std::vector<analysis::SafetyDiag> Fresh;
+  Ok = analysis::verifyFunctionSafety(F, Options, Fresh);
+  Memo->insert(Key, Ok, Fresh);
+  for (analysis::SafetyDiag &D : Fresh)
+    Out.push_back(std::move(D));
+  return Ok;
 }
 
 Compilation::Compilation(std::string Name, std::string Source)
@@ -128,7 +180,7 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
     VO.Pass = Pass;
     VO.CheckKillPlacement = KillPlacement;
     size_t Before = Result.SafetyDiags.size();
-    analysis::verifyFunctionSafety(F, VO, Result.SafetyDiags);
+    verifyFunctionSafetyMemo(Options.Memo, F, VO, Result.SafetyDiags);
     uint64_t ElapsedNs = support::monotonicNowNs() - StartNs;
     SafetyNs += ElapsedNs;
     ++SafetyRuns;
@@ -224,7 +276,7 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
     PO.Quarantine = &Txn.Quarantine;
     PO.PassDeadlineNs = Txn.PassDeadlineNs;
     PO.Rollbacks = &Txn.Rollbacks;
-    PO.CommitGate = [&Txn, &TxnContinuity, VerifyTimeoutSite](
+    PO.CommitGate = [&Txn, &TxnContinuity, VerifyTimeoutSite, &Options](
                         const char *Pass, const ir::Function &F,
                         std::string &Reason) {
       if (Txn.Faults && Txn.Faults->shouldFail(VerifyTimeoutSite)) {
@@ -235,7 +287,7 @@ CompileResult Compilation::compile(const CompileOptions &Options) {
       VO.Pass = Pass;
       VO.CheckKillPlacement = std::strcmp(Pass, "insert_kills") == 0;
       std::vector<analysis::SafetyDiag> Diags;
-      if (!analysis::verifyFunctionSafety(F, VO, Diags)) {
+      if (!verifyFunctionSafetyMemo(Options.Memo, F, VO, Diags)) {
         Reason = "verify_failed:" + Diags.front().Kind;
         return false;
       }

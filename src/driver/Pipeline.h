@@ -35,10 +35,13 @@
 #include "support/Trace.h"
 #include "vm/VM.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <unordered_map>
 
 namespace gcsafe {
 namespace support {
@@ -90,6 +93,48 @@ struct PassTransactions {
   uint64_t CorruptionsApplied = 0;
 };
 
+/// Content-addressed memo of per-function safety-verifier results
+/// (docs/SERVING.md). Keyed on a stable hash of the function's printed IR
+/// plus the verification flags, so a function whose IR a pass left
+/// untouched — the overwhelmingly common case under each-pass
+/// verification — is never re-verified, within one compile or across
+/// requests. Verification is a pure function of (IR, options), so a memo
+/// shared across requests cannot leak per-request state; the recorded
+/// diagnostics' pass attribution is rewritten to the querying pass on
+/// replay. Thread-safe: one instance is shared by every worker of a
+/// compile service (serve::CompileService).
+class VerifyMemo {
+public:
+  /// True when a result for \p Key is recorded; appends the recorded
+  /// diagnostics (re-attributed to \p Pass) to \p Out and returns the
+  /// recorded verdict in \p OkOut.
+  bool lookup(const std::string &Key, const char *Pass,
+              std::vector<analysis::SafetyDiag> &Out, bool &OkOut);
+  void insert(const std::string &Key, bool Ok,
+              std::vector<analysis::SafetyDiag> Diags);
+
+  uint64_t hits() const { return Hits.load(); }
+  uint64_t misses() const { return Misses.load(); }
+  size_t entries() const;
+
+private:
+  struct Entry {
+    bool Ok = true;
+    std::vector<analysis::SafetyDiag> Diags;
+  };
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, Entry> Map;
+  std::atomic<uint64_t> Hits{0}, Misses{0};
+};
+
+/// Runs the per-function safety verifier through \p Memo (when non-null):
+/// a hit replays the recorded verdict and diagnostics, a miss verifies
+/// and records. The memo key is the stable content hash of the printed
+/// function IR plus the kill-placement flag.
+bool verifyFunctionSafetyMemo(VerifyMemo *Memo, const ir::Function &F,
+                              const analysis::SafetyVerifyOptions &Options,
+                              std::vector<analysis::SafetyDiag> &Out);
+
 struct CompileOptions {
   CompileMode Mode = CompileMode::O2;
   annotate::AnnotatorOptions Annot;
@@ -112,6 +157,10 @@ struct CompileOptions {
   /// Degradation-ladder ceiling on the optimizer: the pipeline never runs
   /// above this level regardless of Mode.
   opt::OptLevel MaxOptLevel = opt::OptLevel::O2;
+  /// Optional per-function verification memo (docs/SERVING.md). When set,
+  /// every safety-verifier invocation — the each-pass checkpoints and the
+  /// transactional commit gate — first consults the memo by content hash.
+  VerifyMemo *Memo = nullptr;
 };
 
 struct CompileResult {

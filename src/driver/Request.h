@@ -1,0 +1,138 @@
+//===- driver/Request.h - One compile request, end to end ------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The re-entrant request surface of the driver (docs/SERVING.md). A
+/// RequestContext owns every piece of state one compilation touches — the
+/// Compilation, the fault injector, the trace ring, the self-heal ladder
+/// and its quarantine set — so any number of requests can run concurrently
+/// in one process without sharing anything but an (optional, thread-safe)
+/// VerifyMemo. gcsafe-serve runs one context per request on its worker
+/// pool; gcsafe-batch --service does the same in-process.
+///
+/// The exit-code mapping is the gcsafe-cc contract (support/ExitCodes.h):
+/// parse/compile/run errors are 1, safety violations 3, degraded success
+/// 5, watchdog timeouts 6, and otherwise the guest program's own status.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_DRIVER_REQUEST_H
+#define GCSAFE_DRIVER_REQUEST_H
+
+#include "driver/Pipeline.h"
+#include "driver/SelfHeal.h"
+#include "support/FaultInject.h"
+#include "support/Stats.h"
+#include "support/Trace.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gcsafe {
+namespace driver {
+
+/// Everything that parameterizes one compile request. The flag surface is
+/// gcsafe-cc's, minus the output-routing options (a request's reports are
+/// returned, not written to files).
+struct RequestOptions {
+  std::string Name = "<request>";
+  std::string Source;
+  CompileMode Mode = CompileMode::O2Safe;
+  annotate::AnnotatorOptions Annot;
+  SafetyVerify Verify = SafetyVerify::None;
+  bool VerifyIREachPass = false;
+  /// Compile down the degradation ladder (docs/ROBUSTNESS.md §5,§7).
+  bool SelfHeal = false;
+  OptRung StartRung = OptRung::Full;
+  uint64_t PassDeadlineNs = 0;
+  /// "SEED:SPEC" failpoint spec (support/FaultInject.h), or empty. Parsed
+  /// into a per-request injector — faults never leak across requests.
+  std::string FailInjectSpec;
+  int CorruptKind = -1;
+  /// Execute the compiled module on the simulated machine.
+  bool Run = false;
+  std::string MachineName = "sparc10";
+  uint64_t GcInstructionPeriod = 0;
+  uint64_t GcAllocTrigger = 0;
+  uint64_t GcCallPeriod = 0;
+  uint64_t GcDeadlineNs = 0;
+  uint64_t VmDeadlineNs = 0;
+  size_t TraceCapacity = 4096;
+  /// Shared cross-request verification memo (may be null).
+  VerifyMemo *Memo = nullptr;
+};
+
+/// The result of one request: the stable exit code, the degradation
+/// outcome, and the reports a client would otherwise get from gcsafe-cc's
+/// --stats-json / --lint-json.
+struct RequestOutcome {
+  int ExitCode = 0;
+  bool Ok = false;
+  /// Self-heal only: result obtained through rollback/quarantine/descent.
+  bool Degraded = false;
+  /// Ladder rung the result committed at ("full" when SelfHeal is off).
+  std::string Rung = "full";
+  std::vector<std::string> Quarantined;
+  std::string Error;
+  /// gcsafe-run-report-v1 (always present on a compile that got that far).
+  support::Json Report;
+  bool HasReport = false;
+  /// gcsafe-lint-v1 (present when Verify was requested).
+  support::Json Lint;
+  bool HasLint = false;
+};
+
+/// One request's private state. Not copyable; not shared across threads.
+class RequestContext {
+public:
+  explicit RequestContext(RequestOptions Opts);
+  RequestContext(const RequestContext &) = delete;
+  RequestContext &operator=(const RequestContext &) = delete;
+  ~RequestContext();
+
+  /// Frontend only; false on parse errors (Error holds the diagnostics).
+  /// Idempotent — execute() reuses the parse.
+  bool parse(std::string &Error);
+
+  /// The annotated source for modes that preprocess (safe/safepost/
+  /// checked), the raw source otherwise — the content half of the
+  /// service's cache key (docs/SERVING.md). Requires a successful parse().
+  std::string preprocessedSource();
+
+  /// Middle end (+ VM when Opts.Run) with the gcsafe-cc exit-code
+  /// contract. Safe to call without parse(); parse errors become an
+  /// ExitError outcome.
+  RequestOutcome execute();
+
+  const RequestOptions &options() const { return Opts; }
+  support::TraceBuffer &trace() { return Trace; }
+  const SelfHealReport &healReport() const { return Heal; }
+
+private:
+  RequestOptions Opts;
+  Compilation Comp;
+  support::FaultInjector Faults;
+  bool UseFaults = false;
+  std::string FaultParseError;
+  support::TraceBuffer Trace;
+  SelfHealReport Heal;
+};
+
+/// Maps a --mode= value to a CompileMode ("o2", "safe", "safepost",
+/// "debug", "checked"). False on unknown names.
+bool parseCompileModeName(const std::string &Text, CompileMode &Out);
+/// The inverse: the protocol/CLI token for \p Mode (not the display name
+/// compileModeName returns).
+const char *compileModeToken(CompileMode Mode);
+/// True when \p Name is a known cost model (sparc2, sparc10, pentium90).
+bool knownMachineName(const std::string &Name);
+
+} // namespace driver
+} // namespace gcsafe
+
+#endif // GCSAFE_DRIVER_REQUEST_H

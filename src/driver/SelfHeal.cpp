@@ -111,7 +111,11 @@ gcsafe::driver::compileSelfHealing(Compilation &C, const CompileOptions &Base,
       // missing kill, so it only gates rungs where insert_kills committed.
       VO.CheckKillPlacement = !Txn.Quarantine.count("insert_kills");
       std::vector<analysis::SafetyDiag> Diags;
-      if (analysis::verifyModuleSafety(CR.Module, VO, Diags)) {
+      bool Verified = true;
+      for (const ir::Function &F : CR.Module.Functions)
+        Verified = verifyFunctionSafetyMemo(Base.Memo, F, VO, Diags) &&
+                   Verified;
+      if (Verified) {
         Committed = true;
       } else {
         Why = "verify_failed:" + Diags.front().Kind;

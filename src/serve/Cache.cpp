@@ -1,0 +1,55 @@
+//===- serve/Cache.cpp ----------------------------------------*- C++ -*-===//
+
+#include "serve/Cache.h"
+
+using namespace gcsafe;
+using namespace gcsafe::serve;
+
+bool ContentCache::lookup(const std::string &Key, std::string &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Out = It->second->second;
+  return true;
+}
+
+void ContentCache::insert(const std::string &Key, std::string Payload) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Map.count(Key))
+    return; // content-addressed: an existing entry is already this value
+  while (Map.size() >= MaxEntries) {
+    Entry &Victim = Lru.back();
+    Bytes -= Victim.second.size();
+    Map.erase(Victim.first);
+    Lru.pop_back();
+    ++Evictions;
+  }
+  Bytes += Payload.size();
+  Lru.emplace_front(Key, std::move(Payload));
+  Map[Key] = Lru.begin();
+  ++Insertions;
+}
+
+CacheStats ContentCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CacheStats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Insertions = Insertions;
+  S.Evictions = Evictions;
+  S.Entries = Map.size();
+  S.Bytes = Bytes;
+  return S;
+}
+
+void ContentCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Lru.clear();
+  Map.clear();
+  Bytes = 0;
+}

@@ -1,0 +1,212 @@
+//===- serve/Protocol.cpp -------------------------------------*- C++ -*-===//
+
+#include "serve/Protocol.h"
+
+using namespace gcsafe;
+using namespace gcsafe::serve;
+using support::Json;
+
+namespace {
+
+const char *SchemaName = "gcsafe-serve-v1";
+
+bool getString(const Json &J, const char *Key, std::string &Out) {
+  const Json *V = J.get(Key);
+  if (!V || !V->isString())
+    return false;
+  Out = V->asString();
+  return true;
+}
+
+uint64_t getUInt(const Json &J, const char *Key, uint64_t Default = 0) {
+  const Json *V = J.get(Key);
+  return V && V->isNumber() ? static_cast<uint64_t>(V->asInt()) : Default;
+}
+
+bool getBool(const Json &J, const char *Key, bool Default = false) {
+  const Json *V = J.get(Key);
+  return V && V->isBool() ? V->asBool() : Default;
+}
+
+bool parseCorruptKind(const std::string &K, int &Out) {
+  if (K == "delete_keep_live")
+    Out = 0;
+  else if (K == "drop_kill")
+    Out = 1;
+  else if (K == "hoist_kill")
+    Out = 2;
+  else if (K == "clobber_base")
+    Out = 3;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+bool gcsafe::serve::parseRequestLine(const std::string &Line,
+                                     ServeRequest &Out, std::string &Error) {
+  Json J;
+  if (!Json::parse(Line, J, Error))
+    return false;
+  if (!J.isObject()) {
+    Error = "request is not a JSON object";
+    return false;
+  }
+  if (const Json *Schema = J.get("schema"))
+    if (Schema->isString() && Schema->asString() != SchemaName) {
+      Error = "unknown schema '" + Schema->asString() + "'";
+      return false;
+    }
+  if (const Json *Id = J.get("id"))
+    Out.Id = Id->isString() ? Id->asString() : Id->dump(0);
+
+  std::string Op = "compile";
+  getString(J, "op", Op);
+  if (Op == "stats") {
+    Out.Op = ServeOp::Stats;
+    return true;
+  }
+  if (Op == "ping") {
+    Out.Op = ServeOp::Ping;
+    return true;
+  }
+  if (Op == "shutdown") {
+    Out.Op = ServeOp::Shutdown;
+    return true;
+  }
+  if (Op != "compile") {
+    Error = "unknown op '" + Op + "'";
+    return false;
+  }
+
+  Out.Op = ServeOp::Compile;
+  driver::RequestOptions &R = Out.Compile;
+  if (!getString(J, "source", R.Source)) {
+    Error = "compile request without a \"source\" string";
+    return false;
+  }
+  getString(J, "name", R.Name);
+
+  std::string Mode;
+  if (getString(J, "mode", Mode) && !driver::parseCompileModeName(Mode, R.Mode)) {
+    Error = "unknown mode '" + Mode + "'";
+    return false;
+  }
+  std::string Machine;
+  if (getString(J, "machine", Machine)) {
+    if (!driver::knownMachineName(Machine)) {
+      Error = "unknown machine '" + Machine + "'";
+      return false;
+    }
+    R.MachineName = Machine;
+  }
+
+  R.Run = getBool(J, "run");
+  std::string Verify;
+  if (getString(J, "verify", Verify)) {
+    if (Verify == "final")
+      R.Verify = driver::SafetyVerify::Final;
+    else if (Verify == "each-pass")
+      R.Verify = driver::SafetyVerify::EachPass;
+    else if (Verify == "none")
+      R.Verify = driver::SafetyVerify::None;
+    else {
+      Error = "unknown verify mode '" + Verify + "'";
+      return false;
+    }
+  }
+  R.VerifyIREachPass = getBool(J, "verify_ir");
+  R.SelfHeal = getBool(J, "self_heal");
+  std::string Rung;
+  if (getString(J, "opt_rung", Rung)) {
+    R.SelfHeal = true;
+    if (!driver::parseOptRung(Rung, R.StartRung)) {
+      Error = "unknown opt_rung '" + Rung + "'";
+      return false;
+    }
+  }
+  if (uint64_t Ms = getUInt(J, "pass_deadline_ms")) {
+    R.SelfHeal = true;
+    R.PassDeadlineNs = Ms * 1000000ull;
+  }
+  R.GcDeadlineNs = getUInt(J, "gc_deadline_ms") * 1000000ull;
+  R.VmDeadlineNs = getUInt(J, "vm_deadline_ms") * 1000000ull;
+  getString(J, "fail_inject", R.FailInjectSpec);
+  std::string Corrupt;
+  if (getString(J, "corrupt_kind", Corrupt) &&
+      !parseCorruptKind(Corrupt, R.CorruptKind)) {
+    Error = "unknown corrupt_kind '" + Corrupt + "'";
+    return false;
+  }
+  R.GcInstructionPeriod = getUInt(J, "gc_period");
+  R.GcAllocTrigger = getUInt(J, "gc_alloc_trigger");
+  R.GcCallPeriod = getUInt(J, "gc_call_period");
+  R.TraceCapacity = getUInt(J, "trace_capacity", 4096);
+  if (getBool(J, "no_opt1"))
+    R.Annot.SkipCopies = false;
+  if (getBool(J, "no_opt2"))
+    R.Annot.SpecializeIncDec = false;
+  if (getBool(J, "slow_bases"))
+    R.Annot.PreferSlowBases = true;
+  if (getBool(J, "at_calls_only"))
+    R.Annot.Trigger = annotate::GcTrigger::AtCallsOnly;
+  Out.UseCache = getBool(J, "cache", true);
+  return true;
+}
+
+namespace {
+
+Json responseHead(const std::string &Id, const char *Op, bool Ok) {
+  Json J = Json::object();
+  J["schema"] = Json::string(SchemaName);
+  J["id"] = Json::string(Id);
+  J["op"] = Json::string(Op);
+  J["ok"] = Json::boolean(Ok);
+  return J;
+}
+
+} // namespace
+
+Json gcsafe::serve::buildCompileResponse(const std::string &Id,
+                                         const ServeResult &R) {
+  Json J = responseHead(Id, "compile", R.Ok);
+  J["cached"] = Json::boolean(R.Cached);
+  J["exit_code"] = Json::integer(int64_t(R.ExitCode));
+  J["degraded"] = Json::boolean(R.Degraded);
+  J["rung"] = Json::string(R.Rung);
+  Json Q = Json::array();
+  for (const std::string &P : R.Quarantined)
+    Q.push(Json::string(P));
+  J["quarantined"] = std::move(Q);
+  J["cache_key"] = Json::string(R.CacheKey);
+  if (!R.Error.empty())
+    J["error"] = Json::string(R.Error);
+  if (R.HasReport)
+    J["report"] = R.Report;
+  if (R.HasLint)
+    J["lint"] = R.Lint;
+  return J;
+}
+
+Json gcsafe::serve::buildStatsResponse(const std::string &Id,
+                                       const support::Stats &S) {
+  Json J = responseHead(Id, "stats", true);
+  Json Tree = S.toJson();
+  if (const Json *Serve = Tree.get("serve"))
+    J["serve"] = *Serve;
+  else
+    J["serve"] = Json::object();
+  return J;
+}
+
+Json gcsafe::serve::buildAckResponse(const std::string &Id, const char *Op) {
+  return responseHead(Id, Op, true);
+}
+
+Json gcsafe::serve::buildErrorResponse(const std::string &Id,
+                                       const std::string &Error) {
+  Json J = responseHead(Id, "error", false);
+  J["error"] = Json::string(Error);
+  return J;
+}

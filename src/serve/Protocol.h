@@ -1,0 +1,66 @@
+//===- serve/Protocol.h - The gcsafe-serve-v1 wire protocol ----*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line-delimited JSON requests and responses (one compact JSON document
+/// per line) for gcsafe-serve. The schema is documented normatively in
+/// docs/SERVING.md §"The gcsafe-serve-v1 protocol"; this header is the
+/// implementation.
+///
+/// Requests: {"op":"compile"|"stats"|"ping"|"shutdown", "id":...,
+/// and for compile the request payload (name/source/mode/flags)}.
+/// Responses always carry schema/id/op/ok; a compile response adds
+/// cached/exit_code/rung/cache_key and the embedded reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SERVE_PROTOCOL_H
+#define GCSAFE_SERVE_PROTOCOL_H
+
+#include "serve/Service.h"
+
+#include <string>
+
+namespace gcsafe {
+namespace serve {
+
+enum class ServeOp {
+  Compile,
+  Stats,
+  Ping,
+  Shutdown,
+};
+
+/// One parsed request line.
+struct ServeRequest {
+  ServeOp Op = ServeOp::Compile;
+  std::string Id;
+  driver::RequestOptions Compile; ///< Valid when Op == Compile.
+  bool UseCache = true;
+};
+
+/// Parses one request line. False (with \p Error) on malformed JSON,
+/// unknown op/mode/machine, or a compile without source.
+bool parseRequestLine(const std::string &Line, ServeRequest &Out,
+                      std::string &Error);
+
+/// A compile response (Op == Compile).
+support::Json buildCompileResponse(const std::string &Id,
+                                   const ServeResult &R);
+/// A stats response: the serve.* keys nested as a JSON tree.
+support::Json buildStatsResponse(const std::string &Id,
+                                 const support::Stats &S);
+/// ping/shutdown acknowledgements.
+support::Json buildAckResponse(const std::string &Id, const char *Op);
+/// A protocol-level error response (request never reached the service).
+support::Json buildErrorResponse(const std::string &Id,
+                                 const std::string &Error);
+
+} // namespace serve
+} // namespace gcsafe
+
+#endif // GCSAFE_SERVE_PROTOCOL_H

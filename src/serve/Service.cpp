@@ -1,0 +1,246 @@
+//===- serve/Service.cpp --------------------------------------*- C++ -*-===//
+
+#include "serve/Service.h"
+
+#include "support/Hash.h"
+
+#include <sstream>
+
+using namespace gcsafe;
+using namespace gcsafe::serve;
+
+std::string
+gcsafe::serve::canonicalFlagString(const driver::RequestOptions &O) {
+  // Every field that can change the outcome of a compile, in a fixed
+  // order. Adding a field here is a cache-format change: old and new
+  // processes simply stop sharing entries, which is always safe.
+  std::ostringstream OS;
+  OS << "mode=" << driver::compileModeToken(O.Mode)
+     << ";machine=" << O.MachineName << ";run=" << (O.Run ? 1 : 0)
+     << ";verify=" << static_cast<int>(O.Verify)
+     << ";verify_ir=" << (O.VerifyIREachPass ? 1 : 0)
+     << ";self_heal=" << (O.SelfHeal ? 1 : 0)
+     << ";rung=" << driver::optRungName(O.StartRung)
+     << ";pass_deadline=" << O.PassDeadlineNs
+     << ";fail_inject=" << O.FailInjectSpec
+     << ";corrupt_kind=" << O.CorruptKind
+     << ";gc_period=" << O.GcInstructionPeriod
+     << ";gc_alloc_trigger=" << O.GcAllocTrigger
+     << ";gc_call_period=" << O.GcCallPeriod
+     << ";gc_deadline=" << O.GcDeadlineNs
+     << ";vm_deadline=" << O.VmDeadlineNs
+     << ";no_opt1=" << (O.Annot.SkipCopies ? 0 : 1)
+     << ";no_opt2=" << (O.Annot.SpecializeIncDec ? 0 : 1)
+     << ";slow_bases=" << (O.Annot.PreferSlowBases ? 1 : 0)
+     << ";at_calls_only="
+     << (O.Annot.Trigger == annotate::GcTrigger::AtCallsOnly ? 1 : 0);
+  return OS.str();
+}
+
+support::Json gcsafe::serve::serveResultToJson(const ServeResult &R) {
+  using support::Json;
+  Json J = Json::object();
+  J["ok"] = Json::boolean(R.Ok);
+  J["exit_code"] = Json::integer(int64_t(R.ExitCode));
+  J["degraded"] = Json::boolean(R.Degraded);
+  J["rung"] = Json::string(R.Rung);
+  Json Q = Json::array();
+  for (const std::string &P : R.Quarantined)
+    Q.push(Json::string(P));
+  J["quarantined"] = std::move(Q);
+  if (!R.Error.empty())
+    J["error"] = Json::string(R.Error);
+  if (R.HasReport)
+    J["report"] = R.Report;
+  if (R.HasLint)
+    J["lint"] = R.Lint;
+  return J;
+}
+
+bool gcsafe::serve::serveResultFromJson(const support::Json &J,
+                                        ServeResult &Out) {
+  if (!J.isObject() || !J.has("exit_code") || !J.has("ok"))
+    return false;
+  Out.Ok = J.get("ok")->asBool();
+  Out.ExitCode = static_cast<int>(J.get("exit_code")->asInt());
+  if (const support::Json *D = J.get("degraded"))
+    Out.Degraded = D->asBool();
+  if (const support::Json *R = J.get("rung"))
+    Out.Rung = R->asString();
+  if (const support::Json *Q = J.get("quarantined"))
+    for (size_t I = 0; I < Q->size(); ++I)
+      Out.Quarantined.push_back(Q->at(I).asString());
+  if (const support::Json *E = J.get("error"))
+    Out.Error = E->asString();
+  if (const support::Json *R = J.get("report")) {
+    Out.Report = *R;
+    Out.HasReport = true;
+  }
+  if (const support::Json *L = J.get("lint")) {
+    Out.Lint = *L;
+    Out.HasLint = true;
+  }
+  return true;
+}
+
+CompileService::CompileService(ServiceOptions O)
+    : Opts(O), Cache(O.CacheMaxEntries),
+      Trace(O.TraceCapacity ? O.TraceCapacity : 4096) {
+  unsigned N = Opts.Workers ? Opts.Workers : 1;
+  Pool.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+void CompileService::workerLoop() {
+  for (;;) {
+    std::packaged_task<ServeResult()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping)
+          return;
+        continue;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+std::future<ServeResult>
+CompileService::submit(driver::RequestOptions Request, bool UseCache) {
+  std::packaged_task<ServeResult()> Task(
+      [this, Request = std::move(Request), UseCache]() mutable {
+        return compile(Request, UseCache);
+      });
+  std::future<ServeResult> F = Task.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Queue.push_back(std::move(Task));
+  }
+  QueueCv.notify_one();
+  return F;
+}
+
+void CompileService::traceEmit(const char *Name, uint64_t Value,
+                               uint64_t Aux, std::string Detail) {
+  std::lock_guard<std::mutex> Lock(TraceMu);
+  Trace.emit("serve", Name, Value, Aux, std::move(Detail));
+}
+
+ServeResult CompileService::compile(const driver::RequestOptions &Request,
+                                    bool UseCache) {
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  traceEmit("request.begin", 0, 0, Request.Name);
+
+  // Request-private state; the only shared pieces are content-keyed.
+  driver::RequestOptions Opts2 = Request;
+  Opts2.Memo = &Memo;
+  driver::RequestContext Ctx(std::move(Opts2));
+
+  ServeResult Result;
+  std::string ParseError;
+  bool Parsed = Ctx.parse(ParseError);
+  if (Parsed) {
+    // The cache key hashes what the compiler will actually consume: the
+    // preprocessed (annotated) source, the mode and the canonical flag
+    // string. Two textually different flag spellings with the same
+    // canonical form share an entry; any outcome-relevant difference
+    // changes the key (docs/SERVING.md "Cache invalidation").
+    support::ContentHasher H;
+    H.update(Ctx.preprocessedSource());
+    H.update(canonicalFlagString(Ctx.options()));
+    Result.CacheKey = H.hex();
+  }
+
+  bool WantCache = UseCache && Opts.CacheEnabled && !Result.CacheKey.empty();
+  if (WantCache) {
+    std::string Payload;
+    if (Cache.lookup(Result.CacheKey, Payload)) {
+      support::Json J;
+      std::string JsonError;
+      ServeResult Warm;
+      if (support::Json::parse(Payload, J, JsonError) &&
+          serveResultFromJson(J, Warm)) {
+        Warm.CacheKey = Result.CacheKey;
+        Warm.Cached = true;
+        traceEmit("cache.hit", 0, 0, Result.CacheKey);
+        if (Warm.Ok)
+          ResponsesOk.fetch_add(1, std::memory_order_relaxed);
+        else
+          ResponsesError.fetch_add(1, std::memory_order_relaxed);
+        if (Warm.Degraded)
+          ResponsesDegraded.fetch_add(1, std::memory_order_relaxed);
+        traceEmit("request.end", uint64_t(Warm.ExitCode), 1, Request.Name);
+        return Warm;
+      }
+      // An unparseable payload cannot happen via insert(); treat it as a
+      // miss and overwrite below.
+    }
+    traceEmit("cache.miss", 0, 0, Result.CacheKey);
+  }
+
+  driver::RequestOutcome Outcome = Ctx.execute();
+  Result.Ok = Outcome.Ok;
+  Result.ExitCode = Outcome.ExitCode;
+  Result.Degraded = Outcome.Degraded;
+  Result.Rung = Outcome.Rung;
+  Result.Quarantined = Outcome.Quarantined;
+  Result.Error = Outcome.Error;
+  Result.Report = std::move(Outcome.Report);
+  Result.HasReport = Outcome.HasReport;
+  Result.Lint = std::move(Outcome.Lint);
+  Result.HasLint = Outcome.HasLint;
+
+  if (WantCache)
+    Cache.insert(Result.CacheKey, serveResultToJson(Result).dump(0));
+
+  if (Result.Ok)
+    ResponsesOk.fetch_add(1, std::memory_order_relaxed);
+  else
+    ResponsesError.fetch_add(1, std::memory_order_relaxed);
+  if (Result.Degraded)
+    ResponsesDegraded.fetch_add(1, std::memory_order_relaxed);
+  traceEmit("request.end", uint64_t(Result.ExitCode), 0, Request.Name);
+  return Result;
+}
+
+support::Stats CompileService::statsSnapshot() const {
+  support::Stats S;
+  S.set("serve.workers", Pool.size());
+  S.set("serve.requests", Requests.load(std::memory_order_relaxed));
+  S.set("serve.responses.ok", ResponsesOk.load(std::memory_order_relaxed));
+  S.set("serve.responses.error",
+        ResponsesError.load(std::memory_order_relaxed));
+  S.set("serve.responses.degraded",
+        ResponsesDegraded.load(std::memory_order_relaxed));
+  CacheStats C = Cache.stats();
+  S.set("serve.cache.hits", C.Hits);
+  S.set("serve.cache.misses", C.Misses);
+  S.set("serve.cache.insertions", C.Insertions);
+  S.set("serve.cache.evictions", C.Evictions);
+  S.set("serve.cache.entries", C.Entries);
+  S.set("serve.cache.bytes", C.Bytes);
+  S.set("serve.verify_memo.hits", Memo.hits());
+  S.set("serve.verify_memo.misses", Memo.misses());
+  S.set("serve.verify_memo.entries", Memo.entries());
+  return S;
+}
+
+std::vector<support::TraceEvent> CompileService::traceSnapshot() const {
+  std::lock_guard<std::mutex> Lock(TraceMu);
+  return Trace.snapshot();
+}

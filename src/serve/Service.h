@@ -1,0 +1,128 @@
+//===- serve/Service.h - The in-process compile service --------*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CompileService: a thread pool of compile workers in front of the
+/// re-entrant driver (driver/Request.h), a content-addressed response
+/// cache (serve/Cache.h) and a shared per-function verification memo.
+/// Both gcsafe-serve (over a unix socket) and gcsafe-batch --service
+/// (in-process) sit on this class; docs/SERVING.md is the architecture
+/// document.
+///
+/// Every request gets a fresh RequestContext — fault injector, trace
+/// ring, self-heal ladder and quarantine set are all request-private —
+/// so nothing a request degrades leaks into the next one. The only
+/// cross-request state is deliberately shareable: the response cache and
+/// the verify memo, both keyed purely on content.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SERVE_SERVICE_H
+#define GCSAFE_SERVE_SERVICE_H
+
+#include "driver/Request.h"
+#include "serve/Cache.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gcsafe {
+namespace serve {
+
+struct ServiceOptions {
+  unsigned Workers = 4;
+  size_t CacheMaxEntries = 1024;
+  bool CacheEnabled = true;
+  /// Capacity of the service-level cat="serve" trace ring.
+  size_t TraceCapacity = 4096;
+};
+
+/// One request's result as the service reports it: the driver outcome
+/// plus the cache verdict.
+struct ServeResult {
+  bool Ok = false;
+  bool Cached = false;
+  int ExitCode = 0;
+  bool Degraded = false;
+  std::string Rung = "full";
+  std::vector<std::string> Quarantined;
+  std::string CacheKey; ///< Empty when the request was uncacheable.
+  std::string Error;
+  support::Json Report;
+  bool HasReport = false;
+  support::Json Lint;
+  bool HasLint = false;
+};
+
+/// The canonical flag string entering the cache key: every
+/// compilation-relevant RequestOptions field in a fixed order
+/// (docs/SERVING.md documents the invalidation rules this implies).
+std::string canonicalFlagString(const driver::RequestOptions &Opts);
+
+/// Serialization of a ServeResult as the cached payload (and back). The
+/// payload is the single source of a warm response, which is what makes
+/// warm and cold responses byte-identical.
+support::Json serveResultToJson(const ServeResult &R);
+bool serveResultFromJson(const support::Json &J, ServeResult &Out);
+
+class CompileService {
+public:
+  explicit CompileService(ServiceOptions Opts = {});
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+  ~CompileService(); ///< Drains the queue and joins the workers.
+
+  /// Runs one request on the calling thread (cache consulted first).
+  ServeResult compile(const driver::RequestOptions &Request,
+                      bool UseCache = true);
+
+  /// Enqueues one request for the worker pool.
+  std::future<ServeResult> submit(driver::RequestOptions Request,
+                                  bool UseCache = true);
+
+  /// The serve.* stats keys (docs/OBSERVABILITY.md §"serve").
+  support::Stats statsSnapshot() const;
+
+  /// Snapshot of the service-level cat="serve" trace ring.
+  std::vector<support::TraceEvent> traceSnapshot() const;
+
+  const ServiceOptions &options() const { return Opts; }
+  driver::VerifyMemo &verifyMemo() { return Memo; }
+  ContentCache &cache() { return Cache; }
+
+private:
+  void workerLoop();
+  void traceEmit(const char *Name, uint64_t Value, uint64_t Aux,
+                 std::string Detail);
+
+  ServiceOptions Opts;
+  ContentCache Cache;
+  driver::VerifyMemo Memo;
+
+  mutable std::mutex TraceMu;
+  support::TraceBuffer Trace;
+
+  std::atomic<uint64_t> Requests{0}, ResponsesOk{0}, ResponsesError{0},
+      ResponsesDegraded{0};
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<std::packaged_task<ServeResult()>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Pool;
+};
+
+} // namespace serve
+} // namespace gcsafe
+
+#endif // GCSAFE_SERVE_SERVICE_H

@@ -1,0 +1,306 @@
+//===- tests/test_serve.cpp - Compile-service correctness ----------------===//
+//
+// The serving architecture's cache-correctness contract (docs/SERVING.md):
+// a warm response is byte-identical to its cold twin, any outcome-relevant
+// flag or mode change misses the cache, formatting-only source changes
+// still hit (the key hashes the preprocessed source), and nothing a
+// degraded request quarantines leaks into the next request. Plus the
+// worker pool, the shared verification memo, and the gcsafe-serve-v1
+// protocol round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "serve/Service.h"
+#include "support/ExitCodes.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+using namespace gcsafe;
+using namespace gcsafe::serve;
+
+namespace {
+
+// Enough pointer traffic to give the annotator, the optimizer, and the
+// corruption operators something to chew on.
+const char *kListSource = R"(
+struct node {
+  struct node *next;
+  long value;
+};
+
+long sum_list(struct node *head) {
+  long s;
+  s = 0;
+  while (head) {
+    s = s + head->value;
+    head = head->next;
+  }
+  return s;
+}
+
+int main(void) {
+  struct node *head;
+  struct node *n;
+  long i;
+  head = 0;
+  for (i = 0; i < 40; i++) {
+    n = (struct node *)gc_malloc(sizeof(struct node));
+    n->value = i * 3;
+    n->next = head;
+    head = n;
+  }
+  print_int(sum_list(head));
+  print_char(10);
+  return 0;
+}
+)";
+
+driver::RequestOptions listRequest() {
+  driver::RequestOptions R;
+  R.Name = "list";
+  R.Source = kListSource;
+  R.Mode = driver::CompileMode::O2SafePost;
+  R.Run = true;
+  return R;
+}
+
+TEST(ServeCache, WarmIsByteIdenticalToCold) {
+  CompileService Svc;
+  ServeResult Cold = Svc.compile(listRequest());
+  ASSERT_TRUE(Cold.Ok);
+  EXPECT_FALSE(Cold.Cached);
+  EXPECT_FALSE(Cold.CacheKey.empty());
+  EXPECT_EQ(Cold.ExitCode, support::ExitSuccess);
+
+  ServeResult Warm = Svc.compile(listRequest());
+  EXPECT_TRUE(Warm.Cached);
+  EXPECT_EQ(Warm.CacheKey, Cold.CacheKey);
+  // The warm response is the cold payload replayed verbatim.
+  EXPECT_EQ(serveResultToJson(Warm).dump(0), serveResultToJson(Cold).dump(0));
+
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.cache.hits"), 1u);
+  EXPECT_EQ(S.get("serve.cache.misses"), 1u);
+  EXPECT_EQ(S.get("serve.cache.insertions"), 1u);
+}
+
+// Only outcome-relevant inputs key the cache: the request name and the
+// trace-ring capacity change nothing about the compile, so they must not
+// invalidate (docs/SERVING.md "Cache invalidation").
+TEST(ServeCache, OutcomeIrrelevantKnobsStillHit) {
+  CompileService Svc;
+  ServeResult A = Svc.compile(listRequest());
+  driver::RequestOptions R = listRequest();
+  R.Name = "renamed";
+  R.TraceCapacity = 64;
+  ServeResult B = Svc.compile(R);
+  EXPECT_EQ(B.CacheKey, A.CacheKey);
+  EXPECT_TRUE(B.Cached);
+}
+
+TEST(ServeCache, ModeChangeInvalidates) {
+  CompileService Svc;
+  ServeResult A = Svc.compile(listRequest());
+  driver::RequestOptions R = listRequest();
+  R.Mode = driver::CompileMode::O2Safe;
+  ServeResult B = Svc.compile(R);
+  EXPECT_NE(B.CacheKey, A.CacheKey);
+  EXPECT_FALSE(B.Cached);
+}
+
+TEST(ServeCache, FlagChangeInvalidates) {
+  CompileService Svc;
+  ServeResult A = Svc.compile(listRequest());
+
+  driver::RequestOptions Gc = listRequest();
+  Gc.GcAllocTrigger = 5;
+  ServeResult B = Svc.compile(Gc);
+  EXPECT_NE(B.CacheKey, A.CacheKey);
+  EXPECT_FALSE(B.Cached);
+
+  driver::RequestOptions Machine = listRequest();
+  Machine.MachineName = "pentium90";
+  ServeResult C = Svc.compile(Machine);
+  EXPECT_NE(C.CacheKey, A.CacheKey);
+  EXPECT_NE(C.CacheKey, B.CacheKey);
+  EXPECT_FALSE(C.Cached);
+
+  // Same flags again: each variant now hits its own entry.
+  EXPECT_TRUE(Svc.compile(Gc).Cached);
+  EXPECT_TRUE(Svc.compile(Machine).Cached);
+}
+
+TEST(ServeCache, PerRequestOptOutBypasses) {
+  CompileService Svc;
+  ServeResult A = Svc.compile(listRequest(), /*UseCache=*/false);
+  EXPECT_FALSE(A.Cached);
+  ServeResult B = Svc.compile(listRequest(), /*UseCache=*/false);
+  EXPECT_FALSE(B.Cached);
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.cache.insertions"), 0u);
+  EXPECT_EQ(S.get("serve.cache.entries"), 0u);
+}
+
+TEST(ServeCache, EvictionRespectsCap) {
+  ServiceOptions SO;
+  SO.Workers = 1;
+  SO.CacheMaxEntries = 2;
+  CompileService Svc(SO);
+  for (uint64_t Trigger : {3u, 5u, 7u}) {
+    driver::RequestOptions R = listRequest();
+    R.GcAllocTrigger = Trigger;
+    Svc.compile(R);
+  }
+  CacheStats C = Svc.cache().stats();
+  EXPECT_EQ(C.Insertions, 3u);
+  EXPECT_EQ(C.Evictions, 1u);
+  EXPECT_EQ(C.Entries, 2u);
+
+  // The oldest entry (trigger=3) was evicted; the newest two still hit.
+  driver::RequestOptions R = listRequest();
+  R.GcAllocTrigger = 3;
+  EXPECT_FALSE(Svc.compile(R).Cached);
+  R.GcAllocTrigger = 7;
+  EXPECT_TRUE(Svc.compile(R).Cached);
+}
+
+TEST(ServeService, QuarantineDoesNotLeakBetweenRequests) {
+  CompileService Svc;
+
+  // Request 1: every optimization pass corrupted — the ladder must roll
+  // back, quarantine, and deliver a degraded success.
+  driver::RequestOptions Broken = listRequest();
+  Broken.SelfHeal = true;
+  Broken.FailInjectSpec = "7:opt.pass.corrupt@always";
+  ServeResult A = Svc.compile(Broken);
+  ASSERT_TRUE(A.Ok);
+  EXPECT_TRUE(A.Degraded);
+  EXPECT_EQ(A.ExitCode, support::ExitDegradedSuccess);
+  EXPECT_FALSE(A.Quarantined.empty());
+
+  // Request 2: same source, healthy flags — nothing request 1 degraded
+  // may leak in. (Different flag string, so also a cache miss.)
+  driver::RequestOptions Healthy = listRequest();
+  Healthy.SelfHeal = true;
+  ServeResult B = Svc.compile(Healthy);
+  EXPECT_FALSE(B.Cached);
+  ASSERT_TRUE(B.Ok);
+  EXPECT_FALSE(B.Degraded);
+  EXPECT_EQ(B.ExitCode, support::ExitSuccess);
+  EXPECT_EQ(B.Rung, "full");
+  EXPECT_TRUE(B.Quarantined.empty());
+}
+
+TEST(ServeService, ConcurrentSubmitsComplete) {
+  ServiceOptions SO;
+  SO.Workers = 4;
+  CompileService Svc(SO);
+  std::vector<std::future<ServeResult>> Futures;
+  for (uint64_t I = 0; I < 12; ++I) {
+    driver::RequestOptions R = listRequest();
+    R.GcAllocTrigger = 2 + I % 3; // three distinct keys, hammered 4x each
+    Futures.push_back(Svc.submit(R));
+  }
+  unsigned Ok = 0;
+  for (std::future<ServeResult> &F : Futures)
+    Ok += F.get().Ok ? 1 : 0;
+  EXPECT_EQ(Ok, 12u);
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.requests"), 12u);
+  EXPECT_EQ(S.get("serve.responses.ok"), 12u);
+  EXPECT_EQ(S.get("serve.cache.insertions"), 3u);
+}
+
+TEST(ServeService, VerifyMemoSharesAcrossRequests) {
+  CompileService Svc;
+  driver::RequestOptions R = listRequest();
+  R.Verify = driver::SafetyVerify::EachPass;
+  // Cache off so the second request re-verifies instead of replaying.
+  ASSERT_TRUE(Svc.compile(R, /*UseCache=*/false).Ok);
+  uint64_t HitsAfterFirst = Svc.verifyMemo().hits();
+  ASSERT_TRUE(Svc.compile(R, /*UseCache=*/false).Ok);
+  EXPECT_GT(Svc.verifyMemo().hits(), HitsAfterFirst);
+  EXPECT_GT(Svc.verifyMemo().entries(), 0u);
+}
+
+TEST(ServeService, TraceRecordsCacheVerdicts) {
+  CompileService Svc;
+  Svc.compile(listRequest());
+  Svc.compile(listRequest());
+  unsigned Begin = 0, Hit = 0, Miss = 0, End = 0;
+  for (const support::TraceEvent &E : Svc.traceSnapshot()) {
+    ASSERT_STREQ(E.Category, "serve");
+    std::string Name = E.Name;
+    Begin += Name == "request.begin";
+    Hit += Name == "cache.hit";
+    Miss += Name == "cache.miss";
+    End += Name == "request.end";
+  }
+  EXPECT_EQ(Begin, 2u);
+  EXPECT_EQ(Miss, 1u);
+  EXPECT_EQ(Hit, 1u);
+  EXPECT_EQ(End, 2u);
+}
+
+TEST(ServeProtocol, CompileRequestRoundTrip) {
+  ServeRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(
+      R"({"schema":"gcsafe-serve-v1","id":"r1","op":"compile",)"
+      R"("name":"t","source":"int main(void) { return 0; }",)"
+      R"("mode":"safepost","machine":"pentium90","run":true,)"
+      R"("verify":"each-pass","self_heal":true,"gc_alloc_trigger":5,)"
+      R"("cache":false})",
+      Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Op, ServeOp::Compile);
+  EXPECT_EQ(Req.Id, "r1");
+  EXPECT_EQ(Req.Compile.Name, "t");
+  EXPECT_EQ(Req.Compile.Mode, driver::CompileMode::O2SafePost);
+  EXPECT_EQ(Req.Compile.MachineName, "pentium90");
+  EXPECT_TRUE(Req.Compile.Run);
+  EXPECT_EQ(Req.Compile.Verify, driver::SafetyVerify::EachPass);
+  EXPECT_TRUE(Req.Compile.SelfHeal);
+  EXPECT_EQ(Req.Compile.GcAllocTrigger, 5u);
+  EXPECT_FALSE(Req.UseCache);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  ServeRequest Req;
+  std::string Error;
+  EXPECT_FALSE(parseRequestLine("not json", Req, Error));
+  EXPECT_FALSE(parseRequestLine(R"({"op":"compile"})", Req, Error));
+  EXPECT_FALSE(parseRequestLine(
+      R"({"op":"compile","source":"int main(void){return 0;}",)"
+      R"("mode":"o9"})",
+      Req, Error));
+  EXPECT_FALSE(parseRequestLine(R"({"op":"reboot"})", Req, Error));
+  EXPECT_FALSE(
+      parseRequestLine(R"({"schema":"gcsafe-serve-v2"})", Req, Error));
+}
+
+TEST(ServeProtocol, ServeResultJsonRoundTrip) {
+  ServeResult R;
+  R.Ok = true;
+  R.ExitCode = support::ExitDegradedSuccess;
+  R.Degraded = true;
+  R.Rung = "peephole";
+  R.Quarantined = {"opt2.redundant_check_elim"};
+  R.Error = "one pass quarantined";
+  ServeResult Back;
+  ASSERT_TRUE(serveResultFromJson(serveResultToJson(R), Back));
+  EXPECT_EQ(Back.Ok, R.Ok);
+  EXPECT_EQ(Back.ExitCode, R.ExitCode);
+  EXPECT_EQ(Back.Degraded, R.Degraded);
+  EXPECT_EQ(Back.Rung, R.Rung);
+  EXPECT_EQ(Back.Quarantined, R.Quarantined);
+  EXPECT_EQ(Back.Error, R.Error);
+  EXPECT_EQ(serveResultToJson(Back).dump(0), serveResultToJson(R).dump(0));
+}
+
+} // namespace

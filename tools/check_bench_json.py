@@ -9,6 +9,7 @@ Schemas (see docs/OBSERVABILITY.md):
   gcsafe-profile-v1     gcsafe-cc --profile-json
   gcsafe-lint-v1        gcsafe-cc --lint-json (docs/ANALYSIS.md)
   gcsafe-batch-v1       gcsafe-batch --summary (docs/ROBUSTNESS.md §6)
+  gcsafe-serve-v1       gcsafe-serve response lines (docs/SERVING.md)
 
 Usage:
   check_bench_json.py FILE [FILE...]   validate the named report files
@@ -20,6 +21,10 @@ Usage:
   check_bench_json.py --batch FILE     validate FILE as a gcsafe-batch-v1
                                        summary; --expect-status SUBSTR=STATUS
                                        additionally pins one input's outcome
+  check_bench_json.py --serve FILE     validate FILE as line-delimited
+                                       gcsafe-serve-v1 responses (the output
+                                       of gcsafe-serve --once or a captured
+                                       socket session)
 
 Files are dispatched on their top-level "schema" field, so the same checker
 covers all four formats; Chrome traces carry no schema field and are named
@@ -241,8 +246,12 @@ BATCH_RUNGS = {"full", "quarantined", "peephole", "unoptimized"}
 
 
 def check_batch(doc):
+    # "service" appears when the summary came from gcsafe-batch --service:
+    # the in-process compile service's serve.* counters (docs/SERVING.md).
     expect_keys(doc, "$", ["schema", "mode", "jobs", "timeout_ms", "retries",
-                           "inputs", "totals"])
+                           "inputs", "totals"], optional=["service"])
+    if "service" in doc:
+        check_serve_stats(doc["service"], "$.service")
     expect_str(doc, "$", "mode")
     for key in ("jobs", "timeout_ms", "retries"):
         expect_num(doc, "$", key, integer=True)
@@ -304,6 +313,119 @@ def check_batch(doc):
            "$.totals.retries",
            f"totals.retries is {totals['retries']}, attempts minus inputs "
            f"is {attempts_total - len(inputs)}")
+
+
+# --- gcsafe-serve-v1 --------------------------------------------------------
+
+SERVE_OPS = {"compile", "stats", "ping", "shutdown", "error"}
+
+
+def check_serve_stats(obj, path):
+    """The serve.* counter tree: a stats-op "serve" member or a batch
+    summary's "service" member (docs/SERVING.md)."""
+    expect_keys(obj, path, ["workers", "requests", "responses", "cache",
+                            "verify_memo"])
+    expect_num(obj, path, "workers", integer=True)
+    expect_num(obj, path, "requests", integer=True)
+    responses = obj["responses"]
+    expect_keys(responses, f"{path}.responses", ["ok", "error", "degraded"])
+    for key in ("ok", "error", "degraded"):
+        expect_num(responses, f"{path}.responses", key, integer=True)
+    cache = obj["cache"]
+    expect_keys(cache, f"{path}.cache",
+                ["hits", "misses", "insertions", "evictions", "entries",
+                 "bytes"])
+    for key in ("hits", "misses", "insertions", "evictions", "entries",
+                "bytes"):
+        expect_num(cache, f"{path}.cache", key, integer=True)
+    memo = obj["verify_memo"]
+    expect_keys(memo, f"{path}.verify_memo", ["hits", "misses", "entries"])
+    for key in ("hits", "misses", "entries"):
+        expect_num(memo, f"{path}.verify_memo", key, integer=True)
+
+
+def check_serve_response(doc, path="$"):
+    """One gcsafe-serve-v1 response document (one output line of
+    gcsafe-serve). Compile responses embed full gcsafe-run-report-v1 /
+    gcsafe-lint-v1 documents, validated with the same checkers as the
+    standalone files."""
+    expect(isinstance(doc, dict), path, "expected an object")
+    expect("schema" in doc, path, "missing required key 'schema'")
+    expect(doc["schema"] == "gcsafe-serve-v1", f"{path}.schema",
+           f"expected gcsafe-serve-v1, got {doc['schema']!r}")
+    for key in ("id", "op"):
+        expect(key in doc, path, f"missing required key '{key}'")
+        expect_str(doc, path, key)
+    expect("ok" in doc, path, "missing required key 'ok'")
+    expect(isinstance(doc["ok"], bool), f"{path}.ok", "expected a bool")
+    op = doc["op"]
+    expect(op in SERVE_OPS, f"{path}.op",
+           f"unknown op {op!r} (known: {', '.join(sorted(SERVE_OPS))})")
+    if op == "compile":
+        expect_keys(doc, path,
+                    ["schema", "id", "op", "ok", "cached", "exit_code",
+                     "degraded", "rung", "quarantined", "cache_key"],
+                    optional=["error", "report", "lint"])
+        for key in ("cached", "degraded"):
+            expect(isinstance(doc[key], bool), f"{path}.{key}",
+                   "expected a bool")
+        expect_num(doc, path, "exit_code", integer=True)
+        expect_str(doc, path, "rung")
+        expect(doc["rung"] in BATCH_RUNGS, f"{path}.rung",
+               f"unknown rung {doc['rung']!r}")
+        expect_str(doc, path, "cache_key")
+        quarantined = doc["quarantined"]
+        expect(isinstance(quarantined, list), f"{path}.quarantined",
+               "expected an array")
+        for i, name in enumerate(quarantined):
+            expect(isinstance(name, str), f"{path}.quarantined[{i}]",
+                   "expected a string")
+        if "error" in doc:
+            expect_str(doc, path, "error")
+        if "report" in doc:
+            expect(isinstance(doc["report"], dict)
+                   and doc["report"].get("schema") == "gcsafe-run-report-v1",
+                   f"{path}.report",
+                   "expected an embedded gcsafe-run-report-v1 document")
+            check_run_report(doc["report"])
+        if "lint" in doc:
+            expect(isinstance(doc["lint"], dict)
+                   and doc["lint"].get("schema") == "gcsafe-lint-v1",
+                   f"{path}.lint",
+                   "expected an embedded gcsafe-lint-v1 document")
+            check_lint(doc["lint"])
+    elif op == "stats":
+        expect_keys(doc, path, ["schema", "id", "op", "ok", "serve"])
+        check_serve_stats(doc["serve"], f"{path}.serve")
+    elif op == "error":
+        expect_keys(doc, path, ["schema", "id", "op", "ok", "error"])
+        expect_str(doc, path, "error")
+        expect(doc["ok"] is False, f"{path}.ok",
+               "an error response must have ok=false")
+    else:  # ping / shutdown acks carry only the head
+        expect_keys(doc, path, ["schema", "id", "op", "ok"])
+
+
+def check_serve_file(path):
+    """Line-delimited gcsafe-serve-v1 responses; empty lines are skipped,
+    an empty file is an error (a session always answers something)."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        return f"{path}: {exc}"
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines:
+        return f"{path}: no response lines found"
+    for n, line in enumerate(lines, 1):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return f"{path}:{n}: {exc}"
+        try:
+            check_serve_response(doc, "$")
+        except SchemaError as exc:
+            return f"{path}:{n}: [gcsafe-serve-v1] {exc}"
+    return None
 
 
 # --- gcsafe-profile-v1 ------------------------------------------------------
@@ -524,6 +646,10 @@ def main():
     parser.add_argument("--batch", metavar="FILE", action="append",
                         default=[],
                         help="validate FILE as a gcsafe-batch-v1 summary")
+    parser.add_argument("--serve", metavar="FILE", action="append",
+                        default=[],
+                        help="validate FILE as line-delimited "
+                             "gcsafe-serve-v1 responses")
     parser.add_argument("--expect-status", metavar="SUBSTR=STATUS",
                         action="append", default=[],
                         help="require the --batch input whose name contains "
@@ -538,9 +664,10 @@ def main():
                   file=sys.stderr)
             return 1
         files.extend(scanned)
-    if not files and not args.chrome and not args.lint and not args.batch:
+    if (not files and not args.chrome and not args.lint and not args.batch
+            and not args.serve):
         parser.error("no files given (pass FILEs, --scan DIR, --lint FILE, "
-                     "--batch FILE, and/or --chrome FILE)")
+                     "--batch FILE, --serve FILE, and/or --chrome FILE)")
 
     expectations = []
     for spec in args.expect_status:
@@ -576,6 +703,12 @@ def main():
                     failures.append(
                         f"{path}: input '{entry['input']}' has status "
                         f"'{entry['status']}', expected '{status}'")
+    for path in args.serve:
+        problem = check_serve_file(path)
+        if problem:
+            failures.append(problem)
+        else:
+            print(f"ok: {path} [gcsafe-serve-v1]")
     for path in args.lint:
         problem = check_file(path)
         if problem is None:

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Check relative links and heading anchors across the markdown docs.
+
+  check_docs_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link in the given files:
+
+  - external targets (http/https/mailto) are skipped;
+  - a relative path target must exist on disk (resolved against the
+    linking file's directory);
+  - a `#fragment` — on its own or after a .md path — must name a real
+    heading anchor in the target file, using GitHub's slug rules
+    (lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+    suffixed -1, -2, ...).
+
+Links inside fenced code blocks and inline code spans are ignored. All
+problems are listed; any problem exits 1. Run by `ctest -L docs`, so a
+renamed doc, a deleted section, or a typoed anchor breaks the build
+instead of shipping a dead link.
+"""
+
+import re
+import string
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(?P<text>.+?)\s*#*\s*$")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+# GitHub slugger: keep word characters, spaces and hyphens; drop the rest.
+_SLUG_KEEP = set(string.ascii_lowercase + string.digits + " -_")
+
+
+def slugify(text):
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0)[1:-1], text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linkified heading
+    text = text.lower()
+    text = "".join(c for c in text if c in _SLUG_KEEP)
+    return text.replace(" ", "-")
+
+
+def strip_code(lines):
+    """Lines with fenced blocks blanked out (links in examples don't
+    count) and inline code spans removed."""
+    out = []
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else CODE_SPAN_RE.sub("", line))
+    return out
+
+
+def collect_anchors(path, cache):
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    try:
+        lines = path.read_text().splitlines()
+    except OSError:
+        cache[path] = anchors
+        return anchors
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group("text"))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    # Explicit HTML anchors also count.
+    text = path.read_text()
+    for m in re.finditer(r'<a\s+(?:name|id)="([^"]+)"', text):
+        anchors.add(m.group(1))
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path, anchor_cache):
+    problems = []
+    lines = path.read_text().splitlines()
+    for lineno, line in enumerate(strip_code(lines), 1):
+        for m in LINK_RE.finditer(line):
+            target = m.group("target")
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            ref, _, fragment = target.partition("#")
+            if ref:
+                dest = (path.parent / ref).resolve()
+                if not dest.exists():
+                    problems.append(f"{path}:{lineno}: dead link "
+                                    f"'{target}' ({ref} does not exist)")
+                    continue
+            else:
+                dest = path.resolve()
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    continue  # anchors only checked in markdown targets
+                anchors = collect_anchors(dest, anchor_cache)
+                if fragment not in anchors:
+                    problems.append(
+                        f"{path}:{lineno}: missing anchor '#{fragment}' "
+                        f"in {dest.name} (have: "
+                        f"{', '.join(sorted(anchors)) or 'none'})")
+    return problems
+
+
+def main():
+    files = [Path(a) for a in sys.argv[1:]]
+    if not files:
+        print(f"usage: {sys.argv[0]} FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    problems = []
+    anchor_cache = {}
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path, anchor_cache))
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"ok: {len(files)} file(s), all relative links and anchors "
+              f"resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

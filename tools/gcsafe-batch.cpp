@@ -22,10 +22,13 @@
 #include "analysis/SafetyVerifier.h"
 #include "driver/Pipeline.h"
 #include "driver/SelfHeal.h"
+#include "serve/Service.h"
 #include "support/ExitCodes.h"
 #include "support/FaultInject.h"
 #include "support/Stats.h"
 #include "vm/VM.h"
+
+#include <future>
 
 #include <cerrno>
 #include <csignal>
@@ -70,7 +73,16 @@ void usage() {
       "                      still records them)\n"
       "  --kill-input=SUBSTR test hook: the worker whose input path\n"
       "                      contains SUBSTR raises SIGKILL on its first\n"
-      "                      attempt, exercising the crash-retry path\n");
+      "                      attempt, exercising the crash-retry path\n"
+      "                      (fork mode only)\n"
+      "  --service           submit inputs through an in-process\n"
+      "                      serve::CompileService thread pool instead of\n"
+      "                      forking one process per attempt\n"
+      "                      (docs/SERVING.md). Self-heal ladder and\n"
+      "                      quarantine state stay per-request; repeated\n"
+      "                      identical inputs hit the content-addressed\n"
+      "                      cache. No SIGKILL crash isolation: --timeout,\n"
+      "                      --retries and --kill-input do not apply\n");
 }
 
 bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
@@ -95,6 +107,7 @@ struct BatchOptions {
   std::string SummaryPath;
   bool AllowFailures = false;
   std::string KillInputSubstr;
+  bool Service = false;
 };
 
 const char *modeName(driver::CompileMode M) {
@@ -236,6 +249,19 @@ driver::OptRung lowerRung(driver::OptRung R) {
   return driver::OptRung::Unoptimized;
 }
 
+/// Maps a worker exit code to a triage outcome token.
+const char *outcomeForExit(int ExitCode) {
+  switch (ExitCode) {
+  case support::ExitSuccess: return "ok";
+  case support::ExitDegradedSuccess: return "degraded";
+  case support::ExitUsage: return "usage";
+  case support::ExitSafetyViolation:
+  case support::ExitMutantEscape: return "safety";
+  case support::ExitWatchdogTimeout: return "timeout";
+  default: return "error";
+  }
+}
+
 /// Classifies one reaped wait status. "timeout" covers both the parent's
 /// SIGKILL-on-timeout and the worker's own watchdog exit.
 void classify(int Status, bool TimedOut, AttemptRecord &A) {
@@ -255,15 +281,7 @@ void classify(int Status, bool TimedOut, AttemptRecord &A) {
     return;
   }
   A.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
-  switch (A.ExitCode) {
-  case support::ExitSuccess: A.Outcome = "ok"; break;
-  case support::ExitDegradedSuccess: A.Outcome = "degraded"; break;
-  case support::ExitUsage: A.Outcome = "usage"; break;
-  case support::ExitSafetyViolation:
-  case support::ExitMutantEscape: A.Outcome = "safety"; break;
-  case support::ExitWatchdogTimeout: A.Outcome = "timeout"; break;
-  default: A.Outcome = "error"; break;
-  }
+  A.Outcome = outcomeForExit(A.ExitCode);
 }
 
 std::string readDetail(int Fd) {
@@ -348,6 +366,8 @@ int main(int argc, char **argv) {
       O.AllowFailures = true;
     } else if (startsWith(Arg, "--kill-input=", Rest)) {
       O.KillInputSubstr = Rest;
+    } else if (!std::strcmp(Arg, "--service")) {
+      O.Service = true;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
       usage();
       return support::ExitSuccess;
@@ -365,10 +385,97 @@ int main(int argc, char **argv) {
     usage();
     return support::ExitUsage;
   }
+  if (O.Service && !O.KillInputSubstr.empty()) {
+    std::fprintf(stderr,
+                 "--kill-input needs fork isolation; it cannot be combined "
+                 "with --service\n");
+    return support::ExitUsage;
+  }
 
   std::vector<RunningWorker> Running;
   size_t Done = 0;
   uint64_t Timeouts = 0, Signals = 0, TotalAttempts = 0;
+  support::Json ServiceJ; // null unless --service ran
+
+  if (O.Service) {
+    // In-process mode (docs/SERVING.md): one CompileService, one request
+    // per input through the worker pool. Each request owns its fault
+    // injector, ladder and quarantine set, so a degraded input cannot
+    // poison the next — the property tests/test_serve.cpp proves.
+    serve::ServiceOptions SO;
+    SO.Workers = O.Jobs;
+    serve::CompileService Svc(SO);
+    std::vector<std::future<serve::ServeResult>> Futures(Inputs.size());
+    std::vector<std::string> ReadErrors(Inputs.size());
+    std::vector<uint64_t> StartNs(Inputs.size());
+    for (size_t I = 0; I < Inputs.size(); ++I) {
+      std::ifstream In(Inputs[I].Path);
+      if (!In) {
+        ReadErrors[I] = "cannot open input";
+        continue;
+      }
+      std::stringstream SS;
+      SS << In.rdbuf();
+      driver::RequestOptions R;
+      R.Name = Inputs[I].Path;
+      R.Source = SS.str();
+      R.Mode = O.Mode;
+      R.SelfHeal = true;
+      R.PassDeadlineNs = O.PassDeadlineNs;
+      R.FailInjectSpec = O.FailInjectSpec;
+      R.Run = O.Run;
+      R.GcInstructionPeriod = O.GcPeriod;
+      R.GcAllocTrigger = O.GcAllocTrigger;
+      R.GcDeadlineNs = O.GcDeadlineNs;
+      R.VmDeadlineNs = O.VmDeadlineNs;
+      StartNs[I] = support::monotonicNowNs();
+      Futures[I] = Svc.submit(std::move(R));
+    }
+    for (size_t I = 0; I < Inputs.size(); ++I) {
+      InputState &S = Inputs[I];
+      AttemptRecord A;
+      A.Rung = driver::optRungName(S.Rung);
+      if (!ReadErrors[I].empty()) {
+        A.Outcome = "error";
+        A.ExitCode = support::ExitError;
+        A.Detail = ReadErrors[I];
+      } else {
+        serve::ServeResult R = Futures[I].get();
+        A.DurationMs =
+            (support::monotonicNowNs() - StartNs[I]) / 1000000ull;
+        A.ExitCode = R.ExitCode;
+        A.Outcome = outcomeForExit(R.ExitCode);
+        A.Rung = R.Rung;
+        std::ostringstream D;
+        D << "rung=" << R.Rung << " quarantined=" << R.Quarantined.size();
+        if (R.Cached)
+          D << " cached";
+        if (!R.Error.empty()) {
+          std::string E = R.Error.substr(0, R.Error.find('\n'));
+          if (E.size() > 400)
+            E.resize(400);
+          D << " — " << E;
+        }
+        A.Detail = D.str();
+      }
+      ++TotalAttempts;
+      if (A.Outcome == "timeout")
+        ++Timeouts;
+      std::fprintf(stderr, "gcsafe-batch: [%s] service request: %s%s%s\n",
+                   S.Path.c_str(), A.Outcome.c_str(),
+                   A.Detail.empty() ? "" : " — ", A.Detail.c_str());
+      S.Status = A.Outcome == "ok"         ? "ok"
+                 : A.Outcome == "degraded" ? "degraded"
+                                           : "failed";
+      S.Attempts.push_back(std::move(A));
+      ++Done;
+    }
+    support::Json Tree = Svc.statsSnapshot().toJson();
+    if (const support::Json *Serve = Tree.get("serve"))
+      ServiceJ = *Serve;
+    else
+      ServiceJ = support::Json::object();
+  }
 
   auto Spawn = [&](size_t Idx) -> bool {
     InputState &S = Inputs[Idx];
@@ -537,6 +644,10 @@ int main(int argc, char **argv) {
       InputsJ.push(std::move(E));
     }
     Root["inputs"] = std::move(InputsJ);
+    // Present only under --service: the serve.* stats tree (workers,
+    // request/response counters, cache and verify-memo hit rates).
+    if (!ServiceJ.isNull())
+      Root["service"] = ServiceJ;
     Json Totals = Json::object();
     Totals["inputs"] = Json::integer(uint64_t(Inputs.size()));
     Totals["ok"] = Json::integer(uint64_t(Ok));

@@ -1,0 +1,284 @@
+//===- tools/gcsafe-serve.cpp - The persistent compile service -----------===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+// A daemon in front of serve::CompileService (docs/SERVING.md): requests
+// are line-delimited gcsafe-serve-v1 JSON documents, responses come back
+// one line each in request order. Two transports:
+//
+//   gcsafe-serve --socket=/tmp/gcsafe.sock      # unix-socket daemon
+//   gcsafe-serve --once < requests.ndjson       # stdin/stdout, for tests
+//
+// Compile state is per-request (driver/Request.h); the only cross-request
+// state is the content-addressed response cache and the per-function
+// verification memo, both keyed purely on content.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "support/ExitCodes.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace gcsafe;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gcsafe-serve (--socket=PATH | --once) [options]\n"
+      "  --socket=PATH       listen for connections on a unix socket;\n"
+      "                      one gcsafe-serve-v1 JSON request per line,\n"
+      "                      one response line each, in request order\n"
+      "  --once              serve a single batch: read requests from\n"
+      "                      stdin until EOF, write responses to stdout\n"
+      "                      in input order, exit\n"
+      "  --workers=N         compile worker threads (default 4)\n"
+      "  --cache-max=N       response-cache entry cap (default 1024)\n"
+      "  --no-cache          disable the content-addressed response cache\n"
+      "                      (requests may still opt out individually\n"
+      "                      with \"cache\": false)\n"
+      "  --stats             print the serve.* stats keys to stderr on\n"
+      "                      exit (docs/SERVING.md)\n");
+}
+
+bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
+  size_t Len = std::strlen(Prefix);
+  if (std::strncmp(Arg, Prefix, Len) != 0)
+    return false;
+  Rest = Arg + Len;
+  return true;
+}
+
+/// Handles one already-parsed request against the service. Compile
+/// requests run through the worker pool; the rest answer inline.
+/// Sets \p Shutdown on a shutdown op.
+support::Json handleRequest(serve::CompileService &Svc,
+                            const serve::ServeRequest &Req, bool &Shutdown) {
+  switch (Req.Op) {
+  case serve::ServeOp::Compile:
+    return serve::buildCompileResponse(
+        Req.Id, Svc.submit(Req.Compile, Req.UseCache).get());
+  case serve::ServeOp::Stats:
+    return serve::buildStatsResponse(Req.Id, Svc.statsSnapshot());
+  case serve::ServeOp::Ping:
+    return serve::buildAckResponse(Req.Id, "ping");
+  case serve::ServeOp::Shutdown:
+    Shutdown = true;
+    return serve::buildAckResponse(Req.Id, "shutdown");
+  }
+  return serve::buildErrorResponse(Req.Id, "unreachable");
+}
+
+/// --once: pipeline compile requests through the pool, then write every
+/// response in input order. A stats request observes all compiles that
+/// preceded it in the input (their futures are resolved first).
+int runOnce(serve::CompileService &Svc) {
+  struct Pending {
+    bool Ready = false;
+    support::Json Response;           ///< Valid when Ready.
+    std::future<serve::ServeResult> F; ///< Valid when !Ready && IsCompile.
+    bool IsCompile = false;
+    std::string Id;
+    serve::ServeOp Op = serve::ServeOp::Ping;
+  };
+  std::vector<Pending> Order;
+  bool Shutdown = false;
+  std::string Line;
+  while (!Shutdown && std::getline(std::cin, Line)) {
+    if (Line.empty())
+      continue;
+    serve::ServeRequest Req;
+    std::string Error;
+    Pending P;
+    if (!serve::parseRequestLine(Line, Req, Error)) {
+      P.Ready = true;
+      P.Response = serve::buildErrorResponse(Req.Id, Error);
+    } else if (Req.Op == serve::ServeOp::Compile) {
+      P.IsCompile = true;
+      P.Id = Req.Id;
+      P.F = Svc.submit(Req.Compile, Req.UseCache);
+    } else {
+      P.Id = Req.Id;
+      P.Op = Req.Op;
+      if (Req.Op == serve::ServeOp::Shutdown)
+        Shutdown = true; // stop reading; pending compiles still finish
+    }
+    Order.push_back(std::move(P));
+  }
+  for (Pending &P : Order) {
+    support::Json Response;
+    if (P.Ready)
+      Response = std::move(P.Response);
+    else if (P.IsCompile)
+      Response = serve::buildCompileResponse(P.Id, P.F.get());
+    else if (P.Op == serve::ServeOp::Stats)
+      Response = serve::buildStatsResponse(P.Id, Svc.statsSnapshot());
+    else
+      Response = serve::buildAckResponse(
+          P.Id, P.Op == serve::ServeOp::Shutdown ? "shutdown" : "ping");
+    std::fputs(Response.dump(0).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  std::fflush(stdout);
+  return support::ExitSuccess;
+}
+
+/// One connection: read lines, answer each in order. Returns true when
+/// the client asked for a daemon shutdown.
+bool serveConnection(serve::CompileService &Svc, int Fd) {
+  std::string Buffer;
+  char Chunk[4096];
+  bool Shutdown = false;
+  for (;;) {
+    size_t NL;
+    while ((NL = Buffer.find('\n')) == std::string::npos) {
+      ssize_t N = read(Fd, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        return Shutdown;
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+    std::string Line = Buffer.substr(0, NL);
+    Buffer.erase(0, NL + 1);
+    if (Line.empty())
+      continue;
+    serve::ServeRequest Req;
+    std::string Error;
+    support::Json Response;
+    if (!serve::parseRequestLine(Line, Req, Error))
+      Response = serve::buildErrorResponse(Req.Id, Error);
+    else
+      Response = handleRequest(Svc, Req, Shutdown);
+    std::string Text = Response.dump(0);
+    Text.push_back('\n');
+    size_t Off = 0;
+    while (Off < Text.size()) {
+      ssize_t W = write(Fd, Text.data() + Off, Text.size() - Off);
+      if (W <= 0)
+        return Shutdown;
+      Off += static_cast<size_t>(W);
+    }
+    if (Shutdown)
+      return true;
+  }
+}
+
+int runDaemon(serve::CompileService &Svc, const std::string &SocketPath) {
+  int ListenFd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::perror("gcsafe-serve: socket");
+    return support::ExitError;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "gcsafe-serve: socket path too long\n");
+    close(ListenFd);
+    return support::ExitUsage;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  unlink(SocketPath.c_str()); // a stale socket from a dead daemon
+  if (bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      listen(ListenFd, 64) < 0) {
+    std::perror("gcsafe-serve: bind/listen");
+    close(ListenFd);
+    return support::ExitError;
+  }
+  std::fprintf(stderr, "gcsafe-serve: listening on %s (%u worker(s))\n",
+               SocketPath.c_str(), Svc.options().Workers);
+
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Connections;
+  while (!Stop.load()) {
+    int Fd = accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (Stop.load())
+        break;
+      continue;
+    }
+    Connections.emplace_back([&Svc, &Stop, &SocketPath, ListenFd, Fd] {
+      if (serveConnection(Svc, Fd)) {
+        Stop.store(true);
+        // Unblock accept() so the main loop can exit.
+        shutdown(ListenFd, SHUT_RDWR);
+      }
+      close(Fd);
+    });
+  }
+  for (std::thread &T : Connections)
+    T.join();
+  close(ListenFd);
+  unlink(SocketPath.c_str());
+  return support::ExitSuccess;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  serve::ServiceOptions SO;
+  std::string SocketPath;
+  bool Once = false, PrintStats = false;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    const char *Rest = nullptr;
+    if (startsWith(Arg, "--socket=", Rest)) {
+      SocketPath = Rest;
+    } else if (!std::strcmp(Arg, "--once")) {
+      Once = true;
+    } else if (startsWith(Arg, "--workers=", Rest)) {
+      SO.Workers = static_cast<unsigned>(std::strtoul(Rest, nullptr, 10));
+      if (!SO.Workers) {
+        std::fprintf(stderr, "--workers must be positive\n");
+        return support::ExitUsage;
+      }
+    } else if (startsWith(Arg, "--cache-max=", Rest)) {
+      SO.CacheMaxEntries = std::strtoull(Rest, nullptr, 10);
+      if (!SO.CacheMaxEntries) {
+        std::fprintf(stderr, "--cache-max must be positive\n");
+        return support::ExitUsage;
+      }
+    } else if (!std::strcmp(Arg, "--no-cache")) {
+      SO.CacheEnabled = false;
+    } else if (!std::strcmp(Arg, "--stats")) {
+      PrintStats = true;
+    } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      usage();
+      return support::ExitSuccess;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg);
+      usage();
+      return support::ExitUsage;
+    }
+  }
+  if (Once == !SocketPath.empty()) {
+    std::fprintf(stderr,
+                 "gcsafe-serve: exactly one of --socket=PATH or --once is "
+                 "required\n");
+    usage();
+    return support::ExitUsage;
+  }
+
+  serve::CompileService Svc(SO);
+  int Code = Once ? runOnce(Svc) : runDaemon(Svc, SocketPath);
+  if (PrintStats) {
+    support::Stats S = Svc.statsSnapshot();
+    for (const support::Stats::Entry &E : S.entries())
+      std::fprintf(stderr, "%s=%llu\n", E.Path.c_str(),
+                   static_cast<unsigned long long>(E.Count));
+  }
+  return Code;
+}

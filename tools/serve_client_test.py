@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Exercise gcsafe-serve end to end as a client would.
+
+Drives one session — ping, a cold compile, the same compile warm, stats,
+shutdown — through either transport:
+
+  serve_client_test.py --once   --serve-bin BIN --source FILE --out FILE
+  serve_client_test.py --socket --serve-bin BIN --source FILE --out FILE
+
+and asserts the serving contract (docs/SERVING.md): the warm response is
+served from the cache, byte-identical to the cold response apart from the
+"cached" and "id" fields, and the stats op reports the hit. In socket mode
+the cold and warm compiles arrive on *different connections*, proving the
+cache is shared across clients, and the daemon must exit 0 after the
+shutdown op. Every response line is written to --out so the ctest wiring
+can validate the session against the gcsafe-serve-v1 schema with
+check_bench_json.py --serve.
+
+Exits nonzero with a message on the first violated expectation.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def fail(message):
+    print(f"serve_client_test: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def build_requests(source):
+    compile_req = {
+        "schema": "gcsafe-serve-v1",
+        "op": "compile",
+        "name": "client-test",
+        "source": source,
+        "mode": "safepost",
+        "run": True,
+    }
+    return [
+        {"schema": "gcsafe-serve-v1", "op": "ping", "id": "ping-1"},
+        dict(compile_req, id="cold-1"),
+        dict(compile_req, id="warm-1"),
+        {"schema": "gcsafe-serve-v1", "op": "stats", "id": "stats-1"},
+        {"schema": "gcsafe-serve-v1", "op": "shutdown", "id": "bye-1"},
+    ]
+
+
+def check_session(responses):
+    """The shared contract, regardless of transport."""
+    by_id = {r.get("id"): r for r in responses}
+    for rid in ("ping-1", "cold-1", "warm-1", "stats-1", "bye-1"):
+        if rid not in by_id:
+            fail(f"no response with id '{rid}'")
+    ping, cold, warm = by_id["ping-1"], by_id["cold-1"], by_id["warm-1"]
+    stats, bye = by_id["stats-1"], by_id["bye-1"]
+
+    if not ping["ok"] or ping["op"] != "ping":
+        fail(f"bad ping response: {ping}")
+    if not bye["ok"] or bye["op"] != "shutdown":
+        fail(f"bad shutdown ack: {bye}")
+
+    for name, resp in (("cold", cold), ("warm", warm)):
+        if resp["op"] != "compile" or not resp["ok"]:
+            fail(f"{name} compile did not succeed: {resp}")
+        if resp["exit_code"] != 0:
+            fail(f"{name} compile exit_code {resp['exit_code']}, expected 0")
+    if cold["cached"]:
+        fail("cold compile claims cached=true")
+    if not warm["cached"]:
+        fail("warm compile was not served from the cache")
+    if warm["cache_key"] != cold["cache_key"]:
+        fail(f"cache keys differ: {cold['cache_key']} vs "
+             f"{warm['cache_key']}")
+
+    # Byte-identity: strip the fields that legitimately differ and compare
+    # the canonicalized rest.
+    def canon(resp):
+        return json.dumps(
+            {k: v for k, v in resp.items() if k not in ("cached", "id")},
+            sort_keys=True)
+    if canon(warm) != canon(cold):
+        fail("warm response is not byte-identical to cold "
+             "(modulo 'cached' and 'id')")
+
+    serve = stats.get("serve")
+    if not isinstance(serve, dict):
+        fail(f"stats response without a serve tree: {stats}")
+    if serve["cache"]["hits"] < 1:
+        fail(f"stats reports no cache hit: {serve['cache']}")
+    if serve["requests"] < 2:
+        fail(f"stats reports {serve['requests']} requests, expected >= 2")
+    return 0
+
+
+def run_once(args, requests):
+    text = "".join(json.dumps(r) + "\n" for r in requests)
+    proc = subprocess.run([args.serve_bin, "--once"], input=text,
+                          capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        fail(f"gcsafe-serve --once exited {proc.returncode}: {proc.stderr}")
+    lines = [l for l in proc.stdout.splitlines() if l.strip()]
+    if len(lines) != len(requests):
+        fail(f"{len(lines)} response lines for {len(requests)} requests")
+    return lines
+
+
+def read_line(conn):
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = conn.recv(65536)
+        if not chunk:
+            fail("connection closed mid-response")
+        buf += chunk
+    return buf.decode()
+
+
+def ask(conn, request):
+    conn.sendall((json.dumps(request) + "\n").encode())
+    return read_line(conn).rstrip("\n")
+
+
+def run_socket(args, requests):
+    ping, cold, warm, stats, bye = requests
+    # Unix socket paths are length-limited; stay short under /tmp.
+    with tempfile.TemporaryDirectory(prefix="gcsafe-",
+                                     dir="/tmp") as tmp:
+        path = os.path.join(tmp, "serve.sock")
+        daemon = subprocess.Popen(
+            [args.serve_bin, f"--socket={path}", "--workers=2"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(path):
+                if time.monotonic() > deadline:
+                    fail("daemon never created the socket")
+                if daemon.poll() is not None:
+                    fail(f"daemon exited early with {daemon.returncode}")
+                time.sleep(0.05)
+
+            lines = []
+            # Connection 1: ping + cold compile.
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as c1:
+                c1.connect(path)
+                lines.append(ask(c1, ping))
+                lines.append(ask(c1, cold))
+            # Connection 2: the warm hit must come from the shared cache.
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as c2:
+                c2.connect(path)
+                lines.append(ask(c2, warm))
+                lines.append(ask(c2, stats))
+                lines.append(ask(c2, bye))
+
+            code = daemon.wait(timeout=30)
+            if code != 0:
+                fail(f"daemon exited {code} after shutdown, expected 0")
+            if os.path.exists(path):
+                fail("daemon left its socket behind")
+            return lines
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    transport = parser.add_mutually_exclusive_group(required=True)
+    transport.add_argument("--once", action="store_true",
+                           help="drive gcsafe-serve --once over stdin")
+    transport.add_argument("--socket", action="store_true",
+                           help="drive a gcsafe-serve unix-socket daemon")
+    parser.add_argument("--serve-bin", required=True,
+                        help="path to the gcsafe-serve binary")
+    parser.add_argument("--source", required=True,
+                        help="C source file to compile through the service")
+    parser.add_argument("--out", required=True,
+                        help="write the raw response lines here (for "
+                             "check_bench_json.py --serve)")
+    args = parser.parse_args()
+
+    source = Path(args.source).read_text()
+    requests = build_requests(source)
+    lines = run_once(args, requests) if args.once else run_socket(args,
+                                                                  requests)
+    Path(args.out).write_text("".join(l + "\n" for l in lines))
+
+    responses = []
+    for n, line in enumerate(lines, 1):
+        try:
+            responses.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            fail(f"response line {n} is not JSON: {exc}")
+    check_session(responses)
+    transport_name = "--once" if args.once else "--socket"
+    print(f"serve_client_test: ok ({transport_name}, "
+          f"{len(responses)} responses, warm hit verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

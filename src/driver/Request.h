@@ -62,6 +62,11 @@ struct RequestOptions {
   uint64_t GcCallPeriod = 0;
   uint64_t GcDeadlineNs = 0;
   uint64_t VmDeadlineNs = 0;
+  /// Whole-request wall-clock budget (the serve protocol's deadline_ms).
+  /// The service clamps the remaining budget into the pass/GC/VM watchdogs
+  /// above and refuses to start (or to cache) a request past its deadline;
+  /// 0 = no deadline. Relative to submission, not to execution start.
+  uint64_t DeadlineNs = 0;
   size_t TraceCapacity = 4096;
   /// Shared cross-request verification memo (may be null).
   VerifyMemo *Memo = nullptr;

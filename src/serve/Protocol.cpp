@@ -71,6 +71,14 @@ bool gcsafe::serve::parseRequestLine(const std::string &Line,
     Out.Op = ServeOp::Ping;
     return true;
   }
+  if (Op == "health") {
+    Out.Op = ServeOp::Health;
+    return true;
+  }
+  if (Op == "drain") {
+    Out.Op = ServeOp::Drain;
+    return true;
+  }
   if (Op == "shutdown") {
     Out.Op = ServeOp::Shutdown;
     return true;
@@ -132,6 +140,7 @@ bool gcsafe::serve::parseRequestLine(const std::string &Line,
   }
   R.GcDeadlineNs = getUInt(J, "gc_deadline_ms") * 1000000ull;
   R.VmDeadlineNs = getUInt(J, "vm_deadline_ms") * 1000000ull;
+  R.DeadlineNs = getUInt(J, "deadline_ms") * 1000000ull;
   getString(J, "fail_inject", R.FailInjectSpec);
   std::string Corrupt;
   if (getString(J, "corrupt_kind", Corrupt) &&
@@ -180,6 +189,8 @@ Json gcsafe::serve::buildCompileResponse(const std::string &Id,
     Q.push(Json::string(P));
   J["quarantined"] = std::move(Q);
   J["cache_key"] = Json::string(R.CacheKey);
+  if (!R.Status.empty())
+    J["status"] = Json::string(R.Status);
   if (!R.Error.empty())
     J["error"] = Json::string(R.Error);
   if (R.HasReport)
@@ -202,6 +213,20 @@ Json gcsafe::serve::buildStatsResponse(const std::string &Id,
 
 Json gcsafe::serve::buildAckResponse(const std::string &Id, const char *Op) {
   return responseHead(Id, Op, true);
+}
+
+Json gcsafe::serve::buildHealthResponse(const std::string &Id,
+                                        const ServiceHealth &H,
+                                        uint64_t Connections) {
+  Json J = responseHead(Id, "health", true);
+  J["ready"] = Json::boolean(H.Ready);
+  J["workers"] = Json::integer(uint64_t(H.Workers));
+  J["queue_depth"] = Json::integer(uint64_t(H.QueueDepth));
+  J["queue_max"] = Json::integer(uint64_t(H.QueueMax));
+  J["draining"] = Json::boolean(H.Draining);
+  J["isolate"] = Json::boolean(H.Isolate);
+  J["connections"] = Json::integer(Connections);
+  return J;
 }
 
 Json gcsafe::serve::buildErrorResponse(const std::string &Id,

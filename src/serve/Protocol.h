@@ -11,10 +11,14 @@
 /// docs/SERVING.md §"The gcsafe-serve-v1 protocol"; this header is the
 /// implementation.
 ///
-/// Requests: {"op":"compile"|"stats"|"ping"|"shutdown", "id":...,
-/// and for compile the request payload (name/source/mode/flags)}.
-/// Responses always carry schema/id/op/ok; a compile response adds
-/// cached/exit_code/rung/cache_key and the embedded reports.
+/// Requests: {"op":"compile"|"stats"|"ping"|"health"|"drain"|"shutdown",
+/// "id":..., and for compile the request payload (name/source/mode/flags,
+/// optionally deadline_ms)}. Responses always carry schema/id/op/ok; a
+/// compile response adds cached/exit_code/rung/cache_key and the embedded
+/// reports, plus a "status" token when the service disposed of the
+/// request without a normal compile (overloaded/deadline/crashed/
+/// draining/shutdown). "health" answers with a readiness snapshot;
+/// "drain" asks the daemon to stop accepting and exit once idle.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +36,8 @@ enum class ServeOp {
   Compile,
   Stats,
   Ping,
+  Health,
+  Drain,
   Shutdown,
 };
 
@@ -54,8 +60,13 @@ support::Json buildCompileResponse(const std::string &Id,
 /// A stats response: the serve.* keys nested as a JSON tree.
 support::Json buildStatsResponse(const std::string &Id,
                                  const support::Stats &S);
-/// ping/shutdown acknowledgements.
+/// ping/drain/shutdown acknowledgements.
 support::Json buildAckResponse(const std::string &Id, const char *Op);
+/// A health response: the service readiness snapshot plus the daemon's
+/// live connection count (pass 0 outside the socket transport).
+support::Json buildHealthResponse(const std::string &Id,
+                                  const ServiceHealth &H,
+                                  uint64_t Connections);
 /// A protocol-level error response (request never reached the service).
 support::Json buildErrorResponse(const std::string &Id,
                                  const std::string &Error);

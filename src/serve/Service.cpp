@@ -2,9 +2,16 @@
 
 #include "serve/Service.h"
 
+#include "driver/Isolate.h"
+#include "support/ExitCodes.h"
 #include "support/Hash.h"
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace gcsafe;
 using namespace gcsafe::serve;
@@ -29,6 +36,7 @@ gcsafe::serve::canonicalFlagString(const driver::RequestOptions &O) {
      << ";gc_call_period=" << O.GcCallPeriod
      << ";gc_deadline=" << O.GcDeadlineNs
      << ";vm_deadline=" << O.VmDeadlineNs
+     << ";deadline=" << O.DeadlineNs
      << ";no_opt1=" << (O.Annot.SkipCopies ? 0 : 1)
      << ";no_opt2=" << (O.Annot.SpecializeIncDec ? 0 : 1)
      << ";slow_bases=" << (O.Annot.PreferSlowBases ? 1 : 0)
@@ -48,6 +56,8 @@ support::Json gcsafe::serve::serveResultToJson(const ServeResult &R) {
   for (const std::string &P : R.Quarantined)
     Q.push(Json::string(P));
   J["quarantined"] = std::move(Q);
+  if (!R.Status.empty())
+    J["status"] = Json::string(R.Status);
   if (!R.Error.empty())
     J["error"] = Json::string(R.Error);
   if (R.HasReport)
@@ -70,6 +80,8 @@ bool gcsafe::serve::serveResultFromJson(const support::Json &J,
   if (const support::Json *Q = J.get("quarantined"))
     for (size_t I = 0; I < Q->size(); ++I)
       Out.Quarantined.push_back(Q->at(I).asString());
+  if (const support::Json *S = J.get("status"))
+    Out.Status = S->asString();
   if (const support::Json *E = J.get("error"))
     Out.Error = E->asString();
   if (const support::Json *R = J.get("report")) {
@@ -83,6 +95,49 @@ bool gcsafe::serve::serveResultFromJson(const support::Json &J,
   return true;
 }
 
+namespace {
+
+/// Lifts a driver outcome into the service's result shape.
+ServeResult resultFromOutcome(driver::RequestOutcome &&Outcome) {
+  ServeResult R;
+  R.Ok = Outcome.Ok;
+  R.ExitCode = Outcome.ExitCode;
+  R.Degraded = Outcome.Degraded;
+  R.Rung = Outcome.Rung;
+  R.Quarantined = std::move(Outcome.Quarantined);
+  R.Error = std::move(Outcome.Error);
+  R.Report = std::move(Outcome.Report);
+  R.HasReport = Outcome.HasReport;
+  R.Lint = std::move(Outcome.Lint);
+  R.HasLint = Outcome.HasLint;
+  return R;
+}
+
+ServeResult typedResult(const char *Status, int ExitCode, std::string Error) {
+  ServeResult R;
+  R.Ok = false;
+  R.Status = Status;
+  R.ExitCode = ExitCode;
+  R.Error = std::move(Error);
+  return R;
+}
+
+/// Clamps every watchdog to the remaining wall budget, so a request with
+/// a deadline cannot out-sleep it inside the VM or the GC.
+void clampWatchdogs(driver::RequestOptions &O, uint64_t DeadlineAtNs) {
+  if (!DeadlineAtNs)
+    return;
+  uint64_t Now = support::monotonicNowNs();
+  uint64_t Remain = DeadlineAtNs > Now ? DeadlineAtNs - Now : 1;
+  auto Clamp = [Remain](uint64_t &V) { V = V ? std::min(V, Remain) : Remain; };
+  Clamp(O.VmDeadlineNs);
+  Clamp(O.GcDeadlineNs);
+  if (O.SelfHeal)
+    Clamp(O.PassDeadlineNs);
+}
+
+} // namespace
+
 CompileService::CompileService(ServiceOptions O)
     : Opts(O), Cache(O.CacheMaxEntries),
       Trace(O.TraceCapacity ? O.TraceCapacity : 4096) {
@@ -92,14 +147,54 @@ CompileService::CompileService(ServiceOptions O)
     Pool.emplace_back([this] { workerLoop(); });
 }
 
-CompileService::~CompileService() {
+CompileService::~CompileService() { stop(); }
+
+void CompileService::stop() {
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
+    if (Stopping)
+      return;
     Stopping = true;
   }
   QueueCv.notify_all();
   for (std::thread &T : Pool)
     T.join();
+}
+
+void CompileService::drain() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    if (Draining)
+      return;
+    Draining = true;
+  }
+  traceEmit("service.drain", 0, 0, "");
+}
+
+void CompileService::waitIdle() {
+  std::unique_lock<std::mutex> Lock(QueueMu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+}
+
+ServiceHealth CompileService::health() const {
+  std::lock_guard<std::mutex> Lock(QueueMu);
+  ServiceHealth H;
+  H.Workers = static_cast<unsigned>(Pool.size());
+  H.QueueDepth = Queue.size();
+  H.QueueMax = Opts.QueueMax;
+  H.Draining = Draining;
+  H.Stopping = Stopping;
+  H.Isolate = Opts.Isolate;
+  H.Ready = !Stopping && !Draining &&
+            (!Opts.QueueMax || Queue.size() < Opts.QueueMax);
+  return H;
+}
+
+bool CompileService::injectFault(const std::string &Site) {
+  if (!Opts.Faults)
+    return false;
+  std::lock_guard<std::mutex> Lock(FaultMu);
+  return Opts.Faults->shouldFail(Opts.Faults->siteId(Site));
 }
 
 void CompileService::workerLoop() {
@@ -115,24 +210,70 @@ void CompileService::workerLoop() {
       }
       Task = std::move(Queue.front());
       Queue.pop_front();
+      ++Active;
     }
     Task();
+    {
+      std::lock_guard<std::mutex> Lock(QueueMu);
+      --Active;
+    }
+    IdleCv.notify_all();
   }
 }
 
 std::future<ServeResult>
 CompileService::submit(driver::RequestOptions Request, bool UseCache) {
+  // The deadline clock starts at submission: time spent queued counts
+  // against the request's budget.
+  uint64_t DeadlineAtNs =
+      Request.DeadlineNs ? support::monotonicNowNs() + Request.DeadlineNs : 0;
+  bool Injected = injectFault("serve.queue.full");
+  std::string Name = Request.Name;
+
   std::packaged_task<ServeResult()> Task(
-      [this, Request = std::move(Request), UseCache]() mutable {
-        return compile(Request, UseCache);
+      [this, Request = std::move(Request), UseCache, DeadlineAtNs]() mutable {
+        return compileAt(Request, UseCache, DeadlineAtNs);
       });
   std::future<ServeResult> F = Task.get_future();
+
+  const char *Shed = nullptr;
+  std::string Why;
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
-    Queue.push_back(std::move(Task));
+    if (Stopping) {
+      Shed = "shutdown";
+      Why = "the service is shutting down";
+    } else if (Draining) {
+      Shed = "draining";
+      Why = "the service is draining";
+    } else if (Injected) {
+      Shed = "overloaded";
+      Why = "the submit queue is full (injected serve.queue.full)";
+    } else if (Opts.QueueMax && Queue.size() >= Opts.QueueMax) {
+      Shed = "overloaded";
+      Why = "the submit queue is full (" + std::to_string(Opts.QueueMax) +
+            " requests deep)";
+    } else {
+      Queue.push_back(std::move(Task));
+      if (Queue.size() > QueuePeak)
+        QueuePeak = Queue.size();
+    }
   }
-  QueueCv.notify_one();
-  return F;
+  if (!Shed) {
+    QueueCv.notify_one();
+    return F;
+  }
+
+  // Shed: resolve the caller's future immediately with a typed result.
+  // The discarded task's future is never observed; the request never
+  // counts as executed (serve.requests counts work, serve.queue.shed
+  // counts refusals).
+  QueueShed.fetch_add(1, std::memory_order_relaxed);
+  traceEmit("queue.shed", 0, 0, Name + ": " + Why);
+  std::promise<ServeResult> P;
+  P.set_value(typedResult(Shed, support::ExitOverloaded,
+                          "request shed: " + Why));
+  return P.get_future();
 }
 
 void CompileService::traceEmit(const char *Name, uint64_t Value,
@@ -141,14 +282,44 @@ void CompileService::traceEmit(const char *Name, uint64_t Value,
   Trace.emit("serve", Name, Value, Aux, std::move(Detail));
 }
 
+void CompileService::countResult(const ServeResult &R) {
+  if (R.Ok)
+    ResponsesOk.fetch_add(1, std::memory_order_relaxed);
+  else
+    ResponsesError.fetch_add(1, std::memory_order_relaxed);
+  if (R.Degraded)
+    ResponsesDegraded.fetch_add(1, std::memory_order_relaxed);
+}
+
 ServeResult CompileService::compile(const driver::RequestOptions &Request,
                                     bool UseCache) {
+  uint64_t DeadlineAtNs =
+      Request.DeadlineNs ? support::monotonicNowNs() + Request.DeadlineNs : 0;
+  return compileAt(Request, UseCache, DeadlineAtNs);
+}
+
+ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
+                                      bool UseCache, uint64_t DeadlineAtNs) {
   Requests.fetch_add(1, std::memory_order_relaxed);
   traceEmit("request.begin", 0, 0, Request.Name);
+
+  // A request that expired while queued never starts — and never gets a
+  // chance to insert anything into the cache or the memo.
+  if (DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs) {
+    DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    traceEmit("request.deadline", 0, 0, Request.Name);
+    ServeResult R =
+        typedResult("deadline", support::ExitWatchdogTimeout,
+                    "deadline expired before the compile started");
+    countResult(R);
+    traceEmit("request.end", uint64_t(R.ExitCode), 0, Request.Name);
+    return R;
+  }
 
   // Request-private state; the only shared pieces are content-keyed.
   driver::RequestOptions Opts2 = Request;
   Opts2.Memo = &Memo;
+  clampWatchdogs(Opts2, DeadlineAtNs);
   driver::RequestContext Ctx(std::move(Opts2));
 
   ServeResult Result;
@@ -159,63 +330,227 @@ ServeResult CompileService::compile(const driver::RequestOptions &Request,
     // preprocessed (annotated) source, the mode and the canonical flag
     // string. Two textually different flag spellings with the same
     // canonical form share an entry; any outcome-relevant difference
-    // changes the key (docs/SERVING.md "Cache invalidation").
+    // changes the key (docs/SERVING.md "Cache invalidation"). The flag
+    // string is built from the request *as submitted* — the clamped
+    // watchdogs above are wall-clock residue, not request identity.
     support::ContentHasher H;
     H.update(Ctx.preprocessedSource());
-    H.update(canonicalFlagString(Ctx.options()));
+    H.update(canonicalFlagString(Request));
     Result.CacheKey = H.hex();
   }
 
   bool WantCache = UseCache && Opts.CacheEnabled && !Result.CacheKey.empty();
-  if (WantCache) {
-    std::string Payload;
-    if (Cache.lookup(Result.CacheKey, Payload)) {
-      support::Json J;
-      std::string JsonError;
-      ServeResult Warm;
-      if (support::Json::parse(Payload, J, JsonError) &&
-          serveResultFromJson(J, Warm)) {
-        Warm.CacheKey = Result.CacheKey;
-        Warm.Cached = true;
-        traceEmit("cache.hit", 0, 0, Result.CacheKey);
-        if (Warm.Ok)
-          ResponsesOk.fetch_add(1, std::memory_order_relaxed);
-        else
-          ResponsesError.fetch_add(1, std::memory_order_relaxed);
-        if (Warm.Degraded)
-          ResponsesDegraded.fetch_add(1, std::memory_order_relaxed);
-        traceEmit("request.end", uint64_t(Warm.ExitCode), 1, Request.Name);
-        return Warm;
+
+  // Releases single-flight leadership on every exit path below.
+  struct FlightGuard {
+    CompileService *S = nullptr;
+    std::string Key;
+    ~FlightGuard() {
+      if (!S)
+        return;
+      {
+        std::lock_guard<std::mutex> L(S->InFlightMu);
+        S->InFlight.erase(Key);
       }
-      // An unparseable payload cannot happen via insert(); treat it as a
-      // miss and overwrite below.
+      S->InFlightCv.notify_all();
+    }
+  } Leader;
+
+  if (WantCache) {
+    // Lookup / single-flight loop: hit → replay; miss with no one else
+    // compiling this key → become the leader and compile; miss while a
+    // leader is in flight → wait and re-check (the leader's insert turns
+    // the re-check into a hit, so concurrent identical requests cost one
+    // compile, not N). A leader whose result was uncacheable wakes the
+    // waiters into electing the next leader, so progress is guaranteed.
+    for (;;) {
+      std::string Payload;
+      if (Cache.lookup(Result.CacheKey, Payload)) {
+        support::Json J;
+        std::string JsonError;
+        ServeResult Warm;
+        if (support::Json::parse(Payload, J, JsonError) &&
+            serveResultFromJson(J, Warm)) {
+          Warm.CacheKey = Result.CacheKey;
+          Warm.Cached = true;
+          traceEmit("cache.hit", 0, 0, Result.CacheKey);
+          countResult(Warm);
+          traceEmit("request.end", uint64_t(Warm.ExitCode), 1, Request.Name);
+          return Warm;
+        }
+        // An unparseable payload cannot happen via insert(); treat it as
+        // a miss and overwrite below.
+      }
+      std::unique_lock<std::mutex> L(InFlightMu);
+      if (!InFlight.count(Result.CacheKey)) {
+        InFlight.insert(Result.CacheKey);
+        Leader.S = this;
+        Leader.Key = Result.CacheKey;
+        break;
+      }
+      if (DeadlineAtNs) {
+        uint64_t Now = support::monotonicNowNs();
+        if (Now >= DeadlineAtNs ||
+            InFlightCv.wait_for(L, std::chrono::nanoseconds(
+                                       DeadlineAtNs - Now)) ==
+                std::cv_status::timeout) {
+          // The budget ran out while queued behind the leader: same
+          // typed expiry as a deadline that fired anywhere else.
+          L.unlock();
+          DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+          traceEmit("request.deadline", 0, 0, Request.Name);
+          ServeResult R =
+              typedResult("deadline", support::ExitWatchdogTimeout,
+                          "deadline expired while waiting for an "
+                          "in-flight identical compile");
+          R.CacheKey = Result.CacheKey;
+          countResult(R);
+          traceEmit("request.end", uint64_t(R.ExitCode), 0, Request.Name);
+          return R;
+        }
+      } else {
+        InFlightCv.wait(L);
+      }
     }
     traceEmit("cache.miss", 0, 0, Result.CacheKey);
   }
 
-  driver::RequestOutcome Outcome = Ctx.execute();
-  Result.Ok = Outcome.Ok;
-  Result.ExitCode = Outcome.ExitCode;
-  Result.Degraded = Outcome.Degraded;
-  Result.Rung = Outcome.Rung;
-  Result.Quarantined = Outcome.Quarantined;
-  Result.Error = Outcome.Error;
-  Result.Report = std::move(Outcome.Report);
-  Result.HasReport = Outcome.HasReport;
-  Result.Lint = std::move(Outcome.Lint);
-  Result.HasLint = Outcome.HasLint;
+  if (Opts.Isolate) {
+    std::string Key = Result.CacheKey;
+    Result = isolatedCompile(Request, DeadlineAtNs);
+    Result.CacheKey = Key;
+  } else {
+    ServeResult Executed = resultFromOutcome(Ctx.execute());
+    Executed.CacheKey = Result.CacheKey;
+    Result = std::move(Executed);
+  }
 
-  if (WantCache)
+  // The service-side deadline guard: whatever the request was doing when
+  // its budget ran out, the caller gets a typed deadline result.
+  bool Expired = DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs;
+  if (Expired && Result.Status.empty()) {
+    DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    traceEmit("request.deadline", uint64_t(Result.ExitCode), 0, Request.Name);
+    std::string Key = Result.CacheKey;
+    Result = typedResult("deadline", support::ExitWatchdogTimeout,
+                         "deadline expired during the compile");
+    Result.CacheKey = Key;
+  }
+
+  // Never cache a service-level disposition (shed/deadline/crash) or a
+  // timing-dependent watchdog expiry of a deadline request: cache entries
+  // must be pure functions of content, and an expired request must not
+  // poison the cache for the identical request asked with more budget.
+  bool Cacheable = WantCache && Result.Status.empty() &&
+                   !(DeadlineAtNs &&
+                     Result.ExitCode == support::ExitWatchdogTimeout);
+  if (Cacheable)
     Cache.insert(Result.CacheKey, serveResultToJson(Result).dump(0));
 
-  if (Result.Ok)
-    ResponsesOk.fetch_add(1, std::memory_order_relaxed);
-  else
-    ResponsesError.fetch_add(1, std::memory_order_relaxed);
-  if (Result.Degraded)
-    ResponsesDegraded.fetch_add(1, std::memory_order_relaxed);
+  countResult(Result);
   traceEmit("request.end", uint64_t(Result.ExitCode), 0, Request.Name);
   return Result;
+}
+
+ServeResult
+CompileService::isolatedCompile(const driver::RequestOptions &Request,
+                                uint64_t DeadlineAtNs) {
+  driver::OptRung Rung = Request.StartRung;
+  bool Descended = false;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    IsolateRequests.fetch_add(1, std::memory_order_relaxed);
+    // The crash failpoint is drawn in the parent (the injector is shared,
+    // service-wide state the child must not touch) and the verdict is
+    // carried across the fork by value.
+    bool InjectCrash = injectFault("serve.worker.crash");
+
+    uint64_t TimeoutMs = Opts.IsolateTimeoutMs;
+    if (DeadlineAtNs) {
+      uint64_t Now = support::monotonicNowNs();
+      uint64_t RemainMs =
+          DeadlineAtNs > Now ? (DeadlineAtNs - Now) / 1000000ull + 1 : 1;
+      TimeoutMs = TimeoutMs ? std::min(TimeoutMs, RemainMs) : RemainMs;
+    }
+
+    driver::RequestOptions ChildOpts = Request;
+    // The child is a fresh single-threaded process: it must not touch the
+    // shared memo (its mutex may be held by another worker at fork time),
+    // and its updates would die with it anyway.
+    ChildOpts.Memo = nullptr;
+    clampWatchdogs(ChildOpts, DeadlineAtNs);
+    if (Descended) {
+      ChildOpts.SelfHeal = true;
+      ChildOpts.StartRung = Rung;
+    }
+
+    driver::SandboxOutcome Out = driver::runInSandbox(
+        [&ChildOpts, InjectCrash](int Fd) -> int {
+          if (InjectCrash)
+            raise(SIGSEGV);
+          driver::RequestContext Ctx(std::move(ChildOpts));
+          ServeResult R = resultFromOutcome(Ctx.execute());
+          std::string Payload = serveResultToJson(R).dump(0);
+          size_t Off = 0;
+          while (Off < Payload.size()) {
+            ssize_t W = write(Fd, Payload.data() + Off, Payload.size() - Off);
+            if (W <= 0)
+              return support::ExitError;
+            Off += static_cast<size_t>(W);
+          }
+          return support::ExitSuccess;
+        },
+        TimeoutMs);
+
+    switch (Out.St) {
+    case driver::SandboxOutcome::Status::SpawnError:
+      return typedResult("crashed", support::ExitWorkerCrash,
+                         "could not spawn an isolated worker");
+    case driver::SandboxOutcome::Status::TimedOut: {
+      IsolateTimeouts.fetch_add(1, std::memory_order_relaxed);
+      traceEmit("worker.timeout", Out.DurationMs, Attempt, Request.Name);
+      bool RequestDeadline =
+          DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs;
+      return typedResult(
+          "deadline", support::ExitWatchdogTimeout,
+          RequestDeadline
+              ? "isolated worker killed at the request deadline"
+              : "isolated worker killed after " +
+                    std::to_string(Out.DurationMs) + "ms (--isolate-timeout)");
+    }
+    case driver::SandboxOutcome::Status::Signaled: {
+      IsolateCrashes.fetch_add(1, std::memory_order_relaxed);
+      traceEmit("worker.crash", uint64_t(Out.Signal), Attempt, Request.Name);
+      bool Expired = DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs;
+      if (Attempt < Opts.IsolateRetries && !Expired) {
+        // The batch driver's recovery move, per request: re-enter the
+        // degradation ladder one rung lower — a crash at full
+        // optimization often clears at a simpler one.
+        IsolateRetries.fetch_add(1, std::memory_order_relaxed);
+        Rung = driver::lowerRung(Rung);
+        Descended = true;
+        continue;
+      }
+      return typedResult(
+          "crashed", support::ExitWorkerCrash,
+          "isolated worker killed by signal " + std::to_string(Out.Signal) +
+              " on attempt " + std::to_string(Attempt + 1) + " at rung " +
+              driver::optRungName(Descended ? Rung : Request.StartRung));
+    }
+    case driver::SandboxOutcome::Status::Exited:
+      break;
+    }
+
+    support::Json J;
+    std::string JsonError;
+    ServeResult R;
+    if (!support::Json::parse(Out.Payload, J, JsonError) ||
+        !serveResultFromJson(J, R))
+      return typedResult("crashed", support::ExitWorkerCrash,
+                         "isolated worker exited (status " +
+                             std::to_string(Out.ExitCode) +
+                             ") without a result payload");
+    return R;
+  }
 }
 
 support::Stats CompileService::statsSnapshot() const {
@@ -227,6 +562,22 @@ support::Stats CompileService::statsSnapshot() const {
         ResponsesError.load(std::memory_order_relaxed));
   S.set("serve.responses.degraded",
         ResponsesDegraded.load(std::memory_order_relaxed));
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    S.set("serve.queue.depth", Queue.size());
+    S.set("serve.queue.peak", QueuePeak);
+  }
+  S.set("serve.queue.shed", QueueShed.load(std::memory_order_relaxed));
+  S.set("serve.deadline.expired",
+        DeadlineExpired.load(std::memory_order_relaxed));
+  S.set("serve.isolate.requests",
+        IsolateRequests.load(std::memory_order_relaxed));
+  S.set("serve.isolate.crashes",
+        IsolateCrashes.load(std::memory_order_relaxed));
+  S.set("serve.isolate.retries",
+        IsolateRetries.load(std::memory_order_relaxed));
+  S.set("serve.isolate.timeouts",
+        IsolateTimeouts.load(std::memory_order_relaxed));
   CacheStats C = Cache.stats();
   S.set("serve.cache.hits", C.Hits);
   S.set("serve.cache.misses", C.Misses);

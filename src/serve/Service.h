@@ -19,6 +19,17 @@
 /// cross-request state is deliberately shareable: the response cache and
 /// the verify memo, both keyed purely on content.
 ///
+/// Overload behavior (docs/SERVING.md §"Operating under load"): submit()
+/// is admission-controlled — past QueueMax queued requests (or once the
+/// service is draining or stopping) a request is *shed* with a typed
+/// ServeResult instead of queueing unboundedly. A request may carry a
+/// wall-clock deadline (RequestOptions::DeadlineNs): the remaining budget
+/// is clamped into the pass/GC/VM watchdogs, a request that expires in
+/// the queue never starts, and an expired result is never cached. With
+/// ServiceOptions::Isolate each cache miss compiles in a forked sandbox
+/// (driver/Isolate.h) so a crashing compile costs one request, not the
+/// process; crashes retry one degradation-ladder rung lower.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCSAFE_SERVE_SERVICE_H
@@ -32,6 +43,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +57,23 @@ struct ServiceOptions {
   bool CacheEnabled = true;
   /// Capacity of the service-level cat="serve" trace ring.
   size_t TraceCapacity = 4096;
+  /// Admission control: submit() sheds (typed "overloaded" result) once
+  /// this many requests are queued. 0 = unbounded (the pre-hardening
+  /// behavior, kept for benchmarking the difference).
+  size_t QueueMax = 256;
+  /// Run each cache-missing compile in a forked sandbox: a SIGSEGV in
+  /// the compiler costs that one request, and crashes retry one ladder
+  /// rung lower (driver/Isolate.h).
+  bool Isolate = false;
+  /// Per-sandbox wall timeout under Isolate (SIGKILL past it; 0 = none).
+  uint64_t IsolateTimeoutMs = 30000;
+  /// Crash retries per request under Isolate, each one rung lower.
+  unsigned IsolateRetries = 1;
+  /// Optional *service-wide* failpoint injector (serve.queue.full,
+  /// serve.worker.crash, serve.conn.stall). Unlike the per-request
+  /// injectors it is shared across threads; the service serializes every
+  /// consult behind a mutex. Must outlive the service. May be null.
+  support::FaultInjector *Faults = nullptr;
 };
 
 /// One request's result as the service reports it: the driver outcome
@@ -57,11 +86,28 @@ struct ServeResult {
   std::string Rung = "full";
   std::vector<std::string> Quarantined;
   std::string CacheKey; ///< Empty when the request was uncacheable.
+  /// Service-level disposition, empty for a normally-executed request:
+  /// "overloaded" (shed at admission), "draining"/"shutdown" (rejected
+  /// by a stopping service), "deadline" (the request's wall-clock budget
+  /// expired), "crashed" (an isolated worker died and retries ran out).
+  /// Never set on a cached payload — these results are not cacheable.
+  std::string Status;
   std::string Error;
   support::Json Report;
   bool HasReport = false;
   support::Json Lint;
   bool HasLint = false;
+};
+
+/// A point-in-time readiness snapshot (the protocol's "health" op).
+struct ServiceHealth {
+  bool Ready = false; ///< Accepting work: not draining/stopping, queue below max.
+  unsigned Workers = 0;
+  size_t QueueDepth = 0;
+  size_t QueueMax = 0;
+  bool Draining = false;
+  bool Stopping = false;
+  bool Isolate = false;
 };
 
 /// The canonical flag string entering the cache key: every
@@ -80,15 +126,41 @@ public:
   explicit CompileService(ServiceOptions Opts = {});
   CompileService(const CompileService &) = delete;
   CompileService &operator=(const CompileService &) = delete;
-  ~CompileService(); ///< Drains the queue and joins the workers.
+  ~CompileService(); ///< stop(): drains the queue and joins the workers.
 
   /// Runs one request on the calling thread (cache consulted first).
+  /// Admission control does not apply, but the request's DeadlineNs does
+  /// (measured from this call).
   ServeResult compile(const driver::RequestOptions &Request,
                       bool UseCache = true);
 
-  /// Enqueues one request for the worker pool.
+  /// Enqueues one request for the worker pool. Admission-controlled: on
+  /// a full queue — or a draining or stopped service — the returned
+  /// future is already resolved to a typed shed result (Status
+  /// "overloaded"/"draining"/"shutdown", exit code ExitOverloaded)
+  /// instead of enqueueing work that would never run.
   std::future<ServeResult> submit(driver::RequestOptions Request,
                                   bool UseCache = true);
+
+  /// Stops admitting new requests; already-queued work still runs.
+  /// waitIdle() then blocks until the queue and the workers are empty —
+  /// the graceful-shutdown pair behind the protocol's "drain" op.
+  void drain();
+  void waitIdle();
+
+  /// Idempotent: rejects new submits, lets the workers drain the queue,
+  /// and joins them. The destructor calls it; a submit that observes the
+  /// stopped service fails fast with a typed result rather than racing
+  /// the teardown.
+  void stop();
+
+  /// Readiness for an external supervisor (the "health" op).
+  ServiceHealth health() const;
+
+  /// One consult of the service-wide failpoint injector (serialized; the
+  /// injector itself is not thread-safe). False when no injector is
+  /// configured. The daemon uses this for serve.conn.stall.
+  bool injectFault(const std::string &Site);
 
   /// The serve.* stats keys (docs/OBSERVABILITY.md §"serve").
   support::Stats statsSnapshot() const;
@@ -104,6 +176,16 @@ private:
   void workerLoop();
   void traceEmit(const char *Name, uint64_t Value, uint64_t Aux,
                  std::string Detail);
+  /// The compile body shared by compile() and the pool: cache lookup,
+  /// deadline bookkeeping, in-process or sandboxed execution, cache
+  /// insert. DeadlineAtNs is the absolute monotonic expiry (0 = none).
+  ServeResult compileAt(const driver::RequestOptions &Request, bool UseCache,
+                        uint64_t DeadlineAtNs);
+  /// One cache-missing compile under Opts.Isolate: forked sandbox,
+  /// SIGKILL deadline, crash retries one rung lower.
+  ServeResult isolatedCompile(const driver::RequestOptions &Request,
+                              uint64_t DeadlineAtNs);
+  void countResult(const ServeResult &R);
 
   ServiceOptions Opts;
   ContentCache Cache;
@@ -112,13 +194,32 @@ private:
   mutable std::mutex TraceMu;
   support::TraceBuffer Trace;
 
+  mutable std::mutex FaultMu; ///< Serializes Opts.Faults consults.
+
   std::atomic<uint64_t> Requests{0}, ResponsesOk{0}, ResponsesError{0},
       ResponsesDegraded{0};
+  std::atomic<uint64_t> QueueShed{0}, DeadlineExpired{0};
+  std::atomic<uint64_t> IsolateRequests{0}, IsolateCrashes{0},
+      IsolateRetries{0}, IsolateTimeouts{0};
 
-  std::mutex QueueMu;
+  /// Single-flight: cache keys a request is currently compiling. A
+  /// concurrent same-key miss waits for the leader and replays its
+  /// cached payload instead of duplicating the compile — this is what
+  /// makes "cold then warm" deterministic even when both requests are
+  /// in flight together, and it keeps a thundering herd of identical
+  /// requests from multiplying load under overload.
+  std::mutex InFlightMu;
+  std::condition_variable InFlightCv;
+  std::set<std::string> InFlight;
+
+  mutable std::mutex QueueMu;
   std::condition_variable QueueCv;
+  std::condition_variable IdleCv;
   std::deque<std::packaged_task<ServeResult()>> Queue;
-  bool Stopping = false;
+  size_t QueuePeak = 0;  ///< Guarded by QueueMu.
+  size_t Active = 0;     ///< Requests a worker is executing; QueueMu.
+  bool Draining = false; ///< Guarded by QueueMu.
+  bool Stopping = false; ///< Guarded by QueueMu.
   std::vector<std::thread> Pool;
 };
 

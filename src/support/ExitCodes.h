@@ -36,8 +36,17 @@ enum ExitCode : int {
   /// optimizer degraded to a lower rung (gcsafe-cc --self-heal).
   ExitDegradedSuccess = 5,
   /// A deadline watchdog expired (--pass-deadline / --gc-deadline /
-  /// --vm-deadline, or a gcsafe-batch per-worker --timeout).
+  /// --vm-deadline, a gcsafe-batch per-worker --timeout, or a serve
+  /// request's deadline_ms).
   ExitWatchdogTimeout = 6,
+  /// The compile service shed the request at admission: the submit queue
+  /// was full, or the service was draining or shutting down. Resubmit
+  /// later; nothing was compiled (serve "overloaded" responses).
+  ExitOverloaded = 7,
+  /// An isolated compile worker died on a signal and retries (if any)
+  /// were exhausted; the crash is attributed to this one request
+  /// (gcsafe-serve --isolate "crashed" responses).
+  ExitWorkerCrash = 8,
 };
 
 inline const char *exitCodeName(int Code) {
@@ -49,6 +58,8 @@ inline const char *exitCodeName(int Code) {
   case ExitMutantEscape: return "mutant-escape";
   case ExitDegradedSuccess: return "degraded-success";
   case ExitWatchdogTimeout: return "watchdog-timeout";
+  case ExitOverloaded: return "overloaded";
+  case ExitWorkerCrash: return "worker-crash";
   }
   return "unknown";
 }

@@ -40,6 +40,20 @@
 ///                           the safety verifier timed out, forcing the
 ///                           conservative degradation-ladder descent.
 ///
+/// The serving layer (docs/SERVING.md, docs/ROBUSTNESS.md §8) consults
+/// three more from a *service-wide* injector (gcsafe-serve --fail-inject;
+/// guarded by a mutex, unlike the per-request injectors above):
+///
+///   serve.queue.full        admission control behaves as if the submit
+///                           queue were at --queue-max: the request is
+///                           shed with a typed "overloaded" response;
+///   serve.worker.crash      an --isolate sandbox raises SIGSEGV before
+///                           compiling, exercising crash attribution and
+///                           the retry-one-rung-lower path;
+///   serve.conn.stall        the daemon sleeps before writing a response,
+///                           simulating a stalled connection against the
+///                           socket write timeout.
+///
 /// An entry may append "xK" (e.g. "@p0.1x3") to cap total fires at K.
 /// The site name "*" arms all sites, present and future.
 ///

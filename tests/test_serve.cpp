@@ -13,9 +13,11 @@
 #include "serve/Protocol.h"
 #include "serve/Service.h"
 #include "support/ExitCodes.h"
+#include "support/FaultInject.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <string>
 #include <vector>
@@ -169,6 +171,31 @@ TEST(ServeCache, EvictionRespectsCap) {
   EXPECT_TRUE(Svc.compile(R).Cached);
 }
 
+// Concurrent identical misses are single-flighted (docs/SERVING.md §3):
+// one leader compiles, every other in-flight twin replays its payload as
+// a hit. Exactly one cold response and one insertion, deterministically —
+// this is also what makes the pipelined --once transport's cold-then-warm
+// sessions reproducible.
+TEST(ServeCache, ConcurrentSameKeyMissesSingleFlight) {
+  ServiceOptions SO;
+  SO.Workers = 4;
+  CompileService Svc(SO);
+  std::vector<std::future<ServeResult>> Futures;
+  for (int I = 0; I < 8; ++I)
+    Futures.push_back(Svc.submit(listRequest()));
+  unsigned Cold = 0, Warm = 0;
+  for (std::future<ServeResult> &F : Futures) {
+    ServeResult R = F.get();
+    ASSERT_TRUE(R.Ok);
+    Cold += R.Cached ? 0 : 1;
+    Warm += R.Cached ? 1 : 0;
+  }
+  EXPECT_EQ(Cold, 1u);
+  EXPECT_EQ(Warm, 7u);
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.cache.insertions"), 1u);
+}
+
 TEST(ServeService, QuarantineDoesNotLeakBetweenRequests) {
   CompileService Svc;
 
@@ -282,6 +309,267 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
   EXPECT_FALSE(parseRequestLine(R"({"op":"reboot"})", Req, Error));
   EXPECT_FALSE(
       parseRequestLine(R"({"schema":"gcsafe-serve-v2"})", Req, Error));
+}
+
+// A compile that never terminates on its own — only a watchdog or a
+// deadline can end it.
+const char *kSpinSource = R"(
+int main(void) {
+  long i;
+  i = 0;
+  while (1) { i = i + 1; }
+  return 0;
+}
+)";
+
+// Satellite regression (docs/SERVING.md §"Operating under load"): a
+// submit racing the service teardown must fail fast with a typed result,
+// never enqueue work the joined pool will not run.
+TEST(ServeOverload, SubmitRejectedAfterStop) {
+  CompileService Svc;
+  Svc.stop();
+  std::future<ServeResult> F = Svc.submit(listRequest());
+  ASSERT_EQ(F.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ServeResult R = F.get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status, "shutdown");
+  EXPECT_EQ(R.ExitCode, support::ExitOverloaded);
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.queue.shed"), 1u);
+  // Sheds are rejected at admission — they never count as requests.
+  EXPECT_EQ(S.get("serve.requests"), 0u);
+}
+
+TEST(ServeOverload, DrainShedsNewWorkAndHealthReflectsIt) {
+  CompileService Svc;
+  ServiceHealth Before = Svc.health();
+  EXPECT_TRUE(Before.Ready);
+  EXPECT_FALSE(Before.Draining);
+
+  Svc.drain();
+  ServiceHealth After = Svc.health();
+  EXPECT_FALSE(After.Ready);
+  EXPECT_TRUE(After.Draining);
+
+  ServeResult R = Svc.submit(listRequest()).get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status, "draining");
+  EXPECT_EQ(R.ExitCode, support::ExitOverloaded);
+  Svc.waitIdle(); // empty queue: must return immediately, not hang
+}
+
+TEST(ServeOverload, QueueFullFailpointShedsTyped) {
+  support::FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(
+      support::FaultInjector::parse("7:serve.queue.full@n1", FI, Error))
+      << Error;
+  ServiceOptions SO;
+  SO.Faults = &FI;
+  CompileService Svc(SO);
+
+  // First submit: the armed failpoint forces the queue-full path.
+  ServeResult Shed = Svc.submit(listRequest()).get();
+  EXPECT_FALSE(Shed.Ok);
+  EXPECT_EQ(Shed.Status, "overloaded");
+  EXPECT_EQ(Shed.ExitCode, support::ExitOverloaded);
+
+  // Second submit: the failpoint has fired; admission is open again.
+  ServeResult R = Svc.submit(listRequest()).get();
+  EXPECT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Status.empty());
+
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.queue.shed"), 1u);
+  EXPECT_EQ(S.get("serve.requests"), 1u);
+  unsigned ShedEvents = 0;
+  for (const support::TraceEvent &E : Svc.traceSnapshot())
+    ShedEvents += std::string(E.Name) == "queue.shed";
+  EXPECT_EQ(ShedEvents, 1u);
+}
+
+TEST(ServeDeadline, ExpiredBeforeStartNeverPoisonsCache) {
+  CompileService Svc;
+  driver::RequestOptions R = listRequest();
+  R.DeadlineNs = 1; // expires before compileAt can possibly start
+  ServeResult Expired = Svc.compile(R);
+  EXPECT_FALSE(Expired.Ok);
+  EXPECT_EQ(Expired.Status, "deadline");
+  EXPECT_EQ(Expired.ExitCode, support::ExitWatchdogTimeout);
+
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.deadline.expired"), 1u);
+  EXPECT_EQ(S.get("serve.cache.insertions"), 0u);
+
+  // The same request with a sane budget must compile cold and cleanly —
+  // the expiry left nothing behind.
+  R.DeadlineNs = 60ull * 1000000000ull;
+  ServeResult Fresh = Svc.compile(R);
+  EXPECT_TRUE(Fresh.Ok);
+  EXPECT_FALSE(Fresh.Cached);
+  EXPECT_TRUE(Fresh.Status.empty());
+}
+
+TEST(ServeDeadline, CutsOffRunawayAndIsNotCached) {
+  CompileService Svc;
+  driver::RequestOptions R = listRequest();
+  R.Source = kSpinSource;
+  R.DeadlineNs = 200ull * 1000000ull; // 200ms against an infinite loop
+  ServeResult A = Svc.compile(R);
+  EXPECT_FALSE(A.Ok);
+  EXPECT_EQ(A.Status, "deadline");
+  EXPECT_EQ(A.ExitCode, support::ExitWatchdogTimeout);
+  // Timing-dependent results of deadline requests are never cached:
+  // the rerun must time out again, not replay a poisoned payload.
+  EXPECT_EQ(Svc.statsSnapshot().get("serve.cache.insertions"), 0u);
+  ServeResult B = Svc.compile(R);
+  EXPECT_FALSE(B.Cached);
+  EXPECT_EQ(B.Status, "deadline");
+}
+
+TEST(ServeDeadline, BudgetIsPartOfTheCacheKey) {
+  CompileService Svc;
+  ServeResult NoBudget = Svc.compile(listRequest());
+  ASSERT_TRUE(NoBudget.Ok);
+
+  driver::RequestOptions R = listRequest();
+  R.DeadlineNs = 60ull * 1000000000ull;
+  ServeResult Budgeted = Svc.compile(R);
+  ASSERT_TRUE(Budgeted.Ok);
+  // A deadline-carrying *success* is content-determined and cacheable,
+  // but under its own key: the budget is part of the request identity.
+  EXPECT_FALSE(Budgeted.Cached);
+  EXPECT_NE(Budgeted.CacheKey, NoBudget.CacheKey);
+  EXPECT_TRUE(Svc.compile(R).Cached);
+}
+
+TEST(ServeIsolate, CrashIsAttributedToTheRequest) {
+  support::FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(
+      support::FaultInjector::parse("7:serve.worker.crash@always", FI, Error))
+      << Error;
+  ServiceOptions SO;
+  SO.Isolate = true;
+  SO.IsolateRetries = 0;
+  SO.Faults = &FI;
+  CompileService Svc(SO);
+
+  ServeResult R = Svc.compile(listRequest());
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Status, "crashed");
+  EXPECT_EQ(R.ExitCode, support::ExitWorkerCrash);
+  EXPECT_NE(R.Error.find("signal"), std::string::npos) << R.Error;
+
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.isolate.crashes"), 1u);
+  EXPECT_EQ(S.get("serve.isolate.retries"), 0u);
+  // Crashes are never cached; the daemon survived by construction.
+  EXPECT_EQ(S.get("serve.cache.insertions"), 0u);
+}
+
+TEST(ServeIsolate, CrashRetriesOneRungLowerAndRecovers) {
+  support::FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(
+      support::FaultInjector::parse("7:serve.worker.crash@n1", FI, Error))
+      << Error;
+  ServiceOptions SO;
+  SO.Isolate = true;
+  SO.IsolateRetries = 1;
+  SO.Faults = &FI;
+  CompileService Svc(SO);
+
+  // Attempt 1 crashes (the @n1 trigger), attempt 2 runs one rung lower
+  // and lands as a degraded success — the batch driver's recovery
+  // policy, now inside the service.
+  ServeResult R = Svc.compile(listRequest());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_EQ(R.ExitCode, support::ExitDegradedSuccess);
+  EXPECT_NE(R.Rung, "full");
+
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.isolate.crashes"), 1u);
+  EXPECT_EQ(S.get("serve.isolate.retries"), 1u);
+  EXPECT_EQ(S.get("serve.isolate.requests"), 2u);
+}
+
+TEST(ServeIsolate, WarmIsByteIdenticalToColdUnderIsolation) {
+  ServiceOptions SO;
+  SO.Isolate = true;
+  CompileService Svc(SO);
+  ServeResult Cold = Svc.compile(listRequest());
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_FALSE(Cold.Cached);
+
+  ServeResult Warm = Svc.compile(listRequest());
+  EXPECT_TRUE(Warm.Cached);
+  // The sandboxed cold path must serialize exactly what the in-process
+  // path would have: the byte-identity contract survives --isolate.
+  EXPECT_EQ(serveResultToJson(Warm).dump(0), serveResultToJson(Cold).dump(0));
+
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_EQ(S.get("serve.isolate.requests"), 1u); // the warm hit never forks
+  EXPECT_EQ(S.get("serve.isolate.crashes"), 0u);
+}
+
+TEST(ServeProtocol, HealthAndDrainOpsParse) {
+  ServeRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(R"({"op":"health","id":"h1"})", Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Op, ServeOp::Health);
+  EXPECT_EQ(Req.Id, "h1");
+  ASSERT_TRUE(parseRequestLine(R"({"op":"drain","id":"d1"})", Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Op, ServeOp::Drain);
+}
+
+TEST(ServeProtocol, DeadlineMsParsesToNanoseconds) {
+  ServeRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(
+      R"({"op":"compile","source":"int main(void){return 0;}",)"
+      R"("deadline_ms":250})",
+      Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Compile.DeadlineNs, 250ull * 1000000ull);
+}
+
+TEST(ServeProtocol, HealthResponseCarriesTheSnapshot) {
+  ServiceHealth H;
+  H.Ready = true;
+  H.Workers = 4;
+  H.QueueDepth = 3;
+  H.QueueMax = 256;
+  H.Isolate = true;
+  support::Json J = buildHealthResponse("h1", H, /*Connections=*/2);
+  std::string Line = J.dump(0);
+  EXPECT_NE(Line.find("\"op\":\"health\""), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"ready\":true"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"workers\":4"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"queue_depth\":3"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"queue_max\":256"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"connections\":2"), std::string::npos) << Line;
+}
+
+TEST(ServeProtocol, StatusRoundTripsAndStaysOffNormalResults) {
+  ServeResult Typed;
+  Typed.Ok = false;
+  Typed.ExitCode = support::ExitOverloaded;
+  Typed.Status = "overloaded";
+  Typed.Error = "queue full";
+  ServeResult Back;
+  ASSERT_TRUE(serveResultFromJson(serveResultToJson(Typed), Back));
+  EXPECT_EQ(Back.Status, "overloaded");
+  EXPECT_EQ(Back.ExitCode, support::ExitOverloaded);
+
+  // A normal result serializes with no status field at all.
+  ServeResult Normal;
+  Normal.Ok = true;
+  EXPECT_EQ(serveResultToJson(Normal).dump(0).find("\"status\""),
+            std::string::npos);
 }
 
 TEST(ServeProtocol, ServeResultJsonRoundTrip) {

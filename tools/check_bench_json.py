@@ -241,7 +241,7 @@ def check_run_report(doc):
 
 BATCH_STATUSES = {"ok", "degraded", "failed"}
 BATCH_OUTCOMES = {"ok", "degraded", "error", "safety", "timeout", "signal",
-                  "usage"}
+                  "usage", "overloaded", "crashed"}
 BATCH_RUNGS = {"full", "quarantined", "peephole", "unoptimized"}
 
 
@@ -317,20 +317,37 @@ def check_batch(doc):
 
 # --- gcsafe-serve-v1 --------------------------------------------------------
 
-SERVE_OPS = {"compile", "stats", "ping", "shutdown", "error"}
+SERVE_OPS = {"compile", "stats", "ping", "health", "drain", "shutdown",
+             "error"}
+
+# Service-level dispositions a compile response may carry in "status"
+# (docs/SERVING.md §"Operating under load"); absent on a normal compile.
+SERVE_STATUSES = {"overloaded", "deadline", "crashed", "draining", "shutdown"}
 
 
 def check_serve_stats(obj, path):
     """The serve.* counter tree: a stats-op "serve" member or a batch
     summary's "service" member (docs/SERVING.md)."""
-    expect_keys(obj, path, ["workers", "requests", "responses", "cache",
-                            "verify_memo"])
+    expect_keys(obj, path, ["workers", "requests", "responses", "queue",
+                            "deadline", "isolate", "cache", "verify_memo"])
     expect_num(obj, path, "workers", integer=True)
     expect_num(obj, path, "requests", integer=True)
     responses = obj["responses"]
     expect_keys(responses, f"{path}.responses", ["ok", "error", "degraded"])
     for key in ("ok", "error", "degraded"):
         expect_num(responses, f"{path}.responses", key, integer=True)
+    queue = obj["queue"]
+    expect_keys(queue, f"{path}.queue", ["depth", "peak", "shed"])
+    for key in ("depth", "peak", "shed"):
+        expect_num(queue, f"{path}.queue", key, integer=True)
+    deadline = obj["deadline"]
+    expect_keys(deadline, f"{path}.deadline", ["expired"])
+    expect_num(deadline, f"{path}.deadline", "expired", integer=True)
+    isolate = obj["isolate"]
+    expect_keys(isolate, f"{path}.isolate",
+                ["requests", "crashes", "retries", "timeouts"])
+    for key in ("requests", "crashes", "retries", "timeouts"):
+        expect_num(isolate, f"{path}.isolate", key, integer=True)
     cache = obj["cache"]
     expect_keys(cache, f"{path}.cache",
                 ["hits", "misses", "insertions", "evictions", "entries",
@@ -365,7 +382,14 @@ def check_serve_response(doc, path="$"):
         expect_keys(doc, path,
                     ["schema", "id", "op", "ok", "cached", "exit_code",
                      "degraded", "rung", "quarantined", "cache_key"],
-                    optional=["error", "report", "lint"])
+                    optional=["status", "error", "report", "lint"])
+        if "status" in doc:
+            expect_str(doc, path, "status")
+            expect(doc["status"] in SERVE_STATUSES, f"{path}.status",
+                   f"unknown status {doc['status']!r} "
+                   f"(known: {', '.join(sorted(SERVE_STATUSES))})")
+            expect(doc["ok"] is False, f"{path}.ok",
+                   "a typed-status compile response must have ok=false")
         for key in ("cached", "degraded"):
             expect(isinstance(doc[key], bool), f"{path}.{key}",
                    "expected a bool")
@@ -397,12 +421,22 @@ def check_serve_response(doc, path="$"):
     elif op == "stats":
         expect_keys(doc, path, ["schema", "id", "op", "ok", "serve"])
         check_serve_stats(doc["serve"], f"{path}.serve")
+    elif op == "health":
+        expect_keys(doc, path,
+                    ["schema", "id", "op", "ok", "ready", "workers",
+                     "queue_depth", "queue_max", "draining", "isolate",
+                     "connections"])
+        for key in ("ready", "draining", "isolate"):
+            expect(isinstance(doc[key], bool), f"{path}.{key}",
+                   "expected a bool")
+        for key in ("workers", "queue_depth", "queue_max", "connections"):
+            expect_num(doc, path, key, integer=True)
     elif op == "error":
         expect_keys(doc, path, ["schema", "id", "op", "ok", "error"])
         expect_str(doc, path, "error")
         expect(doc["ok"] is False, f"{path}.ok",
                "an error response must have ok=false")
-    else:  # ping / shutdown acks carry only the head
+    else:  # ping / drain / shutdown acks carry only the head
         expect_keys(doc, path, ["schema", "id", "op", "ok"])
 
 

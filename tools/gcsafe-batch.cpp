@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/SafetyVerifier.h"
+#include "driver/Isolate.h"
 #include "driver/Pipeline.h"
 #include "driver/SelfHeal.h"
 #include "serve/Service.h"
@@ -237,51 +238,19 @@ struct RunningWorker {
   bool TimedOut = false;
 };
 
-driver::OptRung lowerRung(driver::OptRung R) {
-  switch (R) {
-  case driver::OptRung::Full:
-  case driver::OptRung::Quarantined:
-    return driver::OptRung::PeepholeOnly;
-  case driver::OptRung::PeepholeOnly:
-  case driver::OptRung::Unoptimized:
-    return driver::OptRung::Unoptimized;
-  }
-  return driver::OptRung::Unoptimized;
-}
+// The ladder step, the exit-code triage and the wait-status
+// classification live in driver/Isolate.h now, shared with
+// gcsafe-serve --isolate.
 
-/// Maps a worker exit code to a triage outcome token.
-const char *outcomeForExit(int ExitCode) {
-  switch (ExitCode) {
-  case support::ExitSuccess: return "ok";
-  case support::ExitDegradedSuccess: return "degraded";
-  case support::ExitUsage: return "usage";
-  case support::ExitSafetyViolation:
-  case support::ExitMutantEscape: return "safety";
-  case support::ExitWatchdogTimeout: return "timeout";
-  default: return "error";
-  }
-}
-
-/// Classifies one reaped wait status. "timeout" covers both the parent's
-/// SIGKILL-on-timeout and the worker's own watchdog exit.
+/// Folds one reaped wait status into an attempt record, keeping a detail
+/// line the worker wrote over the classifier's default.
 void classify(int Status, bool TimedOut, AttemptRecord &A) {
-  if (TimedOut) {
-    A.Outcome = "timeout";
-    A.Signal = SIGKILL;
-    if (A.Detail.empty())
-      A.Detail = "killed by batch driver: attempt timeout";
-    return;
-  }
-  if (WIFSIGNALED(Status)) {
-    A.Outcome = "signal";
-    A.Signal = WTERMSIG(Status);
-    if (A.Detail.empty())
-      A.Detail = std::string("killed by signal ") +
-                 std::to_string(WTERMSIG(Status));
-    return;
-  }
-  A.ExitCode = WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
-  A.Outcome = outcomeForExit(A.ExitCode);
+  driver::WaitClassification C = driver::classifyWaitStatus(Status, TimedOut);
+  A.Outcome = C.Outcome;
+  A.ExitCode = C.ExitCode;
+  A.Signal = C.Signal;
+  if (A.Detail.empty())
+    A.Detail = C.DefaultDetail;
 }
 
 std::string readDetail(int Fd) {
@@ -444,7 +413,7 @@ int main(int argc, char **argv) {
         A.DurationMs =
             (support::monotonicNowNs() - StartNs[I]) / 1000000ull;
         A.ExitCode = R.ExitCode;
-        A.Outcome = outcomeForExit(R.ExitCode);
+        A.Outcome = driver::outcomeForExit(R.ExitCode);
         A.Rung = R.Rung;
         std::ostringstream D;
         D << "rung=" << R.Rung << " quarantined=" << R.Quarantined.size();
@@ -540,7 +509,7 @@ int main(int argc, char **argv) {
       // crash or hang at full optimization often clears at a simpler one.
       uint64_t Backoff = O.BackoffMs << S.AttemptIdx;
       S.NotBeforeNs = support::monotonicNowNs() + Backoff * 1000000ull;
-      S.Rung = lowerRung(S.Rung);
+      S.Rung = driver::lowerRung(S.Rung);
       ++S.AttemptIdx;
       return;
     }

@@ -14,16 +14,28 @@
 // state is the content-addressed response cache and the per-function
 // verification memo, both keyed purely on content.
 //
+// The daemon is hardened for hostile and overloaded traffic
+// (docs/SERVING.md §"Operating under load"): the submit queue is bounded
+// (--queue-max, shed requests get typed "overloaded" responses), requests
+// can carry deadlines (deadline_ms, with a daemon-side guard so even a
+// wedged compile answers), --isolate forks each compile into a sandbox so
+// a crash costs one request, connections have read/write timeouts and a
+// max request size, finished connection threads are reaped, and "health"/
+// "drain" ops let a supervisor probe readiness and retire the daemon
+// gracefully.
+//
 //===----------------------------------------------------------------------===//
 
 #include "serve/Protocol.h"
 #include "support/ExitCodes.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,6 +63,29 @@ void usage() {
       "  --no-cache          disable the content-addressed response cache\n"
       "                      (requests may still opt out individually\n"
       "                      with \"cache\": false)\n"
+      "  --queue-max=N       admission control: shed compile requests\n"
+      "                      with a typed \"overloaded\" response once N\n"
+      "                      are queued (default 256, 0 = unbounded)\n"
+      "  --isolate           run each compile in a forked sandbox: a\n"
+      "                      crashing compile costs one request, not the\n"
+      "                      daemon; crashes retry one degradation-ladder\n"
+      "                      rung lower (docs/ROBUSTNESS.md §8)\n"
+      "  --isolate-timeout=MS  per-sandbox wall timeout under --isolate\n"
+      "                      (SIGKILL past it; default 30000, 0 = none)\n"
+      "  --isolate-retries=N crash retries per request under --isolate,\n"
+      "                      each one rung lower (default 1)\n"
+      "  --read-timeout=MS   per-connection socket read timeout; an idle\n"
+      "                      or half-closed client is dropped (default\n"
+      "                      30000, 0 = none)\n"
+      "  --write-timeout=MS  per-connection socket write timeout (default\n"
+      "                      30000, 0 = none)\n"
+      "  --max-request=BYTES drop a connection whose buffered request\n"
+      "                      line exceeds this, after answering with a\n"
+      "                      protocol error (default 4194304)\n"
+      "  --fail-inject=SEED:SPEC  arm the *service-wide* failpoints\n"
+      "                      (serve.queue.full, serve.worker.crash,\n"
+      "                      serve.conn.stall) for chaos testing;\n"
+      "                      per-request fail_inject is separate\n"
       "  --stats             print the serve.* stats keys to stderr on\n"
       "                      exit (docs/SERVING.md)\n");
 }
@@ -63,19 +98,67 @@ bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
   return true;
 }
 
+struct DaemonOptions {
+  uint64_t ReadTimeoutMs = 30000;
+  uint64_t WriteTimeoutMs = 30000;
+  size_t MaxRequestBytes = 4u << 20;
+};
+
+/// Shared between the accept loop and the connection threads.
+struct DaemonState {
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Drain{false};
+  std::atomic<uint64_t> ActiveConns{0};
+};
+
+/// Resolves a compile future under the daemon-side deadline guard: even
+/// if the request wedged somewhere no watchdog covers, the client gets a
+/// typed "deadline" response within the budget plus a small grace.
+serve::ServeResult waitForResult(serve::CompileService &Svc,
+                                 std::future<serve::ServeResult> &F,
+                                 uint64_t DeadlineNs) {
+  (void)Svc;
+  if (DeadlineNs) {
+    uint64_t GraceNs = 500 * 1000000ull;
+    if (F.wait_for(std::chrono::nanoseconds(DeadlineNs + GraceNs)) !=
+        std::future_status::ready) {
+      serve::ServeResult R;
+      R.Ok = false;
+      R.Status = "deadline";
+      R.ExitCode = support::ExitWatchdogTimeout;
+      R.Error = "request exceeded its deadline (daemon guard)";
+      return R;
+    }
+  }
+  return F.get();
+}
+
 /// Handles one already-parsed request against the service. Compile
 /// requests run through the worker pool; the rest answer inline.
-/// Sets \p Shutdown on a shutdown op.
+/// Sets \p Shutdown on a shutdown op, \p Drain on a drain op.
 support::Json handleRequest(serve::CompileService &Svc,
-                            const serve::ServeRequest &Req, bool &Shutdown) {
+                            const serve::ServeRequest &Req,
+                            uint64_t ActiveConns, bool &Shutdown,
+                            bool &Drain) {
   switch (Req.Op) {
-  case serve::ServeOp::Compile:
-    return serve::buildCompileResponse(
-        Req.Id, Svc.submit(Req.Compile, Req.UseCache).get());
+  case serve::ServeOp::Compile: {
+    uint64_t DeadlineNs = Req.Compile.DeadlineNs;
+    std::future<serve::ServeResult> F = Svc.submit(Req.Compile, Req.UseCache);
+    return serve::buildCompileResponse(Req.Id,
+                                       waitForResult(Svc, F, DeadlineNs));
+  }
   case serve::ServeOp::Stats:
     return serve::buildStatsResponse(Req.Id, Svc.statsSnapshot());
   case serve::ServeOp::Ping:
     return serve::buildAckResponse(Req.Id, "ping");
+  case serve::ServeOp::Health:
+    return serve::buildHealthResponse(Req.Id, Svc.health(), ActiveConns);
+  case serve::ServeOp::Drain:
+    // Stop admitting first, then ack: a compile racing the drain gets a
+    // typed "draining" result, never silently-dropped work.
+    Svc.drain();
+    Drain = true;
+    return serve::buildAckResponse(Req.Id, "drain");
   case serve::ServeOp::Shutdown:
     Shutdown = true;
     return serve::buildAckResponse(Req.Id, "shutdown");
@@ -92,6 +175,7 @@ int runOnce(serve::CompileService &Svc) {
     support::Json Response;           ///< Valid when Ready.
     std::future<serve::ServeResult> F; ///< Valid when !Ready && IsCompile.
     bool IsCompile = false;
+    uint64_t DeadlineNs = 0;
     std::string Id;
     serve::ServeOp Op = serve::ServeOp::Ping;
   };
@@ -107,14 +191,23 @@ int runOnce(serve::CompileService &Svc) {
     if (!serve::parseRequestLine(Line, Req, Error)) {
       P.Ready = true;
       P.Response = serve::buildErrorResponse(Req.Id, Error);
+    } else if (Req.Op == serve::ServeOp::Health) {
+      // Readiness is a point-in-time property: answer with the state at
+      // read time, not after the whole batch resolved.
+      P.Ready = true;
+      P.Response = serve::buildHealthResponse(Req.Id, Svc.health(), 0);
     } else if (Req.Op == serve::ServeOp::Compile) {
       P.IsCompile = true;
       P.Id = Req.Id;
+      P.DeadlineNs = Req.Compile.DeadlineNs;
       P.F = Svc.submit(Req.Compile, Req.UseCache);
     } else {
       P.Id = Req.Id;
       P.Op = Req.Op;
-      if (Req.Op == serve::ServeOp::Shutdown)
+      if (Req.Op == serve::ServeOp::Drain)
+        Svc.drain(); // queued compiles still finish; new ones are shed
+      if (Req.Op == serve::ServeOp::Shutdown ||
+          Req.Op == serve::ServeOp::Drain)
         Shutdown = true; // stop reading; pending compiles still finish
     }
     Order.push_back(std::move(P));
@@ -124,12 +217,15 @@ int runOnce(serve::CompileService &Svc) {
     if (P.Ready)
       Response = std::move(P.Response);
     else if (P.IsCompile)
-      Response = serve::buildCompileResponse(P.Id, P.F.get());
+      Response = serve::buildCompileResponse(
+          P.Id, waitForResult(Svc, P.F, P.DeadlineNs));
     else if (P.Op == serve::ServeOp::Stats)
       Response = serve::buildStatsResponse(P.Id, Svc.statsSnapshot());
     else
       Response = serve::buildAckResponse(
-          P.Id, P.Op == serve::ServeOp::Shutdown ? "shutdown" : "ping");
+          P.Id, P.Op == serve::ServeOp::Shutdown ? "shutdown"
+                : P.Op == serve::ServeOp::Drain  ? "drain"
+                                                 : "ping");
     std::fputs(Response.dump(0).c_str(), stdout);
     std::fputc('\n', stdout);
   }
@@ -137,46 +233,102 @@ int runOnce(serve::CompileService &Svc) {
   return support::ExitSuccess;
 }
 
-/// One connection: read lines, answer each in order. Returns true when
-/// the client asked for a daemon shutdown.
-bool serveConnection(serve::CompileService &Svc, int Fd) {
+void setSocketTimeouts(int Fd, const DaemonOptions &DO) {
+  auto Set = [Fd](int Opt, uint64_t Ms) {
+    if (!Ms)
+      return;
+    timeval Tv{};
+    Tv.tv_sec = static_cast<time_t>(Ms / 1000);
+    Tv.tv_usec = static_cast<suseconds_t>((Ms % 1000) * 1000);
+    setsockopt(Fd, SOL_SOCKET, Opt, &Tv, sizeof(Tv));
+  };
+  Set(SO_RCVTIMEO, DO.ReadTimeoutMs);
+  Set(SO_SNDTIMEO, DO.WriteTimeoutMs);
+}
+
+/// Writes one response line, honoring the serve.conn.stall failpoint
+/// (sleep before the write, so the socket write timeout and the client's
+/// read path see a stalled daemon). False when the client is gone or the
+/// write timed out.
+bool writeResponse(serve::CompileService &Svc, int Fd, std::string Text) {
+  if (Svc.injectFault("serve.conn.stall"))
+    usleep(100000);
+  Text.push_back('\n');
+  size_t Off = 0;
+  while (Off < Text.size()) {
+    ssize_t W = write(Fd, Text.data() + Off, Text.size() - Off);
+    if (W <= 0)
+      return false;
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// One connection: read lines, answer each in order. A read timeout, a
+/// half-closed or vanished client, or an oversized request line ends the
+/// connection; none of them touch the daemon. Sets the daemon-wide stop
+/// and drain flags through \p State.
+void serveConnection(serve::CompileService &Svc, int Fd,
+                     const DaemonOptions &DO, DaemonState &State) {
   std::string Buffer;
   char Chunk[4096];
-  bool Shutdown = false;
   for (;;) {
     size_t NL;
     while ((NL = Buffer.find('\n')) == std::string::npos) {
+      if (DO.MaxRequestBytes && Buffer.size() > DO.MaxRequestBytes) {
+        // Answer once with a protocol error, then hang up: a client
+        // streaming an unbounded line cannot hold memory hostage.
+        writeResponse(Svc, Fd,
+                      serve::buildErrorResponse(
+                          "", "request line exceeds " +
+                                  std::to_string(DO.MaxRequestBytes) +
+                                  " bytes")
+                          .dump(0));
+        return;
+      }
       ssize_t N = read(Fd, Chunk, sizeof(Chunk));
-      if (N <= 0)
-        return Shutdown;
+      if (N <= 0) // EOF, error, or SO_RCVTIMEO expiry (EAGAIN)
+        return;
       Buffer.append(Chunk, static_cast<size_t>(N));
     }
     std::string Line = Buffer.substr(0, NL);
     Buffer.erase(0, NL + 1);
+    if (DO.MaxRequestBytes && Line.size() > DO.MaxRequestBytes) {
+      // The newline can land in the same chunk that crossed the cap, so
+      // a completed line needs the same rejection as a streaming one.
+      writeResponse(Svc, Fd,
+                    serve::buildErrorResponse(
+                        "", "request line exceeds " +
+                                std::to_string(DO.MaxRequestBytes) +
+                                " bytes")
+                        .dump(0));
+      return;
+    }
     if (Line.empty())
       continue;
     serve::ServeRequest Req;
     std::string Error;
     support::Json Response;
+    bool Shutdown = false, Drain = false;
     if (!serve::parseRequestLine(Line, Req, Error))
       Response = serve::buildErrorResponse(Req.Id, Error);
     else
-      Response = handleRequest(Svc, Req, Shutdown);
-    std::string Text = Response.dump(0);
-    Text.push_back('\n');
-    size_t Off = 0;
-    while (Off < Text.size()) {
-      ssize_t W = write(Fd, Text.data() + Off, Text.size() - Off);
-      if (W <= 0)
-        return Shutdown;
-      Off += static_cast<size_t>(W);
+      Response = handleRequest(Svc, Req, State.ActiveConns.load(), Shutdown,
+                               Drain);
+    bool Wrote = writeResponse(Svc, Fd, Response.dump(0));
+    if (Shutdown || Drain) {
+      if (Drain)
+        State.Drain.store(true);
+      State.Stop.store(true);
+      return;
     }
-    if (Shutdown)
-      return true;
+    if (!Wrote)
+      return;
   }
 }
 
-int runDaemon(serve::CompileService &Svc, const std::string &SocketPath) {
+int runDaemon(serve::CompileService &Svc, const std::string &SocketPath,
+              const DaemonOptions &DO) {
   int ListenFd = socket(AF_UNIX, SOCK_STREAM, 0);
   if (ListenFd < 0) {
     std::perror("gcsafe-serve: socket");
@@ -200,26 +352,54 @@ int runDaemon(serve::CompileService &Svc, const std::string &SocketPath) {
   std::fprintf(stderr, "gcsafe-serve: listening on %s (%u worker(s))\n",
                SocketPath.c_str(), Svc.options().Workers);
 
-  std::atomic<bool> Stop{false};
-  std::vector<std::thread> Connections;
-  while (!Stop.load()) {
+  DaemonState State;
+  struct Conn {
+    std::thread T;
+    std::shared_ptr<std::atomic<bool>> Done;
+  };
+  std::vector<Conn> Connections;
+  // Reap finished connection threads so a long-lived daemon does not
+  // accumulate one joinable std::thread per connection ever accepted.
+  auto Reap = [&Connections](bool JoinAll) {
+    for (size_t I = 0; I < Connections.size();) {
+      if (JoinAll || Connections[I].Done->load()) {
+        Connections[I].T.join();
+        Connections.erase(Connections.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+  };
+
+  while (!State.Stop.load()) {
     int Fd = accept(ListenFd, nullptr, nullptr);
     if (Fd < 0) {
-      if (Stop.load())
+      if (State.Stop.load())
         break;
       continue;
     }
-    Connections.emplace_back([&Svc, &Stop, &SocketPath, ListenFd, Fd] {
-      if (serveConnection(Svc, Fd)) {
-        Stop.store(true);
-        // Unblock accept() so the main loop can exit.
-        shutdown(ListenFd, SHUT_RDWR);
-      }
+    Reap(false);
+    setSocketTimeouts(Fd, DO);
+    auto Done = std::make_shared<std::atomic<bool>>(false);
+    Conn C;
+    C.Done = Done;
+    C.T = std::thread([&Svc, &DO, &State, ListenFd, Fd, Done] {
+      State.ActiveConns.fetch_add(1);
+      serveConnection(Svc, Fd, DO, State);
       close(Fd);
+      State.ActiveConns.fetch_sub(1);
+      if (State.Stop.load())
+        shutdown(ListenFd, SHUT_RDWR); // unblock accept()
+      Done->store(true);
     });
+    Connections.push_back(std::move(C));
   }
-  for (std::thread &T : Connections)
-    T.join();
+  Reap(true);
+  if (State.Drain.load()) {
+    // Graceful retirement: the service already sheds new work ("draining"
+    // responses); wait for the queued requests to finish before exiting.
+    Svc.waitIdle();
+  }
   close(ListenFd);
   unlink(SocketPath.c_str());
   return support::ExitSuccess;
@@ -229,6 +409,8 @@ int runDaemon(serve::CompileService &Svc, const std::string &SocketPath) {
 
 int main(int argc, char **argv) {
   serve::ServiceOptions SO;
+  DaemonOptions DO;
+  support::FaultInjector ServiceFaults;
   std::string SocketPath;
   bool Once = false, PrintStats = false;
 
@@ -253,6 +435,28 @@ int main(int argc, char **argv) {
       }
     } else if (!std::strcmp(Arg, "--no-cache")) {
       SO.CacheEnabled = false;
+    } else if (startsWith(Arg, "--queue-max=", Rest)) {
+      SO.QueueMax = std::strtoull(Rest, nullptr, 10);
+    } else if (!std::strcmp(Arg, "--isolate")) {
+      SO.Isolate = true;
+    } else if (startsWith(Arg, "--isolate-timeout=", Rest)) {
+      SO.IsolateTimeoutMs = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--isolate-retries=", Rest)) {
+      SO.IsolateRetries =
+          static_cast<unsigned>(std::strtoul(Rest, nullptr, 10));
+    } else if (startsWith(Arg, "--read-timeout=", Rest)) {
+      DO.ReadTimeoutMs = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--write-timeout=", Rest)) {
+      DO.WriteTimeoutMs = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--max-request=", Rest)) {
+      DO.MaxRequestBytes = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--fail-inject=", Rest)) {
+      std::string Error;
+      if (!support::FaultInjector::parse(Rest, ServiceFaults, Error)) {
+        std::fprintf(stderr, "bad --fail-inject spec: %s\n", Error.c_str());
+        return support::ExitUsage;
+      }
+      SO.Faults = &ServiceFaults;
     } else if (!std::strcmp(Arg, "--stats")) {
       PrintStats = true;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
@@ -273,7 +477,7 @@ int main(int argc, char **argv) {
   }
 
   serve::CompileService Svc(SO);
-  int Code = Once ? runOnce(Svc) : runDaemon(Svc, SocketPath);
+  int Code = Once ? runOnce(Svc) : runDaemon(Svc, SocketPath, DO);
   if (PrintStats) {
     support::Stats S = Svc.statsSnapshot();
     for (const support::Stats::Entry &E : S.entries())

@@ -4,8 +4,9 @@
 Drives one session — ping, a cold compile, the same compile warm, stats,
 shutdown — through either transport:
 
-  serve_client_test.py --once   --serve-bin BIN --source FILE --out FILE
-  serve_client_test.py --socket --serve-bin BIN --source FILE --out FILE
+  serve_client_test.py --once    --serve-bin BIN --source FILE --out FILE
+  serve_client_test.py --socket  --serve-bin BIN --source FILE --out FILE
+  serve_client_test.py --hygiene --serve-bin BIN --source FILE --out FILE
 
 and asserts the serving contract (docs/SERVING.md): the warm response is
 served from the cache, byte-identical to the cold response apart from the
@@ -15,6 +16,14 @@ cache is shared across clients, and the daemon must exit 0 after the
 shutdown op. Every response line is written to --out so the ctest wiring
 can validate the session against the gcsafe-serve-v1 schema with
 check_bench_json.py --serve.
+
+--hygiene exercises the protocol-robustness surface against a daemon
+with a small --max-request and short socket timeouts
+(docs/SERVING.md §"Operating under load"): a health round trip, an
+oversized request line (typed protocol error, then hangup), a truncated
+NDJSON line (typed error, connection still usable), a mid-line
+disconnect (no response owed, daemon unharmed), and finally a drain that
+must ack, finish queued work, and exit the daemon with code 0.
 
 Exits nonzero with a message on the first violated expectation.
 """
@@ -170,6 +179,118 @@ def run_socket(args, requests):
                 daemon.wait()
 
 
+def run_hygiene(args, requests):
+    """Protocol robustness against a live daemon: hostile inputs get
+    typed errors (or a clean hangup), the daemon survives all of them,
+    and drain retires it with exit code 0."""
+    del requests  # hygiene builds its own traffic
+    source = Path(args.source).read_text()
+    lines = []
+    with tempfile.TemporaryDirectory(prefix="gcsafe-", dir="/tmp") as tmp:
+        path = os.path.join(tmp, "serve.sock")
+        daemon = subprocess.Popen(
+            [args.serve_bin, f"--socket={path}", "--workers=2",
+             "--max-request=8192", "--read-timeout=3000",
+             "--write-timeout=3000"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(path):
+                if time.monotonic() > deadline:
+                    fail("daemon never created the socket")
+                if daemon.poll() is not None:
+                    fail(f"daemon exited early with {daemon.returncode}")
+                time.sleep(0.05)
+
+            def fresh():
+                conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                conn.settimeout(30)
+                conn.connect(path)
+                return conn
+
+            # Health round trip: the daemon reports itself ready.
+            with fresh() as c:
+                line = ask(c, {"schema": "gcsafe-serve-v1",
+                               "op": "health", "id": "health-1"})
+                lines.append(line)
+                health = json.loads(line)
+                if not (health["ok"] and health["ready"]
+                        and health["op"] == "health"):
+                    fail(f"daemon not healthy at start: {health}")
+
+            # Oversized request line: a typed protocol error, then the
+            # daemon hangs up on the connection.
+            with fresh() as c:
+                c.sendall(b'{"op":"compile","source":"' + b"x" * 9000 +
+                          b'"}\n')
+                buf = b""
+                while not buf.endswith(b"\n"):
+                    chunk = c.recv(65536)
+                    if not chunk:
+                        fail("oversized request got no error response")
+                    buf += chunk
+                line = buf.decode().rstrip("\n")
+                lines.append(line)
+                resp = json.loads(line)
+                if resp["ok"] or resp["op"] != "error" \
+                        or "exceeds" not in resp["error"]:
+                    fail(f"oversized request not typed-rejected: {resp}")
+                if c.recv(65536) != b"":
+                    fail("daemon kept the oversized connection open")
+
+            # Truncated NDJSON: a typed error, and the *same* connection
+            # still serves a well-formed request afterwards.
+            with fresh() as c:
+                c.sendall(b'{"op":"compile","source": truncated\n')
+                resp = json.loads(read_line(c))
+                lines.append(json.dumps(resp))
+                if resp["ok"] or resp["op"] != "error":
+                    fail(f"truncated line not typed-rejected: {resp}")
+                line = ask(c, {"schema": "gcsafe-serve-v1", "op": "ping",
+                               "id": "after-garbage"})
+                lines.append(line)
+                if not json.loads(line)["ok"]:
+                    fail("connection unusable after a truncated line")
+
+            # Mid-line disconnect: half a document, then gone. No
+            # response is owed; the daemon must simply shrug it off.
+            with fresh() as c:
+                c.sendall(b'{"op":"compile","source":"int ma')
+            time.sleep(0.2)
+            if daemon.poll() is not None:
+                fail(f"daemon died on a mid-line disconnect "
+                     f"(exit {daemon.returncode})")
+
+            # Real work still flows after the abuse.
+            with fresh() as c:
+                line = ask(c, {"schema": "gcsafe-serve-v1", "op": "compile",
+                               "id": "post-abuse", "name": "post-abuse",
+                               "source": source, "mode": "safepost",
+                               "run": True})
+                lines.append(line)
+                resp = json.loads(line)
+                if not resp["ok"] or resp["exit_code"] != 0:
+                    fail(f"compile failed after hostile traffic: {resp}")
+
+            # Drain: ack, finish the (empty) queue, exit 0, no socket.
+            with fresh() as c:
+                line = ask(c, {"schema": "gcsafe-serve-v1", "op": "drain",
+                               "id": "drain-1"})
+                lines.append(line)
+                if not json.loads(line)["ok"]:
+                    fail(f"drain not acked: {line}")
+            code = daemon.wait(timeout=30)
+            if code != 0:
+                fail(f"daemon exited {code} after drain, expected 0")
+            if os.path.exists(path):
+                fail("daemon left its socket behind after drain")
+            return lines
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     transport = parser.add_mutually_exclusive_group(required=True)
@@ -177,6 +298,9 @@ def main():
                            help="drive gcsafe-serve --once over stdin")
     transport.add_argument("--socket", action="store_true",
                            help="drive a gcsafe-serve unix-socket daemon")
+    transport.add_argument("--hygiene", action="store_true",
+                           help="hostile-input and drain/health checks "
+                                "against a daemon with small limits")
     parser.add_argument("--serve-bin", required=True,
                         help="path to the gcsafe-serve binary")
     parser.add_argument("--source", required=True,
@@ -185,6 +309,13 @@ def main():
                         help="write the raw response lines here (for "
                              "check_bench_json.py --serve)")
     args = parser.parse_args()
+
+    if args.hygiene:
+        lines = run_hygiene(args, None)
+        Path(args.out).write_text("".join(l + "\n" for l in lines))
+        print(f"serve_client_test: ok (--hygiene, {len(lines)} responses, "
+              "hostile inputs contained, drain exit verified)")
+        return 0
 
     source = Path(args.source).read_text()
     requests = build_requests(source)

@@ -233,7 +233,61 @@ bool writeServeReport() {
 
   bool OverloadOk = writeOverloadRows(Report);
 
+  // --- Request-latency percentiles (docs/OBSERVABILITY.md §8) ---
+  // The *_ns percentiles are gate-ignored timing noise; the gated
+  // verdicts are the telemetry invariants: every request that entered
+  // the service is accounted for in the e2e histogram, per-stage counts
+  // are deterministic, the buckets sum to the count, and the percentile
+  // ladder is ordered.
+  support::Json M = Svc.metricsSnapshot();
+  bool HistOk = true, Ordered = true;
+  uint64_t E2ECount = 0, CompileCount = 0;
+  uint64_t E2EP50 = 0, E2EP99 = 0;
+  auto histU64 = [](const support::Json &H, const char *Key) {
+    const support::Json *V = H.get(Key);
+    return V ? uint64_t(V->asInt()) : 0ull;
+  };
+  Report.row("latency");
+  if (const support::Json *Stages = M.get("stages")) {
+    for (const auto &KV : Stages->members()) {
+      const std::string &Stage = KV.first;
+      const support::Json &H = KV.second;
+      uint64_t Count = histU64(H, "count");
+      uint64_t P50 = histU64(H, "p50_ns");
+      uint64_t P90 = histU64(H, "p90_ns");
+      uint64_t P99 = histU64(H, "p99_ns");
+      uint64_t Max = histU64(H, "max_ns");
+      uint64_t BucketSum = 0;
+      if (const support::Json *Buckets = H.get("buckets"))
+        for (size_t I = 0; I < Buckets->size(); ++I)
+          BucketSum += histU64(Buckets->at(I), "count");
+      HistOk = HistOk && BucketSum == Count;
+      Ordered = Ordered && P50 <= P90 && P90 <= P99 && P99 <= Max;
+      if (Stage == "e2e") {
+        E2ECount = Count;
+        E2EP50 = P50;
+        E2EP99 = P99;
+      } else if (Stage == "compile") {
+        CompileCount = Count;
+      }
+      Report.metric((Stage + "_p50_ns").c_str(), P50);
+      Report.metric((Stage + "_p99_ns").c_str(), P99);
+      Report.metric((Stage + "_max_ns").c_str(), Max);
+    }
+  }
   support::Stats S = Svc.statsSnapshot();
+  bool CountMatches = E2ECount == S.get("serve.requests");
+  Report.metric("e2e_count", E2ECount);
+  Report.metric("compile_count", CompileCount);
+  Report.metric("hist_ok", uint64_t(HistOk ? 1 : 0));
+  Report.metric("ordered", uint64_t(Ordered ? 1 : 0));
+  Report.metric("count_matches_requests", uint64_t(CountMatches ? 1 : 0));
+  bool TelemetryOk = HistOk && Ordered && CountMatches;
+  std::printf("latency: e2e p50 %.0fus p99 %.0fus over %llu requests%s\n",
+              E2EP50 / 1e3, E2EP99 / 1e3,
+              static_cast<unsigned long long>(E2ECount),
+              TelemetryOk ? "" : "  NOT-OK");
+
   bool SpeedupOk = MinSpeedup >= 5.0;
   Report.row("total");
   Report.metric("requests", S.get("serve.requests"));
@@ -247,7 +301,7 @@ bool writeServeReport() {
 
   std::printf("min speedup: %.1fx (bar: 5x); warm==cold bytes: %s\n",
               MinSpeedup, AllIdentical ? "yes" : "NO");
-  return AllOk && AllIdentical && SpeedupOk && OverloadOk;
+  return AllOk && AllIdentical && SpeedupOk && OverloadOk && TelemetryOk;
 }
 
 } // namespace

@@ -41,6 +41,12 @@ namespace driver {
 /// returned, not written to files).
 struct RequestOptions {
   std::string Name = "<request>";
+  /// Service-level trace identity (the serve protocol's request_id):
+  /// client-supplied or generated at admission, echoed back on the
+  /// response and stamped on every telemetry event the request produces.
+  /// Deliberately NOT part of the cache key (serve::canonicalFlagString)
+  /// — two requests differing only in id must share a cache entry.
+  std::string RequestId;
   std::string Source;
   CompileMode Mode = CompileMode::O2Safe;
   annotate::AnnotatorOptions Annot;

@@ -67,6 +67,10 @@ bool gcsafe::serve::parseRequestLine(const std::string &Line,
     Out.Op = ServeOp::Stats;
     return true;
   }
+  if (Op == "metrics") {
+    Out.Op = ServeOp::Metrics;
+    return true;
+  }
   if (Op == "ping") {
     Out.Op = ServeOp::Ping;
     return true;
@@ -95,6 +99,9 @@ bool gcsafe::serve::parseRequestLine(const std::string &Line,
     return false;
   }
   getString(J, "name", R.Name);
+  // The trace identity (docs/OBSERVABILITY.md §8). Optional; the service
+  // generates one when absent, and the response always echoes it.
+  getString(J, "request_id", R.RequestId);
 
   std::string Mode;
   if (getString(J, "mode", Mode) && !driver::parseCompileModeName(Mode, R.Mode)) {
@@ -180,6 +187,8 @@ Json responseHead(const std::string &Id, const char *Op, bool Ok) {
 Json gcsafe::serve::buildCompileResponse(const std::string &Id,
                                          const ServeResult &R) {
   Json J = responseHead(Id, "compile", R.Ok);
+  if (!R.RequestId.empty())
+    J["request_id"] = Json::string(R.RequestId);
   J["cached"] = Json::boolean(R.Cached);
   J["exit_code"] = Json::integer(int64_t(R.ExitCode));
   J["degraded"] = Json::boolean(R.Degraded);
@@ -208,6 +217,13 @@ Json gcsafe::serve::buildStatsResponse(const std::string &Id,
     J["serve"] = *Serve;
   else
     J["serve"] = Json::object();
+  return J;
+}
+
+Json gcsafe::serve::buildMetricsResponse(const std::string &Id,
+                                         const support::Json &Metrics) {
+  Json J = responseHead(Id, "metrics", true);
+  J["metrics"] = Metrics;
   return J;
 }
 

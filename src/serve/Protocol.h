@@ -11,14 +11,16 @@
 /// docs/SERVING.md §"The gcsafe-serve-v1 protocol"; this header is the
 /// implementation.
 ///
-/// Requests: {"op":"compile"|"stats"|"ping"|"health"|"drain"|"shutdown",
-/// "id":..., and for compile the request payload (name/source/mode/flags,
-/// optionally deadline_ms)}. Responses always carry schema/id/op/ok; a
-/// compile response adds cached/exit_code/rung/cache_key and the embedded
-/// reports, plus a "status" token when the service disposed of the
-/// request without a normal compile (overloaded/deadline/crashed/
-/// draining/shutdown). "health" answers with a readiness snapshot;
-/// "drain" asks the daemon to stop accepting and exit once idle.
+/// Requests: {"op":"compile"|"stats"|"metrics"|"ping"|"health"|"drain"|
+/// "shutdown", "id":..., and for compile the request payload
+/// (name/source/mode/flags, optionally deadline_ms and a client
+/// request_id)}. Responses always carry schema/id/op/ok; a compile
+/// response adds request_id/cached/exit_code/rung/cache_key and the
+/// embedded reports, plus a "status" token when the service disposed of
+/// the request without a normal compile (overloaded/deadline/crashed/
+/// draining/shutdown). "metrics" answers with the gcsafe-metrics-v1
+/// latency snapshot; "health" answers with a readiness snapshot; "drain"
+/// asks the daemon to stop accepting and exit once idle.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +37,7 @@ namespace serve {
 enum class ServeOp {
   Compile,
   Stats,
+  Metrics,
   Ping,
   Health,
   Drain,
@@ -60,6 +63,10 @@ support::Json buildCompileResponse(const std::string &Id,
 /// A stats response: the serve.* keys nested as a JSON tree.
 support::Json buildStatsResponse(const std::string &Id,
                                  const support::Stats &S);
+/// A metrics response: the embedded gcsafe-metrics-v1 snapshot
+/// (CompileService::metricsSnapshot).
+support::Json buildMetricsResponse(const std::string &Id,
+                                   const support::Json &Metrics);
 /// ping/drain/shutdown acknowledgements.
 support::Json buildAckResponse(const std::string &Id, const char *Op);
 /// A health response: the service readiness snapshot plus the daemon's

@@ -7,6 +7,7 @@
 #include "support/Hash.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <sstream>
@@ -97,6 +98,22 @@ bool gcsafe::serve::serveResultFromJson(const support::Json &J,
 
 namespace {
 
+/// Pool worker index of the current thread (0 = a caller thread, e.g.
+/// compile() or a test): stamps flight-recorder events so the Chrome
+/// export gets one track per worker.
+thread_local uint32_t CurrentWorker = 0;
+
+/// A request id reduced to filename-safe characters for the flight-dump
+/// path (the client controls the id; it must not traverse directories).
+std::string fsSafeId(const std::string &Rid) {
+  std::string Out = Rid.empty() ? "unnamed" : Rid;
+  for (char &C : Out)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '.' &&
+        C != '_' && C != '-')
+      C = '_';
+  return Out;
+}
+
 /// Lifts a driver outcome into the service's result shape.
 ServeResult resultFromOutcome(driver::RequestOutcome &&Outcome) {
   ServeResult R;
@@ -139,12 +156,16 @@ void clampWatchdogs(driver::RequestOptions &O, uint64_t DeadlineAtNs) {
 } // namespace
 
 CompileService::CompileService(ServiceOptions O)
-    : Opts(O), Cache(O.CacheMaxEntries),
-      Trace(O.TraceCapacity ? O.TraceCapacity : 4096) {
+    : Opts(O), Cache(O.CacheMaxEntries), StartNs(support::monotonicNowNs()),
+      Trace(O.TraceCapacity ? O.TraceCapacity : 4096),
+      Flight(O.FlightCapacity ? O.FlightCapacity : 2048) {
   unsigned N = Opts.Workers ? Opts.Workers : 1;
   Pool.reserve(N);
   for (unsigned I = 0; I < N; ++I)
-    Pool.emplace_back([this] { workerLoop(); });
+    Pool.emplace_back([this, I] {
+      CurrentWorker = I + 1; // 0 is reserved for caller threads.
+      workerLoop();
+    });
 }
 
 CompileService::~CompileService() { stop(); }
@@ -224,15 +245,18 @@ void CompileService::workerLoop() {
 std::future<ServeResult>
 CompileService::submit(driver::RequestOptions Request, bool UseCache) {
   // The deadline clock starts at submission: time spent queued counts
-  // against the request's budget.
-  uint64_t DeadlineAtNs =
-      Request.DeadlineNs ? support::monotonicNowNs() + Request.DeadlineNs : 0;
+  // against the request's budget — so does the queue-wait histogram.
+  uint64_t SubmitNs = support::monotonicNowNs();
+  uint64_t DeadlineAtNs = Request.DeadlineNs ? SubmitNs + Request.DeadlineNs : 0;
   bool Injected = injectFault("serve.queue.full");
   std::string Name = Request.Name;
+  std::string TraceId = assignRequestId(Request);
+  std::string Rid = Request.RequestId;
 
   std::packaged_task<ServeResult()> Task(
-      [this, Request = std::move(Request), UseCache, DeadlineAtNs]() mutable {
-        return compileAt(Request, UseCache, DeadlineAtNs);
+      [this, Request = std::move(Request), UseCache, DeadlineAtNs, SubmitNs,
+       TraceId]() mutable {
+        return compileAt(Request, UseCache, DeadlineAtNs, SubmitNs, TraceId);
       });
   std::future<ServeResult> F = Task.get_future();
 
@@ -269,11 +293,21 @@ CompileService::submit(driver::RequestOptions Request, bool UseCache) {
   // counts as executed (serve.requests counts work, serve.queue.shed
   // counts refusals).
   QueueShed.fetch_add(1, std::memory_order_relaxed);
-  traceEmit("queue.shed", 0, 0, Name + ": " + Why);
+  traceEmit("queue.shed", 0, 0, TraceId + " " + Name + ": " + Why);
+  Flight.record("serve", "queue.shed", TraceId, 0, CurrentWorker);
   std::promise<ServeResult> P;
-  P.set_value(typedResult(Shed, support::ExitOverloaded,
-                          "request shed: " + Why));
+  ServeResult R =
+      typedResult(Shed, support::ExitOverloaded, "request shed: " + Why);
+  R.RequestId = Rid;
+  P.set_value(std::move(R));
   return P.get_future();
+}
+
+std::string CompileService::assignRequestId(driver::RequestOptions &Request) {
+  uint64_t Seq = RequestSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Request.RequestId.empty())
+    Request.RequestId = "r-" + std::to_string(Seq);
+  return Request.RequestId + "#" + std::to_string(Seq);
 }
 
 void CompileService::traceEmit(const char *Name, uint64_t Value,
@@ -293,27 +327,59 @@ void CompileService::countResult(const ServeResult &R) {
 
 ServeResult CompileService::compile(const driver::RequestOptions &Request,
                                     bool UseCache) {
-  uint64_t DeadlineAtNs =
-      Request.DeadlineNs ? support::monotonicNowNs() + Request.DeadlineNs : 0;
-  return compileAt(Request, UseCache, DeadlineAtNs);
+  driver::RequestOptions Req = Request;
+  uint64_t SubmitNs = support::monotonicNowNs();
+  uint64_t DeadlineAtNs = Req.DeadlineNs ? SubmitNs + Req.DeadlineNs : 0;
+  std::string TraceId = assignRequestId(Req);
+  return compileAt(Req, UseCache, DeadlineAtNs, SubmitNs, TraceId);
 }
 
 ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
-                                      bool UseCache, uint64_t DeadlineAtNs) {
+                                      bool UseCache, uint64_t DeadlineAtNs,
+                                      uint64_t SubmitNs,
+                                      const std::string &TraceId) {
+  const uint32_t Worker = CurrentWorker;
+  uint64_t BeginNs = support::monotonicNowNs();
   Requests.fetch_add(1, std::memory_order_relaxed);
-  traceEmit("request.begin", 0, 0, Request.Name);
+  traceEmit("request.begin", 0, 0, TraceId + " " + Request.Name);
+  Flight.record("serve", "request.begin", TraceId, 0, Worker);
+
+  uint64_t QueueWaitNs = BeginNs > SubmitNs ? BeginNs - SubmitNs : 0;
+  {
+    std::lock_guard<std::mutex> Lock(HistMu);
+    HistQueueWait.record(QueueWaitNs);
+  }
+  Flight.record("serve", "queue.wait", TraceId, QueueWaitNs, Worker);
+
+  // Every exit path below funnels through this: the echoed request id,
+  // the response counters, the end-to-end histogram (its count therefore
+  // equals serve.requests exactly — the chaos harness asserts this), and
+  // the request.end markers.
+  auto Finish = [&](ServeResult R, uint64_t CachedAux) {
+    R.RequestId = Request.RequestId;
+    countResult(R);
+    uint64_t E2ENs = support::monotonicNowNs() - SubmitNs;
+    {
+      std::lock_guard<std::mutex> Lock(HistMu);
+      HistE2E.record(E2ENs);
+    }
+    Flight.record("serve", "e2e", TraceId, E2ENs, Worker);
+    traceEmit("request.end", uint64_t(R.ExitCode), CachedAux,
+              TraceId + " " + Request.Name);
+    Flight.record("serve", "request.end", TraceId, uint64_t(R.ExitCode),
+                  Worker);
+    return R;
+  };
 
   // A request that expired while queued never starts — and never gets a
   // chance to insert anything into the cache or the memo.
   if (DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs) {
     DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
-    traceEmit("request.deadline", 0, 0, Request.Name);
-    ServeResult R =
-        typedResult("deadline", support::ExitWatchdogTimeout,
-                    "deadline expired before the compile started");
-    countResult(R);
-    traceEmit("request.end", uint64_t(R.ExitCode), 0, Request.Name);
-    return R;
+    traceEmit("request.deadline", 0, 0, TraceId + " " + Request.Name);
+    Flight.record("serve", "request.deadline", TraceId, 0, Worker);
+    return Finish(typedResult("deadline", support::ExitWatchdogTimeout,
+                              "deadline expired before the compile started"),
+                  0);
   }
 
   // Request-private state; the only shared pieces are content-keyed.
@@ -363,9 +429,23 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
     // the re-check into a hit, so concurrent identical requests cost one
     // compile, not N). A leader whose result was uncacheable wakes the
     // waiters into electing the next leader, so progress is guaranteed.
+    bool LookupTimed = false;
     for (;;) {
       std::string Payload;
-      if (Cache.lookup(Result.CacheKey, Payload)) {
+      uint64_t LookupStartNs = support::monotonicNowNs();
+      bool Hit = Cache.lookup(Result.CacheKey, Payload);
+      if (!LookupTimed) {
+        // Only the first probe counts: re-checks after waiting out a
+        // single-flight leader measure the leader, not the cache.
+        LookupTimed = true;
+        uint64_t LookupNs = support::monotonicNowNs() - LookupStartNs;
+        {
+          std::lock_guard<std::mutex> Lock(HistMu);
+          HistCacheLookup.record(LookupNs);
+        }
+        Flight.record("serve", "cache.lookup", TraceId, LookupNs, Worker);
+      }
+      if (Hit) {
         support::Json J;
         std::string JsonError;
         ServeResult Warm;
@@ -373,10 +453,9 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
             serveResultFromJson(J, Warm)) {
           Warm.CacheKey = Result.CacheKey;
           Warm.Cached = true;
-          traceEmit("cache.hit", 0, 0, Result.CacheKey);
-          countResult(Warm);
-          traceEmit("request.end", uint64_t(Warm.ExitCode), 1, Request.Name);
-          return Warm;
+          traceEmit("cache.hit", 0, 0, TraceId + " " + Result.CacheKey);
+          Flight.record("serve", "cache.hit", TraceId, 0, Worker);
+          return Finish(std::move(Warm), 1);
         }
         // An unparseable payload cannot happen via insert(); treat it as
         // a miss and overwrite below.
@@ -398,29 +477,50 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
           // typed expiry as a deadline that fired anywhere else.
           L.unlock();
           DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
-          traceEmit("request.deadline", 0, 0, Request.Name);
+          traceEmit("request.deadline", 0, 0, TraceId + " " + Request.Name);
+          Flight.record("serve", "request.deadline", TraceId, 0, Worker);
           ServeResult R =
               typedResult("deadline", support::ExitWatchdogTimeout,
                           "deadline expired while waiting for an "
                           "in-flight identical compile");
           R.CacheKey = Result.CacheKey;
-          countResult(R);
-          traceEmit("request.end", uint64_t(R.ExitCode), 0, Request.Name);
-          return R;
+          return Finish(std::move(R), 0);
         }
       } else {
         InFlightCv.wait(L);
       }
     }
-    traceEmit("cache.miss", 0, 0, Result.CacheKey);
+    traceEmit("cache.miss", 0, 0, TraceId + " " + Result.CacheKey);
+    Flight.record("serve", "cache.miss", TraceId, 0, Worker);
   }
 
   if (Opts.Isolate) {
     std::string Key = Result.CacheKey;
-    Result = isolatedCompile(Request, DeadlineAtNs);
+    uint64_t IsoStartNs = support::monotonicNowNs();
+    Result = isolatedCompile(Request, DeadlineAtNs, TraceId);
+    uint64_t IsoNs = support::monotonicNowNs() - IsoStartNs;
+    {
+      std::lock_guard<std::mutex> Lock(HistMu);
+      HistIsolate.record(IsoNs);
+    }
+    Flight.record("serve", "isolate", TraceId, IsoNs, Worker);
     Result.CacheKey = Key;
   } else {
+    uint64_t ExecStartNs = support::monotonicNowNs();
     ServeResult Executed = resultFromOutcome(Ctx.execute());
+    uint64_t ExecNs = support::monotonicNowNs() - ExecStartNs;
+    {
+      std::lock_guard<std::mutex> Lock(HistMu);
+      HistCompile.record(ExecNs);
+    }
+    Flight.record("serve", "compile", TraceId, ExecNs, Worker);
+    if (Opts.StitchTraces)
+      // Nest the compiler's own spans under this request in the Chrome
+      // export. The driver ring's categories/names are string literals,
+      // so storing them by pointer in the flight ring is safe.
+      for (const support::TraceEvent &E : Ctx.trace().snapshot())
+        Flight.record(E.Category, E.Name, TraceId, E.Value, Worker,
+                      E.TimeNs);
     Executed.CacheKey = Result.CacheKey;
     Result = std::move(Executed);
   }
@@ -430,7 +530,9 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
   bool Expired = DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs;
   if (Expired && Result.Status.empty()) {
     DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
-    traceEmit("request.deadline", uint64_t(Result.ExitCode), 0, Request.Name);
+    traceEmit("request.deadline", uint64_t(Result.ExitCode), 0,
+              TraceId + " " + Request.Name);
+    Flight.record("serve", "request.deadline", TraceId, 0, Worker);
     std::string Key = Result.CacheKey;
     Result = typedResult("deadline", support::ExitWatchdogTimeout,
                          "deadline expired during the compile");
@@ -441,22 +543,34 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
   // timing-dependent watchdog expiry of a deadline request: cache entries
   // must be pure functions of content, and an expired request must not
   // poison the cache for the identical request asked with more budget.
+  // The cached payload is written before RequestId is stamped on the
+  // result, so warm replays stay byte-identical across requests.
   bool Cacheable = WantCache && Result.Status.empty() &&
                    !(DeadlineAtNs &&
                      Result.ExitCode == support::ExitWatchdogTimeout);
   if (Cacheable)
     Cache.insert(Result.CacheKey, serveResultToJson(Result).dump(0));
 
-  countResult(Result);
-  traceEmit("request.end", uint64_t(Result.ExitCode), 0, Request.Name);
-  return Result;
+  return Finish(std::move(Result), 0);
 }
 
 ServeResult
 CompileService::isolatedCompile(const driver::RequestOptions &Request,
-                                uint64_t DeadlineAtNs) {
+                                uint64_t DeadlineAtNs,
+                                const std::string &TraceId) {
   driver::OptRung Rung = Request.StartRung;
   bool Descended = false;
+  // Terminal "crashed" results dump the flight ring next to the response
+  // (gcsafe-flightrec-v1): the post-mortem names the victim request and
+  // carries its last events. The dump runs in the parent, outside signal
+  // context, but reuses the same async-signal-safe writer.
+  auto DumpCrash = [&](int Signal) {
+    if (Opts.FlightDir.empty())
+      return;
+    Flight.dumpToFile(Opts.FlightDir + "/flightrec-" +
+                          fsSafeId(Request.RequestId) + ".json",
+                      "crash", Request.RequestId, TraceId, Signal);
+  };
   for (unsigned Attempt = 0;; ++Attempt) {
     IsolateRequests.fetch_add(1, std::memory_order_relaxed);
     // The crash failpoint is drawn in the parent (the injector is shared,
@@ -503,11 +617,15 @@ CompileService::isolatedCompile(const driver::RequestOptions &Request,
 
     switch (Out.St) {
     case driver::SandboxOutcome::Status::SpawnError:
+      DumpCrash(0);
       return typedResult("crashed", support::ExitWorkerCrash,
                          "could not spawn an isolated worker");
     case driver::SandboxOutcome::Status::TimedOut: {
       IsolateTimeouts.fetch_add(1, std::memory_order_relaxed);
-      traceEmit("worker.timeout", Out.DurationMs, Attempt, Request.Name);
+      traceEmit("worker.timeout", Out.DurationMs, Attempt,
+                TraceId + " " + Request.Name);
+      Flight.record("serve", "worker.timeout", TraceId, Out.DurationMs,
+                    CurrentWorker);
       bool RequestDeadline =
           DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs;
       return typedResult(
@@ -519,7 +637,10 @@ CompileService::isolatedCompile(const driver::RequestOptions &Request,
     }
     case driver::SandboxOutcome::Status::Signaled: {
       IsolateCrashes.fetch_add(1, std::memory_order_relaxed);
-      traceEmit("worker.crash", uint64_t(Out.Signal), Attempt, Request.Name);
+      traceEmit("worker.crash", uint64_t(Out.Signal), Attempt,
+                TraceId + " " + Request.Name);
+      Flight.record("serve", "worker.crash", TraceId, uint64_t(Out.Signal),
+                    CurrentWorker);
       bool Expired = DeadlineAtNs && support::monotonicNowNs() > DeadlineAtNs;
       if (Attempt < Opts.IsolateRetries && !Expired) {
         // The batch driver's recovery move, per request: re-enter the
@@ -530,6 +651,7 @@ CompileService::isolatedCompile(const driver::RequestOptions &Request,
         Descended = true;
         continue;
       }
+      DumpCrash(Out.Signal);
       return typedResult(
           "crashed", support::ExitWorkerCrash,
           "isolated worker killed by signal " + std::to_string(Out.Signal) +
@@ -544,11 +666,13 @@ CompileService::isolatedCompile(const driver::RequestOptions &Request,
     std::string JsonError;
     ServeResult R;
     if (!support::Json::parse(Out.Payload, J, JsonError) ||
-        !serveResultFromJson(J, R))
+        !serveResultFromJson(J, R)) {
+      DumpCrash(0);
       return typedResult("crashed", support::ExitWorkerCrash,
                          "isolated worker exited (status " +
                              std::to_string(Out.ExitCode) +
                              ") without a result payload");
+    }
     return R;
   }
 }
@@ -556,6 +680,7 @@ CompileService::isolatedCompile(const driver::RequestOptions &Request,
 support::Stats CompileService::statsSnapshot() const {
   support::Stats S;
   S.set("serve.workers", Pool.size());
+  S.set("serve.uptime_ns", support::monotonicNowNs() - StartNs);
   S.set("serve.requests", Requests.load(std::memory_order_relaxed));
   S.set("serve.responses.ok", ResponsesOk.load(std::memory_order_relaxed));
   S.set("serve.responses.error",
@@ -564,7 +689,10 @@ support::Stats CompileService::statsSnapshot() const {
         ResponsesDegraded.load(std::memory_order_relaxed));
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
-    S.set("serve.queue.depth", Queue.size());
+    // depth is a point-in-time sample, not a lifetime total: report it
+    // with Gauge kind so consumers (Stats::merge, --stats printing) never
+    // treat it as a monotonic counter. peak and shed stay true counters.
+    S.setFloat("serve.queue.depth", static_cast<double>(Queue.size()));
     S.set("serve.queue.peak", QueuePeak);
   }
   S.set("serve.queue.shed", QueueShed.load(std::memory_order_relaxed));
@@ -594,4 +722,38 @@ support::Stats CompileService::statsSnapshot() const {
 std::vector<support::TraceEvent> CompileService::traceSnapshot() const {
   std::lock_guard<std::mutex> Lock(TraceMu);
   return Trace.snapshot();
+}
+
+support::Json CompileService::metricsSnapshot() const {
+  using support::Json;
+  Json M = Json::object();
+  M["schema"] = Json::string("gcsafe-metrics-v1");
+  uint64_t Now = support::monotonicNowNs();
+  uint64_t UptimeNs = Now > StartNs ? Now - StartNs : 1;
+  uint64_t Req = Requests.load(std::memory_order_relaxed);
+  M["uptime_ns"] = Json::integer(UptimeNs);
+  M["requests"] = Json::integer(Req);
+  M["rate_rps"] =
+      Json::number(double(Req) * 1e9 / static_cast<double>(UptimeNs));
+  // depth is a *sampled gauge* — the value at snapshot time, not a
+  // lifetime total like peak and shed (which are true counters).
+  Json Q = Json::object();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Q["depth"] = Json::integer(uint64_t(Queue.size()));
+    Q["peak"] = Json::integer(uint64_t(QueuePeak));
+  }
+  Q["shed"] = Json::integer(QueueShed.load(std::memory_order_relaxed));
+  M["queue"] = std::move(Q);
+  Json Stages = Json::object();
+  {
+    std::lock_guard<std::mutex> Lock(HistMu);
+    Stages["queue_wait"] = HistQueueWait.toJson();
+    Stages["cache_lookup"] = HistCacheLookup.toJson();
+    Stages["compile"] = HistCompile.toJson();
+    Stages["isolate"] = HistIsolate.toJson();
+    Stages["e2e"] = HistE2E.toJson();
+  }
+  M["stages"] = std::move(Stages);
+  return M;
 }

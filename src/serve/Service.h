@@ -37,6 +37,7 @@
 
 #include "driver/Request.h"
 #include "serve/Cache.h"
+#include "serve/Telemetry.h"
 
 #include <condition_variable>
 #include <deque>
@@ -74,6 +75,20 @@ struct ServiceOptions {
   /// injectors it is shared across threads; the service serializes every
   /// consult behind a mutex. Must outlive the service. May be null.
   support::FaultInjector *Faults = nullptr;
+  /// Capacity of the lock-free flight-recorder ring (serve/Telemetry.h).
+  size_t FlightCapacity = 2048;
+  /// When non-empty, every request that ends "crashed" dumps the flight
+  /// ring to DIR/flightrec-<request_id>.json (gcsafe-flightrec-v1), so a
+  /// post-mortem can read the victim's last events. The directory must
+  /// exist. Empty = no dumps (the ring still records).
+  std::string FlightDir;
+  /// Re-emit each in-process compile's driver trace events (cat
+  /// "phase"/"pass"/"gc"/"vm") into the flight ring stamped with the
+  /// request's trace id, so the Chrome export nests compiler internals
+  /// under the request span. Off by default: the service trace ring stays
+  /// pure cat="serve" and high-volume VM events stay out of the flight
+  /// ring unless an operator asks (gcsafe-serve --trace-chrome).
+  bool StitchTraces = false;
 };
 
 /// One request's result as the service reports it: the driver outcome
@@ -86,6 +101,11 @@ struct ServeResult {
   std::string Rung = "full";
   std::vector<std::string> Quarantined;
   std::string CacheKey; ///< Empty when the request was uncacheable.
+  /// The request's service-level identity: the client-supplied id, or one
+  /// the service generated at admission. Like CacheKey it is stamped on
+  /// the result *after* any cache replay — it is never part of the cached
+  /// payload, which keeps warm and cold payloads byte-identical.
+  std::string RequestId;
   /// Service-level disposition, empty for a normally-executed request:
   /// "overloaded" (shed at admission), "draining"/"shutdown" (rejected
   /// by a stopping service), "deadline" (the request's wall-clock budget
@@ -165,8 +185,17 @@ public:
   /// The serve.* stats keys (docs/OBSERVABILITY.md §"serve").
   support::Stats statsSnapshot() const;
 
+  /// The gcsafe-metrics-v1 snapshot behind the protocol's "metrics" op
+  /// (docs/OBSERVABILITY.md §8): uptime, request rate, a *sampled* queue
+  /// depth gauge, and per-stage latency histograms (queue_wait,
+  /// cache_lookup, compile, isolate, e2e) with p50/p90/p99/max.
+  support::Json metricsSnapshot() const;
+
   /// Snapshot of the service-level cat="serve" trace ring.
   std::vector<support::TraceEvent> traceSnapshot() const;
+
+  /// The daemon-wide lock-free telemetry ring (serve/Telemetry.h).
+  const FlightRecorder &flightRecorder() const { return Flight; }
 
   const ServiceOptions &options() const { return Opts; }
   driver::VerifyMemo &verifyMemo() { return Memo; }
@@ -178,21 +207,43 @@ private:
                  std::string Detail);
   /// The compile body shared by compile() and the pool: cache lookup,
   /// deadline bookkeeping, in-process or sandboxed execution, cache
-  /// insert. DeadlineAtNs is the absolute monotonic expiry (0 = none).
+  /// insert. DeadlineAtNs is the absolute monotonic expiry (0 = none);
+  /// SubmitNs is when the request was admitted — the queue-wait and
+  /// end-to-end histograms measure from it.
   ServeResult compileAt(const driver::RequestOptions &Request, bool UseCache,
-                        uint64_t DeadlineAtNs);
+                        uint64_t DeadlineAtNs, uint64_t SubmitNs,
+                        const std::string &TraceId);
   /// One cache-missing compile under Opts.Isolate: forked sandbox,
-  /// SIGKILL deadline, crash retries one rung lower.
+  /// SIGKILL deadline, crash retries one rung lower. TraceId stamps the
+  /// crash telemetry; a final "crashed" result dumps the flight ring.
   ServeResult isolatedCompile(const driver::RequestOptions &Request,
-                              uint64_t DeadlineAtNs);
+                              uint64_t DeadlineAtNs,
+                              const std::string &TraceId);
   void countResult(const ServeResult &R);
+  /// Assigns Request.RequestId (when the client sent none) and returns
+  /// the request's unique trace id: "<request_id>#<seq>". The sequence
+  /// suffix is what keeps duplicate client-supplied ids distinguishable
+  /// in traces while the echoed id stays exactly what the client sent.
+  std::string assignRequestId(driver::RequestOptions &Request);
 
   ServiceOptions Opts;
   ContentCache Cache;
   driver::VerifyMemo Memo;
+  const uint64_t StartNs; ///< Service birth; uptime/rate baseline.
 
   mutable std::mutex TraceMu;
   support::TraceBuffer Trace;
+
+  /// Lock-free; safe to record from any worker and dump from a signal.
+  FlightRecorder Flight;
+
+  /// Per-stage latency histograms (support::Histogram is not
+  /// thread-safe; every record/read goes through HistMu).
+  mutable std::mutex HistMu;
+  support::Histogram HistQueueWait, HistCacheLookup, HistCompile,
+      HistIsolate, HistE2E;
+
+  std::atomic<uint64_t> RequestSeq{0}; ///< Trace-id uniquifier.
 
   mutable std::mutex FaultMu; ///< Serializes Opts.Faults consults.
 

@@ -2,6 +2,7 @@
 
 #include "support/Stats.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
@@ -475,4 +476,92 @@ uint64_t gcsafe::support::monotonicNowNs() {
   static const steady_clock::time_point Epoch = steady_clock::now();
   return static_cast<uint64_t>(
       duration_cast<nanoseconds>(steady_clock::now() - Epoch).count());
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+gcsafe::support::Histogram::Histogram(uint64_t FirstBound,
+                                      unsigned NumBounds) {
+  if (!FirstBound)
+    FirstBound = 1;
+  if (!NumBounds)
+    NumBounds = 1;
+  Bounds.reserve(NumBounds);
+  uint64_t B = FirstBound;
+  for (unsigned I = 0; I < NumBounds; ++I) {
+    Bounds.push_back(B);
+    // Saturate instead of wrapping; duplicate bounds would break the
+    // monotone-bounds invariant the validator checks.
+    if (B > UINT64_MAX / 2) {
+      break;
+    }
+    B *= 2;
+  }
+  Counts.assign(Bounds.size() + 1, 0);
+}
+
+void gcsafe::support::Histogram::record(uint64_t Value) {
+  size_t I = std::lower_bound(Bounds.begin(), Bounds.end(), Value) -
+             Bounds.begin();
+  ++Counts[I];
+  ++Count;
+  Sum += Value;
+  if (Count == 1 || Value < MinV)
+    MinV = Value;
+  if (Value > MaxV)
+    MaxV = Value;
+}
+
+void gcsafe::support::Histogram::clear() {
+  std::fill(Counts.begin(), Counts.end(), uint64_t(0));
+  Count = Sum = MinV = MaxV = 0;
+}
+
+uint64_t gcsafe::support::Histogram::percentile(double Q) const {
+  if (!Count)
+    return 0;
+  if (Q <= 0.0)
+    return min();
+  if (Q > 1.0)
+    Q = 1.0;
+  uint64_t Target = static_cast<uint64_t>(std::ceil(Q * double(Count)));
+  if (!Target)
+    Target = 1;
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    Cum += Counts[I];
+    if (Cum >= Target) {
+      // The overflow bucket has no upper bound; the observed max is the
+      // tightest true statement we can make about it.
+      if (I >= Bounds.size())
+        return MaxV;
+      return std::min(Bounds[I], MaxV);
+    }
+  }
+  return MaxV;
+}
+
+gcsafe::support::Json gcsafe::support::Histogram::toJson() const {
+  Json J = Json::object();
+  J["count"] = Json::integer(Count);
+  J["sum_ns"] = Json::integer(Sum);
+  J["min_ns"] = Json::integer(min());
+  J["max_ns"] = Json::integer(MaxV);
+  J["p50_ns"] = Json::integer(percentile(0.50));
+  J["p90_ns"] = Json::integer(percentile(0.90));
+  J["p99_ns"] = Json::integer(percentile(0.99));
+  Json Buckets = Json::array();
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    Json B = Json::object();
+    if (I < Bounds.size())
+      B["le_ns"] = Json::integer(Bounds[I]);
+    else
+      B["le_ns"] = Json::string("inf");
+    B["count"] = Json::integer(Counts[I]);
+    Buckets.push(std::move(B));
+  }
+  J["buckets"] = std::move(Buckets);
+  return J;
 }

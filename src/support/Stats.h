@@ -188,6 +188,49 @@ private:
   std::vector<Entry> Entries;
 };
 
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+/// Fixed-bucket, log-spaced latency histogram (docs/OBSERVABILITY.md §8).
+/// Bucket I counts samples in (Bounds[I-1], Bounds[I]]; one extra
+/// overflow bucket holds everything above the last bound. Recording is
+/// O(log buckets) with no allocation after construction. Not thread-safe
+/// — owners serialize access (CompileService guards its histograms with
+/// a mutex).
+class Histogram {
+public:
+  /// Bounds double from \p FirstBound: the defaults span 1µs .. ~134s in
+  /// nanoseconds, which covers queue waits through full compiles.
+  explicit Histogram(uint64_t FirstBound = 1000, unsigned NumBounds = 28);
+
+  void record(uint64_t Value);
+  void clear();
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count ? MinV : 0; }
+  uint64_t max() const { return MaxV; }
+
+  /// Upper bound of the bucket where the cumulative count first reaches
+  /// \p Q (0 < Q <= 1) of the samples, clamped to the observed max so a
+  /// percentile never exceeds max(). 0 when empty.
+  uint64_t percentile(double Q) const;
+
+  /// {count, sum_ns, min_ns, max_ns, p50_ns, p90_ns, p99_ns, buckets:
+  /// [{le_ns, count}, ...]} — the final (overflow) bucket's le_ns is the
+  /// string "inf", so sum-of-bucket-counts always equals count.
+  Json toJson() const;
+
+  const std::vector<uint64_t> &bounds() const { return Bounds; }
+  uint64_t bucketCount(size_t I) const { return Counts[I]; }
+
+private:
+  std::vector<uint64_t> Bounds; ///< Strictly increasing upper bounds.
+  std::vector<uint64_t> Counts; ///< Bounds.size() + 1; overflow last.
+  uint64_t Count = 0, Sum = 0, MinV = 0, MaxV = 0;
+};
+
 /// Monotonic nanosecond clock used by every timer and trace event, so all
 /// timestamps in one process share an epoch.
 uint64_t monotonicNowNs();

@@ -149,6 +149,70 @@ TEST(Stats, Merge) {
 }
 
 //===----------------------------------------------------------------------===//
+// Histogram (docs/OBSERVABILITY.md §8)
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BoundsAreMonotoneAndBucketsSumToCount) {
+  Histogram H;
+  const std::vector<uint64_t> &B = H.bounds();
+  ASSERT_FALSE(B.empty());
+  for (size_t I = 1; I < B.size(); ++I)
+    EXPECT_LT(B[I - 1], B[I]) << "bound " << I;
+
+  // One value per bucket, including the overflow bucket past the last
+  // bound: the bucket counts must account for every recorded value.
+  for (uint64_t Bound : B)
+    H.record(Bound); // lands at-or-under its own bound
+  H.record(B.back() + 1); // overflow
+  EXPECT_EQ(H.count(), B.size() + 1);
+  uint64_t Sum = 0;
+  for (size_t I = 0; I <= B.size(); ++I)
+    Sum += H.bucketCount(I);
+  EXPECT_EQ(Sum, H.count());
+  EXPECT_EQ(H.bucketCount(B.size()), 1u); // the overflow value
+}
+
+TEST(Histogram, PercentilesAreOrderedAndClampedToObservedMax) {
+  Histogram H;
+  EXPECT_EQ(H.percentile(0.5), 0u); // empty histogram
+  for (uint64_t V = 1; V <= 100; ++V)
+    H.record(V * 1000);
+  uint64_t P50 = H.percentile(0.50);
+  uint64_t P90 = H.percentile(0.90);
+  uint64_t P99 = H.percentile(0.99);
+  EXPECT_LE(P50, P90);
+  EXPECT_LE(P90, P99);
+  EXPECT_LE(P99, H.max());
+  EXPECT_EQ(H.min(), 1000u);
+  EXPECT_EQ(H.max(), 100000u);
+  // A single sample: every percentile is exactly that sample, never a
+  // bucket bound above it.
+  Histogram One;
+  One.record(1234567);
+  EXPECT_EQ(One.percentile(0.5), 1234567u);
+  EXPECT_EQ(One.percentile(0.99), 1234567u);
+}
+
+TEST(Histogram, JsonCarriesBucketsAndInfinityBound) {
+  Histogram H;
+  H.record(500);
+  H.record(2000000);
+  Json J = H.toJson();
+  EXPECT_EQ(J.get("count")->asInt(), 2);
+  EXPECT_EQ(J.get("sum_ns")->asInt(), 2000500);
+  EXPECT_EQ(J.get("min_ns")->asInt(), 500);
+  EXPECT_EQ(J.get("max_ns")->asInt(), 2000000);
+  const Json *Buckets = J.get("buckets");
+  ASSERT_TRUE(Buckets && Buckets->isArray());
+  // Final bucket is the overflow with le_ns "inf"; all counts sum to 2.
+  EXPECT_EQ(Buckets->at(Buckets->size() - 1).get("le_ns")->asString(), "inf");
+  int64_t Sum = 0;
+  for (size_t I = 0; I < Buckets->size(); ++I)
+    Sum += Buckets->at(I).get("count")->asInt();
+  EXPECT_EQ(Sum, 2);
+}
+
+//===----------------------------------------------------------------------===//
 // TraceBuffer
 //===----------------------------------------------------------------------===//
 

@@ -18,7 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -570,6 +572,161 @@ TEST(ServeProtocol, StatusRoundTripsAndStaysOffNormalResults) {
   Normal.Ok = true;
   EXPECT_EQ(serveResultToJson(Normal).dump(0).find("\"status\""),
             std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Request telemetry (docs/OBSERVABILITY.md §8): trace propagation,
+// latency histograms, and the crash flight recorder.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeTelemetry, RequestIdEchoesAndIsGeneratedWhenAbsent) {
+  CompileService Svc;
+  driver::RequestOptions R = listRequest();
+  R.RequestId = "client-7";
+  ServeResult A = Svc.compile(R);
+  EXPECT_EQ(A.RequestId, "client-7");
+
+  // No client id: the service mints one, so every response is traceable.
+  ServeResult B = Svc.compile(listRequest());
+  EXPECT_FALSE(B.RequestId.empty());
+  EXPECT_EQ(B.RequestId.rfind("r-", 0), 0u) << B.RequestId;
+}
+
+TEST(ServeTelemetry, RequestIdIsNotPartOfTheCacheKey) {
+  CompileService Svc;
+  driver::RequestOptions R = listRequest();
+  R.RequestId = "first";
+  ServeResult Cold = Svc.compile(R);
+  ASSERT_TRUE(Cold.Ok);
+  R.RequestId = "second";
+  ServeResult Warm = Svc.compile(R);
+  // Same compile under a different trace identity still hits, and each
+  // response carries its own id — never the cached twin's.
+  EXPECT_TRUE(Warm.Cached);
+  EXPECT_EQ(Warm.CacheKey, Cold.CacheKey);
+  EXPECT_EQ(Cold.RequestId, "first");
+  EXPECT_EQ(Warm.RequestId, "second");
+}
+
+TEST(ServeTelemetry, DuplicateClientIdsAreUniquifiedInTraces) {
+  CompileService Svc;
+  driver::RequestOptions R = listRequest();
+  R.RequestId = "dup";
+  ServeResult A = Svc.compile(R);
+  ServeResult B = Svc.compile(R);
+  // The response echoes the raw client id both times...
+  EXPECT_EQ(A.RequestId, "dup");
+  EXPECT_EQ(B.RequestId, "dup");
+  // ...but the flight ring keys each request by a unique "<id>#<seq>"
+  // trace id, so duplicate client ids never merge two span trees.
+  std::vector<std::string> Begins;
+  for (const FlightEvent &E : Svc.flightRecorder().snapshot())
+    if (std::string(E.Stage) == "request.begin")
+      Begins.push_back(E.Rid);
+  ASSERT_EQ(Begins.size(), 2u);
+  EXPECT_NE(Begins[0], Begins[1]);
+  EXPECT_EQ(Begins[0].rfind("dup#", 0), 0u) << Begins[0];
+  EXPECT_EQ(Begins[1].rfind("dup#", 0), 0u) << Begins[1];
+}
+
+TEST(ServeTelemetry, MetricsSnapshotCountsEveryStage) {
+  CompileService Svc;
+  Svc.compile(listRequest()); // cold: compile runs
+  Svc.compile(listRequest()); // warm: cache hit, no compile
+  support::Json M = Svc.metricsSnapshot();
+  EXPECT_EQ(M.get("schema")->asString(), "gcsafe-metrics-v1");
+  EXPECT_GT(M.get("uptime_ns")->asInt(), 0);
+  EXPECT_EQ(M.get("requests")->asInt(), 2);
+  const support::Json *Stages = M.get("stages");
+  ASSERT_TRUE(Stages);
+  auto Count = [&](const char *Stage) {
+    return Stages->get(Stage)->get("count")->asInt();
+  };
+  // Every request is accounted for end-to-end; only the cold one
+  // compiled; both waited in the queue and probed the cache; nothing
+  // was isolated.
+  EXPECT_EQ(Count("e2e"), 2);
+  EXPECT_EQ(Count("queue_wait"), 2);
+  EXPECT_EQ(Count("cache_lookup"), 2);
+  EXPECT_EQ(Count("compile"), 1);
+  EXPECT_EQ(Count("isolate"), 0);
+  const support::Json *Queue = M.get("queue");
+  ASSERT_TRUE(Queue);
+  EXPECT_EQ(Queue->get("depth")->asInt(), 0);
+  EXPECT_EQ(Queue->get("shed")->asInt(), 0);
+}
+
+TEST(ServeTelemetry, CrashDumpNamesTheVictim) {
+  support::FaultInjector FI;
+  std::string Error;
+  ASSERT_TRUE(
+      support::FaultInjector::parse("7:serve.worker.crash@always", FI, Error))
+      << Error;
+  ServiceOptions SO;
+  SO.Isolate = true;
+  SO.IsolateRetries = 0;
+  SO.Faults = &FI;
+  SO.FlightDir = ::testing::TempDir();
+  CompileService Svc(SO);
+
+  driver::RequestOptions R = listRequest();
+  R.RequestId = "victim-42";
+  ServeResult Res = Svc.compile(R);
+  EXPECT_EQ(Res.Status, "crashed");
+  EXPECT_EQ(Res.RequestId, "victim-42");
+
+  // The crash left a flight-recorder dump attributing the victim.
+  std::string Path = SO.FlightDir + "/flightrec-victim-42.json";
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Dump = Buf.str();
+  EXPECT_NE(Dump.find("\"schema\":\"gcsafe-flightrec-v1\""),
+            std::string::npos);
+  EXPECT_NE(Dump.find("\"request_id\":\"victim-42\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"reason\":\"crash\""), std::string::npos);
+  support::Json J;
+  ASSERT_TRUE(support::Json::parse(Dump, J, Error)) << Error;
+  EXPECT_GT(J.get("events")->size(), 0u);
+}
+
+TEST(ServeProtocol, MetricsOpParsesAndResponseEmbedsSnapshot) {
+  ServeRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(R"({"op":"metrics","id":"m1"})", Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Op, ServeOp::Metrics);
+  EXPECT_EQ(Req.Id, "m1");
+
+  CompileService Svc;
+  Svc.compile(listRequest());
+  support::Json Resp = buildMetricsResponse("m1", Svc.metricsSnapshot());
+  EXPECT_EQ(Resp.get("op")->asString(), "metrics");
+  EXPECT_TRUE(Resp.get("ok")->asBool());
+  EXPECT_EQ(Resp.get("metrics")->get("schema")->asString(),
+            "gcsafe-metrics-v1");
+}
+
+TEST(ServeProtocol, RequestIdParsesAndEchoesInCompileResponse) {
+  ServeRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseRequestLine(
+      R"({"op":"compile","id":"c1","request_id":"rid-9",)"
+      R"("source":"int main(void) { return 0; }"})",
+      Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Compile.RequestId, "rid-9");
+
+  ServeResult R;
+  R.Ok = true;
+  R.RequestId = "rid-9";
+  support::Json Resp = buildCompileResponse("c1", R);
+  EXPECT_EQ(Resp.get("request_id")->asString(), "rid-9");
+
+  // And absent ids stay absent on the wire.
+  R.RequestId.clear();
+  EXPECT_FALSE(buildCompileResponse("c1", R).has("request_id"));
 }
 
 TEST(ServeProtocol, ServeResultJsonRoundTrip) {

@@ -317,20 +317,136 @@ def check_batch(doc):
 
 # --- gcsafe-serve-v1 --------------------------------------------------------
 
-SERVE_OPS = {"compile", "stats", "ping", "health", "drain", "shutdown",
-             "error"}
+SERVE_OPS = {"compile", "stats", "metrics", "ping", "health", "drain",
+             "shutdown", "error"}
 
 # Service-level dispositions a compile response may carry in "status"
 # (docs/SERVING.md §"Operating under load"); absent on a normal compile.
 SERVE_STATUSES = {"overloaded", "deadline", "crashed", "draining", "shutdown"}
 
 
+# --- gcsafe-metrics-v1 / gcsafe-flightrec-v1 --------------------------------
+
+# The latency stages CompileService::metricsSnapshot always reports
+# (docs/OBSERVABILITY.md §8).
+METRICS_STAGES = ["queue_wait", "cache_lookup", "compile", "isolate", "e2e"]
+
+FLIGHTREC_REASONS = {"crash", "signal"}
+
+
+def check_histogram(obj, path):
+    """One support::Histogram serialization: monotone finite bounds with a
+    trailing "inf" overflow bucket, sum-of-bucket-counts == count, and
+    percentile ordering p50 <= p90 <= p99 <= max."""
+    expect(isinstance(obj, dict), path, "expected an object")
+    expect_keys(obj, path, ["count", "sum_ns", "min_ns", "max_ns", "p50_ns",
+                            "p90_ns", "p99_ns", "buckets"])
+    for key in ("count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p90_ns",
+                "p99_ns"):
+        expect_num(obj, path, key, integer=True)
+    buckets = obj["buckets"]
+    expect(isinstance(buckets, list) and buckets, f"{path}.buckets",
+           "expected a non-empty array")
+    prev_le = None
+    total = 0
+    for i, bucket in enumerate(buckets):
+        bpath = f"{path}.buckets[{i}]"
+        expect_keys(bucket, bpath, ["le_ns", "count"])
+        expect_num(bucket, bpath, "count", integer=True)
+        total += bucket["count"]
+        le = bucket["le_ns"]
+        if i == len(buckets) - 1:
+            expect(le == "inf", f"{bpath}.le_ns",
+                   f"the final bucket must be the 'inf' overflow, got {le!r}")
+        else:
+            expect(isinstance(le, int) and not isinstance(le, bool),
+                   f"{bpath}.le_ns", "expected an integer bound")
+            expect(prev_le is None or le > prev_le, f"{bpath}.le_ns",
+                   f"bucket bounds must be strictly increasing "
+                   f"({le} after {prev_le})")
+            prev_le = le
+    expect(total == obj["count"], f"{path}.buckets",
+           f"bucket counts sum to {total}, but count is {obj['count']}")
+    expect(obj["min_ns"] <= obj["max_ns"], path,
+           f"min_ns {obj['min_ns']} > max_ns {obj['max_ns']}")
+    expect(obj["p50_ns"] <= obj["p90_ns"] <= obj["p99_ns"] <= obj["max_ns"],
+           path,
+           f"percentiles must be ordered p50 <= p90 <= p99 <= max, got "
+           f"{obj['p50_ns']} / {obj['p90_ns']} / {obj['p99_ns']} / "
+           f"{obj['max_ns']}")
+
+
+def check_metrics(doc, path="$"):
+    """One gcsafe-metrics-v1 snapshot (the "metrics" op's payload, also
+    valid as a standalone file)."""
+    expect(isinstance(doc, dict), path, "expected an object")
+    expect_keys(doc, path, ["schema", "uptime_ns", "requests", "rate_rps",
+                            "queue", "stages"])
+    expect(doc["schema"] == "gcsafe-metrics-v1", f"{path}.schema",
+           f"expected gcsafe-metrics-v1, got {doc.get('schema')!r}")
+    expect_num(doc, path, "uptime_ns", integer=True)
+    expect(doc["uptime_ns"] > 0, f"{path}.uptime_ns", "must be positive")
+    expect_num(doc, path, "requests", integer=True)
+    expect_num(doc, path, "rate_rps")
+    queue = doc["queue"]
+    expect_keys(queue, f"{path}.queue", ["depth", "peak", "shed"])
+    for key in ("depth", "peak", "shed"):
+        expect_num(queue, f"{path}.queue", key, integer=True)
+    stages = doc["stages"]
+    expect_keys(stages, f"{path}.stages", METRICS_STAGES)
+    for stage in METRICS_STAGES:
+        check_histogram(stages[stage], f"{path}.stages.{stage}")
+
+
+def check_flightrec(doc, path="$"):
+    """One gcsafe-flightrec-v1 post-mortem dump: the flight recorder's
+    surviving events in sequence order, with the attributed victim request
+    named at the top and present in the event stream for crash dumps."""
+    expect(isinstance(doc, dict), path, "expected an object")
+    expect_keys(doc, path, ["schema", "reason", "signal", "request_id",
+                            "trace_id", "recorded", "events"])
+    expect(doc["schema"] == "gcsafe-flightrec-v1", f"{path}.schema",
+           f"expected gcsafe-flightrec-v1, got {doc.get('schema')!r}")
+    expect(doc["reason"] in FLIGHTREC_REASONS, f"{path}.reason",
+           f"unknown reason {doc['reason']!r} "
+           f"(known: {', '.join(sorted(FLIGHTREC_REASONS))})")
+    expect_num(doc, path, "signal", integer=True)
+    expect_str(doc, path, "request_id")
+    expect_str(doc, path, "trace_id")
+    expect_num(doc, path, "recorded", integer=True)
+    events = doc["events"]
+    expect(isinstance(events, list), f"{path}.events", "expected an array")
+    prev_seq = 0
+    trace_ids = set()
+    for i, ev in enumerate(events):
+        epath = f"{path}.events[{i}]"
+        expect_keys(ev, epath, ["seq", "t_ns", "worker", "cat", "stage",
+                                "request_id", "value"])
+        for key in ("seq", "t_ns", "worker", "value"):
+            expect_num(ev, epath, key, integer=True)
+        for key in ("cat", "stage", "request_id"):
+            expect_str(ev, epath, key)
+        expect(ev["seq"] > prev_seq, f"{epath}.seq",
+               f"event sequence must be strictly increasing "
+               f"({ev['seq']} after {prev_seq})")
+        prev_seq = ev["seq"]
+        trace_ids.add(ev["request_id"])
+    if doc["reason"] == "crash":
+        expect(doc["request_id"] != "", f"{path}.request_id",
+               "a crash dump must name the attributed request")
+        expect(doc["trace_id"] in trace_ids, f"{path}.trace_id",
+               f"the attributed trace id {doc['trace_id']!r} does not "
+               f"appear in the dumped events")
+
+
 def check_serve_stats(obj, path):
     """The serve.* counter tree: a stats-op "serve" member or a batch
     summary's "service" member (docs/SERVING.md)."""
-    expect_keys(obj, path, ["workers", "requests", "responses", "queue",
-                            "deadline", "isolate", "cache", "verify_memo"])
+    expect_keys(obj, path, ["workers", "uptime_ns", "requests", "responses",
+                            "queue", "deadline", "isolate", "cache",
+                            "verify_memo"])
     expect_num(obj, path, "workers", integer=True)
+    expect_num(obj, path, "uptime_ns", integer=True)
     expect_num(obj, path, "requests", integer=True)
     responses = obj["responses"]
     expect_keys(responses, f"{path}.responses", ["ok", "error", "degraded"])
@@ -338,7 +454,10 @@ def check_serve_stats(obj, path):
         expect_num(responses, f"{path}.responses", key, integer=True)
     queue = obj["queue"]
     expect_keys(queue, f"{path}.queue", ["depth", "peak", "shed"])
-    for key in ("depth", "peak", "shed"):
+    # depth is a sampled gauge (serialized as a float); peak/shed are
+    # true counters.
+    expect_num(queue, f"{path}.queue", "depth")
+    for key in ("peak", "shed"):
         expect_num(queue, f"{path}.queue", key, integer=True)
     deadline = obj["deadline"]
     expect_keys(deadline, f"{path}.deadline", ["expired"])
@@ -382,7 +501,12 @@ def check_serve_response(doc, path="$"):
         expect_keys(doc, path,
                     ["schema", "id", "op", "ok", "cached", "exit_code",
                      "degraded", "rung", "quarantined", "cache_key"],
-                    optional=["status", "error", "report", "lint"])
+                    optional=["request_id", "status", "error", "report",
+                              "lint"])
+        if "request_id" in doc:
+            expect_str(doc, path, "request_id")
+            expect(doc["request_id"] != "", f"{path}.request_id",
+                   "request_id, when present, must be non-empty")
         if "status" in doc:
             expect_str(doc, path, "status")
             expect(doc["status"] in SERVE_STATUSES, f"{path}.status",
@@ -421,6 +545,13 @@ def check_serve_response(doc, path="$"):
     elif op == "stats":
         expect_keys(doc, path, ["schema", "id", "op", "ok", "serve"])
         check_serve_stats(doc["serve"], f"{path}.serve")
+    elif op == "metrics":
+        expect_keys(doc, path, ["schema", "id", "op", "ok", "metrics"])
+        expect(isinstance(doc["metrics"], dict)
+               and doc["metrics"].get("schema") == "gcsafe-metrics-v1",
+               f"{path}.metrics",
+               "expected an embedded gcsafe-metrics-v1 document")
+        check_metrics(doc["metrics"], f"{path}.metrics")
     elif op == "health":
         expect_keys(doc, path,
                     ["schema", "id", "op", "ok", "ready", "workers",
@@ -633,6 +764,8 @@ CHECKERS = {
     "gcsafe-profile-v1": check_profile,
     "gcsafe-lint-v1": check_lint,
     "gcsafe-batch-v1": check_batch,
+    "gcsafe-metrics-v1": check_metrics,
+    "gcsafe-flightrec-v1": check_flightrec,
 }
 
 

@@ -86,6 +86,20 @@ void usage() {
       "                      (serve.queue.full, serve.worker.crash,\n"
       "                      serve.conn.stall) for chaos testing;\n"
       "                      per-request fail_inject is separate\n"
+      "  --flightrec-dir=DIR write a gcsafe-flightrec-v1 post-mortem dump\n"
+      "                      (the flight recorder's last events, naming\n"
+      "                      the victim request) into DIR for every\n"
+      "                      \"crashed\" response, and install a fatal-\n"
+      "                      signal handler that dumps the ring to\n"
+      "                      DIR/flightrec-fatal.json; DIR must exist\n"
+      "  --trace-chrome=FILE on exit, export the telemetry ring as Chrome\n"
+      "                      trace_event JSON: one track per worker,\n"
+      "                      per-request span trees keyed by request_id,\n"
+      "                      with each compile's opt/gc/vm spans stitched\n"
+      "                      under its request (docs/OBSERVABILITY.md §8)\n"
+      "  --metrics-text      print the metrics snapshot (uptime, req/s,\n"
+      "                      stage latency histograms) to stderr on exit\n"
+      "                      as Prometheus-style text exposition\n"
       "  --stats             print the serve.* stats keys to stderr on\n"
       "                      exit (docs/SERVING.md)\n");
 }
@@ -144,11 +158,17 @@ support::Json handleRequest(serve::CompileService &Svc,
   case serve::ServeOp::Compile: {
     uint64_t DeadlineNs = Req.Compile.DeadlineNs;
     std::future<serve::ServeResult> F = Svc.submit(Req.Compile, Req.UseCache);
-    return serve::buildCompileResponse(Req.Id,
-                                       waitForResult(Svc, F, DeadlineNs));
+    serve::ServeResult R = waitForResult(Svc, F, DeadlineNs);
+    // The daemon-guard result is built here, not by the service, so the
+    // echoed id is whatever the client sent (possibly nothing).
+    if (R.RequestId.empty())
+      R.RequestId = Req.Compile.RequestId;
+    return serve::buildCompileResponse(Req.Id, R);
   }
   case serve::ServeOp::Stats:
     return serve::buildStatsResponse(Req.Id, Svc.statsSnapshot());
+  case serve::ServeOp::Metrics:
+    return serve::buildMetricsResponse(Req.Id, Svc.metricsSnapshot());
   case serve::ServeOp::Ping:
     return serve::buildAckResponse(Req.Id, "ping");
   case serve::ServeOp::Health:
@@ -177,6 +197,7 @@ int runOnce(serve::CompileService &Svc) {
     bool IsCompile = false;
     uint64_t DeadlineNs = 0;
     std::string Id;
+    std::string Rid; ///< Client request_id, for the daemon-guard echo.
     serve::ServeOp Op = serve::ServeOp::Ping;
   };
   std::vector<Pending> Order;
@@ -199,6 +220,7 @@ int runOnce(serve::CompileService &Svc) {
     } else if (Req.Op == serve::ServeOp::Compile) {
       P.IsCompile = true;
       P.Id = Req.Id;
+      P.Rid = Req.Compile.RequestId;
       P.DeadlineNs = Req.Compile.DeadlineNs;
       P.F = Svc.submit(Req.Compile, Req.UseCache);
     } else {
@@ -216,11 +238,17 @@ int runOnce(serve::CompileService &Svc) {
     support::Json Response;
     if (P.Ready)
       Response = std::move(P.Response);
-    else if (P.IsCompile)
-      Response = serve::buildCompileResponse(
-          P.Id, waitForResult(Svc, P.F, P.DeadlineNs));
-    else if (P.Op == serve::ServeOp::Stats)
+    else if (P.IsCompile) {
+      serve::ServeResult R = waitForResult(Svc, P.F, P.DeadlineNs);
+      if (R.RequestId.empty())
+        R.RequestId = P.Rid;
+      Response = serve::buildCompileResponse(P.Id, R);
+    } else if (P.Op == serve::ServeOp::Stats)
       Response = serve::buildStatsResponse(P.Id, Svc.statsSnapshot());
+    else if (P.Op == serve::ServeOp::Metrics)
+      // Like stats: a metrics request observes every compile that
+      // preceded it in the input.
+      Response = serve::buildMetricsResponse(P.Id, Svc.metricsSnapshot());
     else
       Response = serve::buildAckResponse(
           P.Id, P.Op == serve::ServeOp::Shutdown ? "shutdown"
@@ -411,8 +439,8 @@ int main(int argc, char **argv) {
   serve::ServiceOptions SO;
   DaemonOptions DO;
   support::FaultInjector ServiceFaults;
-  std::string SocketPath;
-  bool Once = false, PrintStats = false;
+  std::string SocketPath, ChromePath;
+  bool Once = false, PrintStats = false, MetricsText = false;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -457,6 +485,15 @@ int main(int argc, char **argv) {
         return support::ExitUsage;
       }
       SO.Faults = &ServiceFaults;
+    } else if (startsWith(Arg, "--flightrec-dir=", Rest)) {
+      SO.FlightDir = Rest;
+    } else if (startsWith(Arg, "--trace-chrome=", Rest)) {
+      ChromePath = Rest;
+      // The per-request span tree is only interesting with the compiler's
+      // own spans nested under it.
+      SO.StitchTraces = true;
+    } else if (!std::strcmp(Arg, "--metrics-text")) {
+      MetricsText = true;
     } else if (!std::strcmp(Arg, "--stats")) {
       PrintStats = true;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
@@ -477,12 +514,37 @@ int main(int argc, char **argv) {
   }
 
   serve::CompileService Svc(SO);
+  if (!SO.FlightDir.empty())
+    // A fatal signal in the daemon itself (not an isolated child) leaves
+    // a post-mortem too. Installed after the service exists; the service
+    // outlives every worker, so the recorder pointer stays valid.
+    serve::installFlightDump(Svc.flightRecorder(),
+                             SO.FlightDir + "/flightrec-fatal.json");
   int Code = Once ? runOnce(Svc) : runDaemon(Svc, SocketPath, DO);
   if (PrintStats) {
     support::Stats S = Svc.statsSnapshot();
-    for (const support::Stats::Entry &E : S.entries())
-      std::fprintf(stderr, "%s=%llu\n", E.Path.c_str(),
-                   static_cast<unsigned long long>(E.Count));
+    for (const support::Stats::Entry &E : S.entries()) {
+      if (E.K == support::Stats::Entry::Kind::Gauge)
+        std::fprintf(stderr, "%s=%g\n", E.Path.c_str(), E.Gauge);
+      else
+        std::fprintf(stderr, "%s=%llu\n", E.Path.c_str(),
+                     static_cast<unsigned long long>(E.Count));
+    }
+  }
+  if (MetricsText)
+    std::fputs(serve::metricsToPrometheus(Svc.metricsSnapshot()).c_str(),
+               stderr);
+  if (!ChromePath.empty()) {
+    std::string Text =
+        serve::flightToChromeJson(Svc.flightRecorder().snapshot()).dump(2);
+    Text.push_back('\n');
+    if (std::FILE *F = std::fopen(ChromePath.c_str(), "w")) {
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "gcsafe-serve: cannot write %s\n",
+                   ChromePath.c_str());
+    }
   }
   return Code;
 }

@@ -20,13 +20,20 @@ half-closed socket. Assertions:
     forced shed, answered in bounded time), or "deadline" (exit 6, the
     deliberately-1ms-budget requests);
   - all ok responses sharing a cache_key are byte-identical modulo the
-    "cached"/"id" fields — the warm/cold contract survives chaos;
+    "cached"/"id"/"request_id" fields — the warm/cold contract survives
+    chaos;
   - the crashed count matches serve.isolate.crashes and crashed results
-    were never cached (a later request on the same key succeeds).
+    were never cached (a later request on the same key succeeds);
+  - telemetry (docs/OBSERVABILITY.md §8): every "crashed" response is
+    covered by a flight-recorder dump in --flightrec-dir naming its
+    request_id (100% crash-dump coverage), and the post-run metrics op
+    reports an e2e histogram count equal to serve.requests — no request
+    escapes the latency telemetry.
 
 Phase 2 (attribution): a fresh daemon with serve.worker.crash@always and
 no retries — every compile must come back typed "crashed" with the
-signal named, deterministically, and the daemon must survive all of them.
+signal named, deterministically, each with its flight-recorder dump, and
+the daemon must survive all of them.
 
 Phase 3 (drain): `drain` acks, queued work finishes, the daemon exits 0
 and removes its socket — the graceful retirement path.
@@ -141,8 +148,11 @@ def ask_fresh(daemon, request):
 
 
 def compile_request(rid, source, deadline_ms=0):
+    # The protocol id doubles as the trace request_id, so every crash can
+    # be attributed to a flight-recorder dump named after the victim.
     req = {"schema": "gcsafe-serve-v1", "op": "compile", "id": rid,
-           "name": rid, "source": source, "mode": "safepost", "run": True}
+           "request_id": rid, "name": rid, "source": source,
+           "mode": "safepost", "run": True}
     if deadline_ms:
         req["deadline_ms"] = deadline_ms
     return req
@@ -233,7 +243,8 @@ def check_byte_identity(responses):
     fidelity, not a single payload per key."""
     def canon(resp):
         return json.dumps(
-            {k: v for k, v in resp.items() if k not in ("cached", "id")},
+            {k: v for k, v in resp.items()
+             if k not in ("cached", "id", "request_id")},
             sort_keys=True)
     cold, warm = {}, {}
     for resp in responses:
@@ -248,16 +259,47 @@ def check_byte_identity(responses):
     return len(set(cold) | set(warm))
 
 
+def check_crash_dump(flight_dir, resp):
+    """Every "crashed" response must be accompanied by a flight-recorder
+    dump naming the victim (docs/OBSERVABILITY.md §8)."""
+    rid = resp.get("request_id")
+    if not rid:
+        fail(f"crashed response without a request_id: {resp}")
+    if rid != resp.get("id"):
+        fail(f"crashed response echoes request_id {rid!r}, "
+             f"sent {resp['id']!r}")
+    path = os.path.join(flight_dir, f"flightrec-{rid}.json")
+    if not os.path.exists(path):
+        fail(f"no flight-recorder dump for crashed request {rid!r} "
+             f"at {path}")
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        fail(f"flight dump {path} is not JSON: {exc}")
+    if doc.get("schema") != "gcsafe-flightrec-v1":
+        fail(f"flight dump {path} has schema {doc.get('schema')!r}")
+    if doc.get("reason") != "crash":
+        fail(f"flight dump {path} has reason {doc.get('reason')!r}, "
+             "expected 'crash'")
+    if doc.get("request_id") != rid:
+        fail(f"flight dump {path} names {doc.get('request_id')!r}, "
+             f"expected {rid!r}")
+    if not doc.get("events"):
+        fail(f"flight dump {path} carries no events")
+
+
 def run_flood_phase(args, tmp, lines):
     clients = 8
     rounds = 6 if args.mode == "soak" else 2
     crash_p = "0.02" if args.mode == "soak" else "0.05"
     sources = [make_source(v) for v in range(4)]
+    flight_dir = os.path.join(tmp, "flight-flood")
+    os.makedirs(flight_dir, exist_ok=True)
     daemon = Daemon(args.serve_bin, tmp, "flood", [
         "--workers=4", "--isolate", "--isolate-retries=0",
         "--isolate-timeout=20000", "--queue-max=64",
         "--read-timeout=5000", "--write-timeout=5000",
-        "--max-request=65536",
+        "--max-request=65536", f"--flightrec-dir={flight_dir}",
         f"--fail-inject=13:serve.worker.crash@p{crash_p},"
         "serve.queue.full@n3x1",
     ])
@@ -324,6 +366,25 @@ def run_flood_phase(args, tmp, lines):
         if serve["queue"]["shed"] != 1:
             fail(f"serve.queue.shed = {serve['queue']['shed']}, expected 1")
 
+        # Telemetry phase (docs/OBSERVABILITY.md §8): every crashed
+        # response is covered by a flight-recorder dump naming its
+        # request, and the e2e latency histogram accounts for exactly
+        # the requests the service admitted (sheds never start a span).
+        for resp in responses:
+            if resp.get("status") == "crashed":
+                check_crash_dump(flight_dir, resp)
+        metrics_line = ask_fresh(
+            daemon, {"schema": "gcsafe-serve-v1", "op": "metrics",
+                     "id": "m0"})
+        lines.append(metrics_line)
+        snap = json.loads(metrics_line)["metrics"]
+        if snap.get("schema") != "gcsafe-metrics-v1":
+            fail(f"bad metrics snapshot after the flood: {snap}")
+        e2e = snap["stages"]["e2e"]["count"]
+        if e2e != serve["requests"]:
+            fail(f"e2e histogram count {e2e} != serve.requests "
+                 f"{serve['requests']} — a request escaped telemetry")
+
         # Phase 3 rides on the flood daemon: drain and a clean exit.
         drain_line = ask_fresh(daemon, {"op": "drain", "id": "d0"})
         lines.append(drain_line)
@@ -340,8 +401,11 @@ def run_flood_phase(args, tmp, lines):
 
 
 def run_attribution_phase(args, tmp, lines):
+    flight_dir = os.path.join(tmp, "flight-attr")
+    os.makedirs(flight_dir, exist_ok=True)
     daemon = Daemon(args.serve_bin, tmp, "attr", [
         "--workers=2", "--isolate", "--isolate-retries=0",
+        f"--flightrec-dir={flight_dir}",
         "--fail-inject=7:serve.worker.crash@always",
     ])
     try:
@@ -357,6 +421,7 @@ def run_attribution_phase(args, tmp, lines):
                     fail(f"crash without the signal named: {resp}")
                 if resp.get("cached"):
                     fail(f"a crashed result claims cached=true: {resp}")
+                check_crash_dump(flight_dir, resp)
         if not daemon.alive():
             fail("daemon died in the crash-rate-1.0 phase")
         line = ask_fresh(daemon, {"op": "shutdown", "id": "bye"})
@@ -384,9 +449,9 @@ def main():
         run_attribution_phase(args, tmp, lines)
     Path(args.out).write_text("".join(l + "\n" for l in lines))
     print(f"serve_chaos_test: ok ({args.mode}: {counts['ok']} ok, "
-          f"{counts['crashed']} crashed+attributed, "
+          f"{counts['crashed']} crashed+attributed+dumped, "
           f"{counts['overloaded']} shed, {counts['deadline']} deadline, "
-          "2 daemons, 0 daemon deaths)")
+          "e2e histogram complete, 2 daemons, 0 daemon deaths)")
     return 0
 
 

@@ -2,7 +2,7 @@
 """Exercise gcsafe-serve end to end as a client would.
 
 Drives one session — ping, a cold compile, the same compile warm, stats,
-shutdown — through either transport:
+metrics, shutdown — through either transport:
 
   serve_client_test.py --once    --serve-bin BIN --source FILE --out FILE
   serve_client_test.py --socket  --serve-bin BIN --source FILE --out FILE
@@ -10,7 +10,8 @@ shutdown — through either transport:
 
 and asserts the serving contract (docs/SERVING.md): the warm response is
 served from the cache, byte-identical to the cold response apart from the
-"cached" and "id" fields, and the stats op reports the hit. In socket mode
+"cached", "id", and "request_id" fields, each compile echoes its client
+request_id, and the stats op reports the hit. In socket mode
 the cold and warm compiles arrive on *different connections*, proving the
 cache is shared across clients, and the daemon must exit 0 after the
 shutdown op. Every response line is written to --out so the ctest wiring
@@ -55,9 +56,10 @@ def build_requests(source):
     }
     return [
         {"schema": "gcsafe-serve-v1", "op": "ping", "id": "ping-1"},
-        dict(compile_req, id="cold-1"),
-        dict(compile_req, id="warm-1"),
+        dict(compile_req, id="cold-1", request_id="rid-cold"),
+        dict(compile_req, id="warm-1", request_id="rid-warm"),
         {"schema": "gcsafe-serve-v1", "op": "stats", "id": "stats-1"},
+        {"schema": "gcsafe-serve-v1", "op": "metrics", "id": "metrics-1"},
         {"schema": "gcsafe-serve-v1", "op": "shutdown", "id": "bye-1"},
     ]
 
@@ -65,11 +67,12 @@ def build_requests(source):
 def check_session(responses):
     """The shared contract, regardless of transport."""
     by_id = {r.get("id"): r for r in responses}
-    for rid in ("ping-1", "cold-1", "warm-1", "stats-1", "bye-1"):
+    for rid in ("ping-1", "cold-1", "warm-1", "stats-1", "metrics-1",
+                "bye-1"):
         if rid not in by_id:
             fail(f"no response with id '{rid}'")
     ping, cold, warm = by_id["ping-1"], by_id["cold-1"], by_id["warm-1"]
-    stats, bye = by_id["stats-1"], by_id["bye-1"]
+    stats, metrics, bye = by_id["stats-1"], by_id["metrics-1"], by_id["bye-1"]
 
     if not ping["ok"] or ping["op"] != "ping":
         fail(f"bad ping response: {ping}")
@@ -89,15 +92,25 @@ def check_session(responses):
         fail(f"cache keys differ: {cold['cache_key']} vs "
              f"{warm['cache_key']}")
 
+    # Trace propagation (docs/OBSERVABILITY.md §8): each response echoes
+    # its own client request_id, cached or not.
+    if cold.get("request_id") != "rid-cold":
+        fail(f"cold response request_id {cold.get('request_id')!r}, "
+             "expected 'rid-cold'")
+    if warm.get("request_id") != "rid-warm":
+        fail(f"warm response request_id {warm.get('request_id')!r}, "
+             "expected 'rid-warm'")
+
     # Byte-identity: strip the fields that legitimately differ and compare
     # the canonicalized rest.
     def canon(resp):
         return json.dumps(
-            {k: v for k, v in resp.items() if k not in ("cached", "id")},
+            {k: v for k, v in resp.items()
+             if k not in ("cached", "id", "request_id")},
             sort_keys=True)
     if canon(warm) != canon(cold):
         fail("warm response is not byte-identical to cold "
-             "(modulo 'cached' and 'id')")
+             "(modulo 'cached', 'id', and 'request_id')")
 
     serve = stats.get("serve")
     if not isinstance(serve, dict):
@@ -106,6 +119,18 @@ def check_session(responses):
         fail(f"stats reports no cache hit: {serve['cache']}")
     if serve["requests"] < 2:
         fail(f"stats reports {serve['requests']} requests, expected >= 2")
+
+    # The metrics op answers with the latency snapshot: both compiles
+    # accounted for end to end, and only the cold one compiled.
+    snap = metrics.get("metrics")
+    if not isinstance(snap, dict) or snap.get("schema") != "gcsafe-metrics-v1":
+        fail(f"bad metrics response: {metrics}")
+    stages = snap["stages"]
+    if stages["e2e"]["count"] != serve["requests"]:
+        fail(f"e2e histogram count {stages['e2e']['count']} != "
+             f"serve.requests {serve['requests']}")
+    if stages["compile"]["count"] < 1:
+        fail("metrics reports no compile-stage samples")
     return 0
 
 
@@ -137,7 +162,7 @@ def ask(conn, request):
 
 
 def run_socket(args, requests):
-    ping, cold, warm, stats, bye = requests
+    ping, cold, warm, stats, metrics, bye = requests
     # Unix socket paths are length-limited; stay short under /tmp.
     with tempfile.TemporaryDirectory(prefix="gcsafe-",
                                      dir="/tmp") as tmp:
@@ -165,6 +190,7 @@ def run_socket(args, requests):
                 c2.connect(path)
                 lines.append(ask(c2, warm))
                 lines.append(ask(c2, stats))
+                lines.append(ask(c2, metrics))
                 lines.append(ask(c2, bye))
 
             code = daemon.wait(timeout=30)

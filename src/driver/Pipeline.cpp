@@ -30,7 +30,7 @@ const char *gcsafe::driver::compileModeName(CompileMode Mode) {
 bool VerifyMemo::lookup(const std::string &Key, const char *Pass,
                         std::vector<analysis::SafetyDiag> &Out,
                         bool &OkOut) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  support::RankedGuard Lock(Mu);
   auto It = Map.find(Key);
   if (It == Map.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
@@ -49,12 +49,12 @@ bool VerifyMemo::lookup(const std::string &Key, const char *Pass,
 
 void VerifyMemo::insert(const std::string &Key, bool Ok,
                         std::vector<analysis::SafetyDiag> Diags) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  support::RankedGuard Lock(Mu);
   Map.emplace(Key, Entry{Ok, std::move(Diags)});
 }
 
 size_t VerifyMemo::entries() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  support::RankedGuard Lock(Mu);
   return Map.size();
 }
 

@@ -31,6 +31,7 @@
 #include "ir/IR.h"
 #include "ir/Lower.h"
 #include "opt/Passes.h"
+#include "support/RankedMutex.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 #include "vm/VM.h"
@@ -38,7 +39,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -122,8 +122,9 @@ private:
     bool Ok = true;
     std::vector<analysis::SafetyDiag> Diags;
   };
-  mutable std::mutex Mu;
-  std::unordered_map<std::string, Entry> Map;
+  mutable support::RankedMutex Mu{support::LockRank::DriverVerifyMemo,
+                                  "driver.verify_memo"};
+  std::unordered_map<std::string, Entry> Map GCSAFE_GUARDED_BY(Mu);
   std::atomic<uint64_t> Hits{0}, Misses{0};
 };
 

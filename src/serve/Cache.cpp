@@ -2,11 +2,17 @@
 
 #include "serve/Cache.h"
 
+#include "support/Interleave.h"
+
 using namespace gcsafe;
 using namespace gcsafe::serve;
 
 bool ContentCache::lookup(const std::string &Key, std::string &Out) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  // The gap between a miss here and the caller's single-flight election
+  // is where a duplicate compile would sneak in; the schedule fuzzer
+  // widens it on demand (tests/test_race.cpp).
+  GCSAFE_INTERLEAVE_POINT("serve.cache.lookup");
+  support::RankedGuard Lock(Mu);
   auto It = Map.find(Key);
   if (It == Map.end()) {
     ++Misses;
@@ -19,7 +25,8 @@ bool ContentCache::lookup(const std::string &Key, std::string &Out) {
 }
 
 void ContentCache::insert(const std::string &Key, std::string Payload) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  GCSAFE_INTERLEAVE_POINT("serve.cache.insert");
+  support::RankedGuard Lock(Mu);
   if (Map.count(Key))
     return; // content-addressed: an existing entry is already this value
   while (Map.size() >= MaxEntries) {
@@ -36,7 +43,7 @@ void ContentCache::insert(const std::string &Key, std::string Payload) {
 }
 
 CacheStats ContentCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  support::RankedGuard Lock(Mu);
   CacheStats S;
   S.Hits = Hits;
   S.Misses = Misses;
@@ -48,7 +55,7 @@ CacheStats ContentCache::stats() const {
 }
 
 void ContentCache::clear() {
-  std::lock_guard<std::mutex> Lock(Mu);
+  support::RankedGuard Lock(Mu);
   Lru.clear();
   Map.clear();
   Bytes = 0;

@@ -12,16 +12,19 @@
 /// response payload, replayed verbatim on a hit — which is what makes a
 /// warm response byte-identical to the cold one it memoizes. Eviction is
 /// LRU with a fixed entry cap. Thread-safe: one instance is shared by
-/// every worker of a CompileService.
+/// every worker of a CompileService; all state is guarded by a ranked
+/// mutex (support/RankedMutex.h) and annotated for Clang's thread-safety
+/// analysis (docs/ANALYSIS.md §"Concurrency checking").
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GCSAFE_SERVE_CACHE_H
 #define GCSAFE_SERVE_CACHE_H
 
+#include "support/RankedMutex.h"
+
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -56,12 +59,17 @@ public:
 
 private:
   using Entry = std::pair<std::string, std::string>; // key, payload
-  mutable std::mutex Mu;
-  std::list<Entry> Lru; ///< Front = most recently used.
-  std::unordered_map<std::string, std::list<Entry>::iterator> Map;
+  mutable support::RankedMutex Mu{support::LockRank::ServeCache,
+                                  "serve.cache"};
+  /// Front = most recently used.
+  std::list<Entry> Lru GCSAFE_GUARDED_BY(Mu);
+  std::unordered_map<std::string, std::list<Entry>::iterator>
+      Map GCSAFE_GUARDED_BY(Mu);
   size_t MaxEntries;
-  uint64_t Bytes = 0;
-  uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+  uint64_t Bytes GCSAFE_GUARDED_BY(Mu) = 0;
+  uint64_t Hits GCSAFE_GUARDED_BY(Mu) = 0, Misses GCSAFE_GUARDED_BY(Mu) = 0,
+           Insertions GCSAFE_GUARDED_BY(Mu) = 0,
+           Evictions GCSAFE_GUARDED_BY(Mu) = 0;
 };
 
 } // namespace serve

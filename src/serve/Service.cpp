@@ -5,6 +5,7 @@
 #include "driver/Isolate.h"
 #include "support/ExitCodes.h"
 #include "support/Hash.h"
+#include "support/Interleave.h"
 
 #include <algorithm>
 #include <cctype>
@@ -172,49 +173,52 @@ CompileService::~CompileService() { stop(); }
 
 void CompileService::stop() {
   {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    if (Stopping)
+    support::RankedGuard Lock(QueueMu);
+    if (Stopping.load(std::memory_order_relaxed))
       return;
-    Stopping = true;
+    Stopping.store(true, std::memory_order_release);
   }
-  QueueCv.notify_all();
+  QueueCv.notifyAll();
   for (std::thread &T : Pool)
     T.join();
 }
 
 void CompileService::drain() {
   {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    if (Draining)
+    support::RankedGuard Lock(QueueMu);
+    if (Draining.load(std::memory_order_relaxed))
       return;
-    Draining = true;
+    Draining.store(true, std::memory_order_release);
   }
   traceEmit("service.drain", 0, 0, "");
 }
 
 void CompileService::waitIdle() {
-  std::unique_lock<std::mutex> Lock(QueueMu);
-  IdleCv.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+  support::RankedLock Lock(QueueMu);
+  IdleCv.wait(Lock, [this]() GCSAFE_REQUIRES(QueueMu) {
+    return Queue.empty() && Active == 0;
+  });
 }
 
 ServiceHealth CompileService::health() const {
-  std::lock_guard<std::mutex> Lock(QueueMu);
+  // A point-in-time sample built entirely from the lock-free gauges: a
+  // supervisor probing readiness never contends with admission.
   ServiceHealth H;
   H.Workers = static_cast<unsigned>(Pool.size());
-  H.QueueDepth = Queue.size();
+  H.QueueDepth = QueueDepth.load(std::memory_order_acquire);
   H.QueueMax = Opts.QueueMax;
-  H.Draining = Draining;
-  H.Stopping = Stopping;
+  H.Draining = Draining.load(std::memory_order_acquire);
+  H.Stopping = Stopping.load(std::memory_order_acquire);
   H.Isolate = Opts.Isolate;
-  H.Ready = !Stopping && !Draining &&
-            (!Opts.QueueMax || Queue.size() < Opts.QueueMax);
+  H.Ready = !H.Stopping && !H.Draining &&
+            (!Opts.QueueMax || H.QueueDepth < Opts.QueueMax);
   return H;
 }
 
 bool CompileService::injectFault(const std::string &Site) {
   if (!Opts.Faults)
     return false;
-  std::lock_guard<std::mutex> Lock(FaultMu);
+  support::RankedGuard Lock(FaultMu);
   return Opts.Faults->shouldFail(Opts.Faults->siteId(Site));
 }
 
@@ -222,23 +226,27 @@ void CompileService::workerLoop() {
   for (;;) {
     std::packaged_task<ServeResult()> Task;
     {
-      std::unique_lock<std::mutex> Lock(QueueMu);
-      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      support::RankedLock Lock(QueueMu);
+      QueueCv.wait(Lock, [this]() GCSAFE_REQUIRES(QueueMu) {
+        return Stopping.load(std::memory_order_relaxed) || !Queue.empty();
+      });
       if (Queue.empty()) {
-        if (Stopping)
+        if (Stopping.load(std::memory_order_relaxed))
           return;
         continue;
       }
       Task = std::move(Queue.front());
       Queue.pop_front();
+      QueueDepth.store(Queue.size(), std::memory_order_release);
       ++Active;
     }
+    GCSAFE_INTERLEAVE_POINT("serve.queue.pop");
     Task();
     {
-      std::lock_guard<std::mutex> Lock(QueueMu);
+      support::RankedGuard Lock(QueueMu);
       --Active;
     }
-    IdleCv.notify_all();
+    IdleCv.notifyAll();
   }
 }
 
@@ -263,11 +271,11 @@ CompileService::submit(driver::RequestOptions Request, bool UseCache) {
   const char *Shed = nullptr;
   std::string Why;
   {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    if (Stopping) {
+    support::RankedGuard Lock(QueueMu);
+    if (Stopping.load(std::memory_order_relaxed)) {
       Shed = "shutdown";
       Why = "the service is shutting down";
-    } else if (Draining) {
+    } else if (Draining.load(std::memory_order_relaxed)) {
       Shed = "draining";
       Why = "the service is draining";
     } else if (Injected) {
@@ -279,12 +287,17 @@ CompileService::submit(driver::RequestOptions Request, bool UseCache) {
             " requests deep)";
     } else {
       Queue.push_back(std::move(Task));
-      if (Queue.size() > QueuePeak)
-        QueuePeak = Queue.size();
+      size_t Depth = Queue.size();
+      // The gauges shadow Queue under QueueMu; peak's read-modify-write
+      // is safe because every writer holds the lock — the atomics exist
+      // for the lock-free snapshot readers.
+      QueueDepth.store(Depth, std::memory_order_release);
+      if (Depth > QueuePeak.load(std::memory_order_relaxed))
+        QueuePeak.store(Depth, std::memory_order_release);
     }
   }
   if (!Shed) {
-    QueueCv.notify_one();
+    QueueCv.notifyOne();
     return F;
   }
 
@@ -312,7 +325,7 @@ std::string CompileService::assignRequestId(driver::RequestOptions &Request) {
 
 void CompileService::traceEmit(const char *Name, uint64_t Value,
                                uint64_t Aux, std::string Detail) {
-  std::lock_guard<std::mutex> Lock(TraceMu);
+  support::RankedGuard Lock(TraceMu);
   Trace.emit("serve", Name, Value, Aux, std::move(Detail));
 }
 
@@ -346,7 +359,7 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
 
   uint64_t QueueWaitNs = BeginNs > SubmitNs ? BeginNs - SubmitNs : 0;
   {
-    std::lock_guard<std::mutex> Lock(HistMu);
+    support::RankedGuard Lock(HistMu);
     HistQueueWait.record(QueueWaitNs);
   }
   Flight.record("serve", "queue.wait", TraceId, QueueWaitNs, Worker);
@@ -360,7 +373,7 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
     countResult(R);
     uint64_t E2ENs = support::monotonicNowNs() - SubmitNs;
     {
-      std::lock_guard<std::mutex> Lock(HistMu);
+      support::RankedGuard Lock(HistMu);
       HistE2E.record(E2ENs);
     }
     Flight.record("serve", "e2e", TraceId, E2ENs, Worker);
@@ -415,10 +428,10 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
       if (!S)
         return;
       {
-        std::lock_guard<std::mutex> L(S->InFlightMu);
+        support::RankedGuard L(S->InFlightMu);
         S->InFlight.erase(Key);
       }
-      S->InFlightCv.notify_all();
+      S->InFlightCv.notifyAll();
     }
   } Leader;
 
@@ -440,7 +453,7 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
         LookupTimed = true;
         uint64_t LookupNs = support::monotonicNowNs() - LookupStartNs;
         {
-          std::lock_guard<std::mutex> Lock(HistMu);
+          support::RankedGuard Lock(HistMu);
           HistCacheLookup.record(LookupNs);
         }
         Flight.record("serve", "cache.lookup", TraceId, LookupNs, Worker);
@@ -460,18 +473,23 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
         // An unparseable payload cannot happen via insert(); treat it as
         // a miss and overwrite below.
       }
-      std::unique_lock<std::mutex> L(InFlightMu);
+      support::RankedLock L(InFlightMu);
       if (!InFlight.count(Result.CacheKey)) {
         InFlight.insert(Result.CacheKey);
         Leader.S = this;
         Leader.Key = Result.CacheKey;
         break;
       }
+      // Counted by the hook while the lock is still held, so "observed
+      // waiting" can never race the leader's release+notify: the leader
+      // needs this mutex to erase its key, and we do not drop it between
+      // the in-flight check and the wait below.
+      GCSAFE_INTERLEAVE_POINT("serve.singleflight.wait");
       if (DeadlineAtNs) {
         uint64_t Now = support::monotonicNowNs();
         if (Now >= DeadlineAtNs ||
-            InFlightCv.wait_for(L, std::chrono::nanoseconds(
-                                       DeadlineAtNs - Now)) ==
+            InFlightCv.waitFor(L, std::chrono::nanoseconds(
+                                      DeadlineAtNs - Now)) ==
                 std::cv_status::timeout) {
           // The budget ran out while queued behind the leader: same
           // typed expiry as a deadline that fired anywhere else.
@@ -490,6 +508,11 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
         InFlightCv.wait(L);
       }
     }
+    // The leader's window: it holds single-flight for this key but has
+    // not started (let alone published) the compile. The re-election
+    // test parks the first leader here and kills it with the
+    // serve.worker.crash failpoint below.
+    GCSAFE_INTERLEAVE_POINT("serve.singleflight.elect");
     traceEmit("cache.miss", 0, 0, TraceId + " " + Result.CacheKey);
     Flight.record("serve", "cache.miss", TraceId, 0, Worker);
   }
@@ -500,17 +523,34 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
     Result = isolatedCompile(Request, DeadlineAtNs, TraceId);
     uint64_t IsoNs = support::monotonicNowNs() - IsoStartNs;
     {
-      std::lock_guard<std::mutex> Lock(HistMu);
+      support::RankedGuard Lock(HistMu);
       HistIsolate.record(IsoNs);
     }
     Flight.record("serve", "isolate", TraceId, IsoNs, Worker);
+    Result.CacheKey = Key;
+  } else if (injectFault("serve.worker.crash")) {
+    // An in-process worker cannot survive a real SIGSEGV, so without
+    // Opts.Isolate the crash failpoint models the *disposition* instead:
+    // the same typed result, telemetry and flight dump as a sandboxed
+    // crash whose retries ran out. The payoff is determinism — a leader
+    // can be killed between its election and its publish without a fork,
+    // which is how tests/test_race.cpp drives single-flight re-election.
+    traceEmit("worker.crash", 0, 0, TraceId + " " + Request.Name);
+    Flight.record("serve", "worker.crash", TraceId, 0, Worker);
+    if (!Opts.FlightDir.empty())
+      Flight.dumpToFile(Opts.FlightDir + "/flightrec-" +
+                            fsSafeId(Request.RequestId) + ".json",
+                        "crash", Request.RequestId, TraceId, 0);
+    std::string Key = Result.CacheKey;
+    Result = typedResult("crashed", support::ExitWorkerCrash,
+                         "worker crash injected (serve.worker.crash)");
     Result.CacheKey = Key;
   } else {
     uint64_t ExecStartNs = support::monotonicNowNs();
     ServeResult Executed = resultFromOutcome(Ctx.execute());
     uint64_t ExecNs = support::monotonicNowNs() - ExecStartNs;
     {
-      std::lock_guard<std::mutex> Lock(HistMu);
+      support::RankedGuard Lock(HistMu);
       HistCompile.record(ExecNs);
     }
     Flight.record("serve", "compile", TraceId, ExecNs, Worker);
@@ -548,8 +588,12 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
   bool Cacheable = WantCache && Result.Status.empty() &&
                    !(DeadlineAtNs &&
                      Result.ExitCode == support::ExitWatchdogTimeout);
-  if (Cacheable)
+  if (Cacheable) {
     Cache.insert(Result.CacheKey, serveResultToJson(Result).dump(0));
+    // Between the insert and the FlightGuard's release: a waiter woken
+    // here must still re-check the cache, not assume the key vanished.
+    GCSAFE_INTERLEAVE_POINT("serve.singleflight.publish");
+  }
 
   return Finish(std::move(Result), 0);
 }
@@ -687,14 +731,15 @@ support::Stats CompileService::statsSnapshot() const {
         ResponsesError.load(std::memory_order_relaxed));
   S.set("serve.responses.degraded",
         ResponsesDegraded.load(std::memory_order_relaxed));
-  {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    // depth is a point-in-time sample, not a lifetime total: report it
-    // with Gauge kind so consumers (Stats::merge, --stats printing) never
-    // treat it as a monotonic counter. peak and shed stay true counters.
-    S.setFloat("serve.queue.depth", static_cast<double>(Queue.size()));
-    S.set("serve.queue.peak", QueuePeak);
-  }
+  // depth is a point-in-time sample, not a lifetime total: report it
+  // with Gauge kind so consumers (Stats::merge, --stats printing) never
+  // treat it as a monotonic counter. peak and shed stay true counters.
+  // Both gauges are lock-free mirrors of the queue (written under
+  // QueueMu, sampled here with acquire), so snapshotting never blocks
+  // admission.
+  S.setFloat("serve.queue.depth",
+             static_cast<double>(QueueDepth.load(std::memory_order_acquire)));
+  S.set("serve.queue.peak", QueuePeak.load(std::memory_order_acquire));
   S.set("serve.queue.shed", QueueShed.load(std::memory_order_relaxed));
   S.set("serve.deadline.expired",
         DeadlineExpired.load(std::memory_order_relaxed));
@@ -720,7 +765,7 @@ support::Stats CompileService::statsSnapshot() const {
 }
 
 std::vector<support::TraceEvent> CompileService::traceSnapshot() const {
-  std::lock_guard<std::mutex> Lock(TraceMu);
+  support::RankedGuard Lock(TraceMu);
   return Trace.snapshot();
 }
 
@@ -738,16 +783,15 @@ support::Json CompileService::metricsSnapshot() const {
   // depth is a *sampled gauge* — the value at snapshot time, not a
   // lifetime total like peak and shed (which are true counters).
   Json Q = Json::object();
-  {
-    std::lock_guard<std::mutex> Lock(QueueMu);
-    Q["depth"] = Json::integer(uint64_t(Queue.size()));
-    Q["peak"] = Json::integer(uint64_t(QueuePeak));
-  }
+  Q["depth"] =
+      Json::integer(uint64_t(QueueDepth.load(std::memory_order_acquire)));
+  Q["peak"] =
+      Json::integer(uint64_t(QueuePeak.load(std::memory_order_acquire)));
   Q["shed"] = Json::integer(QueueShed.load(std::memory_order_relaxed));
   M["queue"] = std::move(Q);
   Json Stages = Json::object();
   {
-    std::lock_guard<std::mutex> Lock(HistMu);
+    support::RankedGuard Lock(HistMu);
     Stages["queue_wait"] = HistQueueWait.toJson();
     Stages["cache_lookup"] = HistCacheLookup.toJson();
     Stages["compile"] = HistCompile.toJson();

@@ -38,12 +38,12 @@
 #include "driver/Request.h"
 #include "serve/Cache.h"
 #include "serve/Telemetry.h"
+#include "support/RankedMutex.h"
 
-#include <condition_variable>
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -180,7 +180,7 @@ public:
   /// One consult of the service-wide failpoint injector (serialized; the
   /// injector itself is not thread-safe). False when no injector is
   /// configured. The daemon uses this for serve.conn.stall.
-  bool injectFault(const std::string &Site);
+  bool injectFault(const std::string &Site) GCSAFE_EXCLUDES(FaultMu);
 
   /// The serve.* stats keys (docs/OBSERVABILITY.md §"serve").
   support::Stats statsSnapshot() const;
@@ -192,7 +192,8 @@ public:
   support::Json metricsSnapshot() const;
 
   /// Snapshot of the service-level cat="serve" trace ring.
-  std::vector<support::TraceEvent> traceSnapshot() const;
+  std::vector<support::TraceEvent> traceSnapshot() const
+      GCSAFE_EXCLUDES(TraceMu);
 
   /// The daemon-wide lock-free telemetry ring (serve/Telemetry.h).
   const FlightRecorder &flightRecorder() const { return Flight; }
@@ -202,9 +203,9 @@ public:
   ContentCache &cache() { return Cache; }
 
 private:
-  void workerLoop();
+  void workerLoop() GCSAFE_EXCLUDES(QueueMu);
   void traceEmit(const char *Name, uint64_t Value, uint64_t Aux,
-                 std::string Detail);
+                 std::string Detail) GCSAFE_EXCLUDES(TraceMu);
   /// The compile body shared by compile() and the pool: cache lookup,
   /// deadline bookkeeping, in-process or sandboxed execution, cache
   /// insert. DeadlineAtNs is the absolute monotonic expiry (0 = none);
@@ -231,21 +232,28 @@ private:
   driver::VerifyMemo Memo;
   const uint64_t StartNs; ///< Service birth; uptime/rate baseline.
 
-  mutable std::mutex TraceMu;
-  support::TraceBuffer Trace;
+  mutable support::RankedMutex TraceMu{support::LockRank::ServeTrace,
+                                       "serve.trace"};
+  support::TraceBuffer Trace GCSAFE_GUARDED_BY(TraceMu);
 
   /// Lock-free; safe to record from any worker and dump from a signal.
   FlightRecorder Flight;
 
   /// Per-stage latency histograms (support::Histogram is not
   /// thread-safe; every record/read goes through HistMu).
-  mutable std::mutex HistMu;
-  support::Histogram HistQueueWait, HistCacheLookup, HistCompile,
-      HistIsolate, HistE2E;
+  mutable support::RankedMutex HistMu{support::LockRank::ServeHist,
+                                      "serve.hist"};
+  support::Histogram HistQueueWait GCSAFE_GUARDED_BY(HistMu),
+      HistCacheLookup GCSAFE_GUARDED_BY(HistMu),
+      HistCompile GCSAFE_GUARDED_BY(HistMu),
+      HistIsolate GCSAFE_GUARDED_BY(HistMu),
+      HistE2E GCSAFE_GUARDED_BY(HistMu);
 
   std::atomic<uint64_t> RequestSeq{0}; ///< Trace-id uniquifier.
 
-  mutable std::mutex FaultMu; ///< Serializes Opts.Faults consults.
+  /// Serializes Opts.Faults consults (the injector is not thread-safe).
+  mutable support::RankedMutex FaultMu{support::LockRank::ServeFault,
+                                       "serve.faults"};
 
   std::atomic<uint64_t> Requests{0}, ResponsesOk{0}, ResponsesError{0},
       ResponsesDegraded{0};
@@ -258,19 +266,29 @@ private:
   /// cached payload instead of duplicating the compile — this is what
   /// makes "cold then warm" deterministic even when both requests are
   /// in flight together, and it keeps a thundering herd of identical
-  /// requests from multiplying load under overload.
-  std::mutex InFlightMu;
-  std::condition_variable InFlightCv;
-  std::set<std::string> InFlight;
+  /// requests from multiplying load under overload. A leader whose
+  /// result turned out uncacheable wakes the waiters into re-electing
+  /// (tests/test_race.cpp forces that schedule deterministically).
+  support::RankedMutex InFlightMu{support::LockRank::ServeInFlight,
+                                  "serve.singleflight"};
+  support::CondVar InFlightCv;
+  std::set<std::string> InFlight GCSAFE_GUARDED_BY(InFlightMu);
 
-  mutable std::mutex QueueMu;
-  std::condition_variable QueueCv;
-  std::condition_variable IdleCv;
-  std::deque<std::packaged_task<ServeResult()>> Queue;
-  size_t QueuePeak = 0;  ///< Guarded by QueueMu.
-  size_t Active = 0;     ///< Requests a worker is executing; QueueMu.
-  bool Draining = false; ///< Guarded by QueueMu.
-  bool Stopping = false; ///< Guarded by QueueMu.
+  mutable support::RankedMutex QueueMu{support::LockRank::ServeQueue,
+                                       "serve.queue"};
+  support::CondVar QueueCv;
+  support::CondVar IdleCv;
+  std::deque<std::packaged_task<ServeResult()>> Queue GCSAFE_GUARDED_BY(QueueMu);
+  size_t Active GCSAFE_GUARDED_BY(QueueMu) = 0; ///< Mid-execute requests.
+  /// Sampled gauges mirroring Queue under QueueMu, readable lock-free by
+  /// statsSnapshot()/metricsSnapshot()/health() — the snapshot paths
+  /// never contend with admission (memory orders: store-release under
+  /// the lock, load-acquire at the sample site; the pairing only orders
+  /// the gauge against its own publication, nothing else is inferred).
+  std::atomic<size_t> QueueDepth{0};
+  std::atomic<size_t> QueuePeak{0};
+  std::atomic<bool> Draining{false}; ///< Written under QueueMu.
+  std::atomic<bool> Stopping{false}; ///< Written under QueueMu.
   std::vector<std::thread> Pool;
 };
 

@@ -16,33 +16,76 @@ using namespace gcsafe::serve;
 // FlightRecorder
 //===----------------------------------------------------------------------===//
 
+static_assert(sizeof(FlightEvent) % sizeof(uint64_t) == 0,
+              "FlightEvent must be word-copyable into a seqlock slot");
+static_assert(std::is_trivially_copyable<FlightEvent>::value,
+              "FlightEvent is copied as raw words");
+
 FlightRecorder::FlightRecorder(size_t Capacity)
     : Slots(Capacity ? Capacity : 1) {}
+
+namespace {
+
+/// The reader half of the seqlock protocol: copies one slot's payload
+/// into \p Out iff the ticket was \p WantTicket (even, nonzero) and
+/// stayed that value across the word copy. Relaxed word loads bracketed
+/// by an acquire load and an acquire fence — Boehm's seqlock-with-atomics
+/// recipe, safe from any thread and from signal context.
+template <typename SlotT>
+bool readSlot(const SlotT &S, uint64_t WantTicket, FlightEvent &Out) {
+  if (!WantTicket || (WantTicket & 1))
+    return false;
+  uint64_t W[SlotT::Words];
+  for (size_t I = 0; I < SlotT::Words; ++I)
+    W[I] = S.Data[I].load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (S.Ticket.load(std::memory_order_relaxed) != WantTicket)
+    return false; // Torn: a writer claimed the slot mid-copy.
+  std::memcpy(&Out, W, sizeof(Out));
+  return true;
+}
+
+} // namespace
 
 void FlightRecorder::record(const char *Cat, const char *Stage,
                             const std::string &Rid, uint64_t Value,
                             uint32_t Worker, uint64_t TimeNs) {
   uint64_t Seq = Head.fetch_add(1, std::memory_order_relaxed) + 1;
   Slot &S = Slots[(Seq - 1) % Slots.size()];
-  // Per-slot seqlock: odd ticket = write in progress. A reader (possibly
-  // a signal handler that interrupted this very store sequence) discards
-  // any slot whose ticket is odd or changes under it.
-  S.Ticket.store(Seq * 2 - 1, std::memory_order_release);
-  S.E.Seq = Seq;
-  S.E.TimeNs = TimeNs ? TimeNs : support::monotonicNowNs();
-  S.E.Value = Value;
-  S.E.Worker = Worker;
-  S.E.Cat = Cat;
-  S.E.Stage = Stage;
-  size_t N = std::min(Rid.size(), sizeof(S.E.Rid) - 1);
+
+  // Build the event on the stack first: the slot only ever holds either
+  // a complete payload or an odd ticket.
+  FlightEvent E;
+  E.Seq = Seq;
+  E.TimeNs = TimeNs ? TimeNs : support::monotonicNowNs();
+  E.Value = Value;
+  E.Worker = Worker;
+  E.Cat = Cat;
+  E.Stage = Stage;
+  size_t N = std::min(Rid.size(), sizeof(E.Rid) - 1);
   for (size_t I = 0; I < N; ++I) {
     // Scrub to JSON-safe printable ASCII so the signal-context dumper can
     // emit the id verbatim, without an escaper.
     char C = Rid[I];
-    S.E.Rid[I] =
-        (C < 0x20 || C > 0x7e || C == '"' || C == '\\') ? '_' : C;
+    E.Rid[I] = (C < 0x20 || C > 0x7e || C == '"' || C == '\\') ? '_' : C;
   }
-  S.E.Rid[N] = '\0';
+  E.Rid[N] = '\0';
+  uint64_t W[Slot::Words];
+  std::memcpy(W, &E, sizeof(E));
+
+  // Claim the slot: even (or never-written) -> odd. Losing the CAS means
+  // a writer one full ring lap away is still mid-write; dropping this
+  // event beats tearing that one.
+  uint64_t Cur = S.Ticket.load(std::memory_order_relaxed);
+  if ((Cur & 1) ||
+      !S.Ticket.compare_exchange_strong(Cur, Seq * 2 - 1,
+                                        std::memory_order_relaxed))
+    return;
+  // Release fence: the odd ticket is visible before any payload word, so
+  // a reader can never pair fresh words with the stale even ticket.
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t I = 0; I < Slot::Words; ++I)
+    S.Data[I].store(W[I], std::memory_order_relaxed);
   S.Ticket.store(Seq * 2, std::memory_order_release);
 }
 
@@ -50,14 +93,9 @@ std::vector<FlightEvent> FlightRecorder::snapshot() const {
   std::vector<FlightEvent> Out;
   Out.reserve(Slots.size());
   for (const Slot &S : Slots) {
-    uint64_t T1 = S.Ticket.load(std::memory_order_acquire);
-    if (!T1 || (T1 & 1))
-      continue;
-    FlightEvent E = S.E;
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (S.Ticket.load(std::memory_order_relaxed) != T1)
-      continue; // Torn: a writer lapped us mid-copy.
-    Out.push_back(E);
+    FlightEvent E;
+    if (readSlot(S, S.Ticket.load(std::memory_order_acquire), E))
+      Out.push_back(E);
   }
   std::sort(Out.begin(), Out.end(),
             [](const FlightEvent &A, const FlightEvent &B) {
@@ -148,9 +186,8 @@ void FlightRecorder::dumpTo(int Fd, const char *Reason,
     uint64_t T1 = S.Ticket.load(std::memory_order_acquire);
     if (T1 != Seq * 2)
       continue; // Empty, torn, or already overwritten by a racing writer.
-    FlightEvent E = S.E;
-    std::atomic_thread_fence(std::memory_order_acquire);
-    if (S.Ticket.load(std::memory_order_relaxed) != T1)
+    FlightEvent E;
+    if (!readSlot(S, T1, E))
       continue;
     if (!First)
       W.putc(',');

@@ -53,9 +53,19 @@ struct FlightEvent {
   char Rid[48] = {0};     ///< Trace id, sanitized + truncated, NUL-padded.
 };
 
-/// The daemon-wide ring. record() is wait-free (one fetch_add plus plain
-/// stores); readers use a per-slot sequence word to detect and discard
-/// torn slots instead of blocking writers.
+/// The daemon-wide ring. record() is lock-free (one fetch_add, one CAS to
+/// claim the slot, relaxed word stores); readers use a per-slot sequence
+/// word to detect and discard torn slots instead of blocking writers.
+///
+/// Memory ordering is the atomic seqlock recipe from Boehm, "Can Seqlocks
+/// Get Along With Programming Language Memory Models?" (MSPC 2012) — a
+/// fitting citation for this repo: slot payloads are relaxed atomic words
+/// bracketed by a release-fenced odd/even ticket, so the ring is
+/// TSan-clean with zero suppressions rather than "benignly" racy
+/// (docs/ANALYSIS.md §"Concurrency checking"). A reader accepts a slot
+/// only when the ticket is even and unchanged across the word copy; a
+/// writer that laps a straggling writer on the same slot loses the claim
+/// CAS and drops its event instead of tearing the payload.
 class FlightRecorder {
 public:
   explicit FlightRecorder(size_t Capacity = 2048);
@@ -97,7 +107,10 @@ private:
   struct Slot {
     /// 0 = never written; odd = write in progress; even = Seq * 2.
     std::atomic<uint64_t> Ticket{0};
-    FlightEvent E;
+    /// The FlightEvent payload as relaxed atomic words (the event struct
+    /// is trivially copyable and 8-byte-aligned; asserted in the .cpp).
+    static constexpr size_t Words = sizeof(FlightEvent) / sizeof(uint64_t);
+    std::atomic<uint64_t> Data[Words];
   };
   std::vector<Slot> Slots;
   std::atomic<uint64_t> Head{0};

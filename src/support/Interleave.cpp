@@ -1,0 +1,160 @@
+//===- support/Interleave.cpp ---------------------------------*- C++ -*-===//
+
+#include "support/Interleave.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace gcsafe;
+using namespace gcsafe::support;
+
+namespace {
+
+std::atomic<bool> Enabled{false};
+std::atomic<uint64_t> SeedV{0};
+std::atomic<unsigned> Permille{250};
+std::atomic<uint64_t> PointHits{0}, YieldCount{0}, SleepCount{0};
+std::atomic<ScheduleFuzzer::PointHook> Hook{nullptr};
+std::atomic<void *> HookCtx{nullptr};
+
+/// Per-point hit counters: a tiny open-addressed table keyed on the point
+/// name. Slots are claimed with one CAS and never freed — points are a
+/// small fixed set of string literals. Two distinct literals with equal
+/// text are the same point, so keys compare by content, not address.
+constexpr unsigned TableSize = 128; // power of two, >> number of points
+struct PointSlot {
+  std::atomic<const char *> Name{nullptr};
+  std::atomic<uint64_t> Hits{0};
+};
+PointSlot Table[TableSize];
+
+uint64_t fnv1a(const char *S) {
+  uint64_t H = 1469598103934665603ull;
+  for (; *S; ++S) {
+    H ^= static_cast<unsigned char>(*S);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// splitmix64: a strong pure mixer, so nearby (seed, point, hit) triples
+/// decorrelate completely.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// The hit index of this consult at \p Point: a per-point monotone
+/// counter, found (or claimed) by linear probing.
+uint64_t nextHitIndex(const char *Point) {
+  uint64_t H = fnv1a(Point);
+  for (unsigned Probe = 0; Probe < TableSize; ++Probe) {
+    PointSlot &S = Table[(H + Probe) & (TableSize - 1)];
+    const char *Cur = S.Name.load(std::memory_order_acquire);
+    if (Cur == nullptr) {
+      const char *Expected = nullptr;
+      if (S.Name.compare_exchange_strong(Expected, Point,
+                                         std::memory_order_acq_rel))
+        return S.Hits.fetch_add(1, std::memory_order_relaxed);
+      Cur = Expected; // someone else claimed it; fall through to compare
+    }
+    if (Cur == Point || std::strcmp(Cur, Point) == 0)
+      return S.Hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Table full (cannot happen with the in-tree point set): hash the name
+  // alone so behavior stays deterministic, if index-blind.
+  return 0;
+}
+
+} // namespace
+
+void ScheduleFuzzer::enable(uint64_t Seed, unsigned PreemptPermille) {
+  SeedV.store(Seed, std::memory_order_relaxed);
+  Permille.store(PreemptPermille > 1000 ? 1000 : PreemptPermille,
+                 std::memory_order_relaxed);
+  Enabled.store(Seed != 0, std::memory_order_release);
+}
+
+void ScheduleFuzzer::disable() {
+  Enabled.store(false, std::memory_order_release);
+}
+
+bool ScheduleFuzzer::enabled() {
+  return Enabled.load(std::memory_order_acquire);
+}
+
+uint64_t ScheduleFuzzer::seed() {
+  return SeedV.load(std::memory_order_relaxed);
+}
+
+uint64_t ScheduleFuzzer::enableFromEnv() {
+  const char *E = std::getenv("GCSAFE_SCHED_SEED");
+  if (!E || !*E)
+    return 0;
+  uint64_t Seed = std::strtoull(E, nullptr, 10);
+  if (Seed)
+    enable(Seed);
+  return Seed;
+}
+
+ScheduleAction ScheduleFuzzer::decide(uint64_t Seed, const char *Point,
+                                      uint64_t HitIndex,
+                                      unsigned PreemptPermille) {
+  uint64_t R = mix64(Seed ^ mix64(fnv1a(Point) ^ mix64(HitIndex)));
+  if (R % 1000 >= PreemptPermille)
+    return ScheduleAction::Continue;
+  // A third of injected preemptions sleep (guaranteed context switch on a
+  // loaded box); the rest yield.
+  return (R / 1000) % 3 == 0 ? ScheduleAction::Sleep : ScheduleAction::Yield;
+}
+
+uint64_t ScheduleFuzzer::points() {
+  return PointHits.load(std::memory_order_relaxed);
+}
+uint64_t ScheduleFuzzer::yields() {
+  return YieldCount.load(std::memory_order_relaxed);
+}
+uint64_t ScheduleFuzzer::sleeps() {
+  return SleepCount.load(std::memory_order_relaxed);
+}
+
+void ScheduleFuzzer::resetCounters() {
+  PointHits.store(0, std::memory_order_relaxed);
+  YieldCount.store(0, std::memory_order_relaxed);
+  SleepCount.store(0, std::memory_order_relaxed);
+  for (PointSlot &S : Table)
+    S.Hits.store(0, std::memory_order_relaxed);
+}
+
+void ScheduleFuzzer::setPointHook(PointHook H, void *Ctx) {
+  // Ctx first: a hook observing its pointer must observe its context.
+  HookCtx.store(Ctx, std::memory_order_release);
+  Hook.store(H, std::memory_order_release);
+}
+
+void gcsafe::support::interleavePoint(const char *Point) {
+  if (ScheduleFuzzer::PointHook H = Hook.load(std::memory_order_acquire))
+    H(Point, HookCtx.load(std::memory_order_acquire));
+  if (!Enabled.load(std::memory_order_acquire))
+    return;
+  PointHits.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Idx = nextHitIndex(Point);
+  switch (ScheduleFuzzer::decide(SeedV.load(std::memory_order_relaxed),
+                                 Point, Idx,
+                                 Permille.load(std::memory_order_relaxed))) {
+  case ScheduleAction::Continue:
+    break;
+  case ScheduleAction::Yield:
+    YieldCount.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+    break;
+  case ScheduleAction::Sleep:
+    SleepCount.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    break;
+  }
+}

@@ -1,0 +1,101 @@
+//===- support/Interleave.h - Deterministic schedule fuzzing ---*- C++ -*-===//
+//
+// Part of the gcsafe project, a reproduction of Boehm, "Simple
+// Garbage-Collector-Safety" (PLDI 1996).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded preemption-point injection (docs/ANALYSIS.md §"Concurrency
+/// checking") — the schedule analog of support/FaultInject.h's failpoint
+/// registry, with the same philosophy as tools/safety_mutate: don't hope
+/// rare interleavings happen, *force* them reproducibly.
+///
+/// Concurrency-sensitive code marks its interesting interleaving points:
+///
+///   GCSAFE_INTERLEAVE_POINT("serve.singleflight.publish");
+///
+/// Disabled (the default), a point is one relaxed atomic load. Enabled
+/// with a seed (ScheduleFuzzer::enable, gcsafe-serve --sched-seed, or the
+/// GCSAFE_SCHED_SEED environment variable), each hit consults a pure
+/// decision function of (seed, point name, per-point hit index) and
+/// either continues, yields the CPU, or sleeps a few scheduler quanta —
+/// injecting a preemption exactly where a context switch would bite.
+///
+/// Determinism contract: the decision function is pure, so a given seed
+/// always injects the same preemption schedule at the same (point, hit)
+/// coordinates — a failing seed re-runs with the same forced preemptions,
+/// which is what makes an interleaving failure reproducible from its seed
+/// alone (tests/test_race.cpp sweeps 64+ seeds on this contract). The OS
+/// still chooses what runs *during* an injected preemption; the verdict a
+/// sweep checks is therefore an invariant that must hold under every
+/// legal interleaving, not a golden trace.
+///
+/// Tests may additionally install a point hook — a callback invoked at
+/// every hit with the point name — to build exact cross-thread schedules
+/// (block the single-flight leader here until three waiters queue there).
+/// The hook runs on the hitting thread and may block; it must not itself
+/// take locks ranked at or below the caller's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GCSAFE_SUPPORT_INTERLEAVE_H
+#define GCSAFE_SUPPORT_INTERLEAVE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace gcsafe {
+namespace support {
+
+/// What one interleave-point hit does.
+enum class ScheduleAction : uint8_t {
+  Continue = 0, ///< No preemption injected.
+  Yield,        ///< std::this_thread::yield().
+  Sleep         ///< A short sleep (~50µs): forces a real context switch.
+};
+
+/// Process-global schedule fuzzer. All static; enabling is cheap and
+/// idempotent.
+class ScheduleFuzzer {
+public:
+  /// Arms every interleave point with \p Seed. \p PreemptPermille is the
+  /// per-hit preemption probability in ‰ (default 250 = 25%, of which a
+  /// third sleep rather than yield).
+  static void enable(uint64_t Seed, unsigned PreemptPermille = 250);
+  static void disable();
+  static bool enabled();
+  static uint64_t seed();
+
+  /// Arms from the GCSAFE_SCHED_SEED environment variable when set and
+  /// nonzero (tools call this at startup). Returns the seed, 0 if unset.
+  static uint64_t enableFromEnv();
+
+  /// The pure decision function: what (seed, point, hit-index) does.
+  /// Exposed so tests can assert determinism directly.
+  static ScheduleAction decide(uint64_t Seed, const char *Point,
+                               uint64_t HitIndex, unsigned PreemptPermille);
+
+  /// Lifetime counters (relaxed; for tests and --stats surfaces).
+  static uint64_t points(); ///< Total hits while enabled.
+  static uint64_t yields(); ///< Hits that injected a yield.
+  static uint64_t sleeps(); ///< Hits that injected a sleep.
+  static void resetCounters();
+
+  /// Test-only: a hook called at every point hit (may block; see file
+  /// comment). Pass nullptr to clear. Not for production code paths.
+  using PointHook = void (*)(const char *Point, void *Ctx);
+  static void setPointHook(PointHook Hook, void *Ctx);
+};
+
+/// The instrumented-code entry point; prefer the macro below.
+void interleavePoint(const char *Point);
+
+} // namespace support
+} // namespace gcsafe
+
+/// Marks one annotated interleaving point. \p NAME must be a string
+/// literal ("layer.site.step"); docs/ANALYSIS.md lists the live points.
+#define GCSAFE_INTERLEAVE_POINT(NAME) ::gcsafe::support::interleavePoint(NAME)
+
+#endif // GCSAFE_SUPPORT_INTERLEAVE_H

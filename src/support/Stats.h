@@ -26,6 +26,9 @@
 #ifndef GCSAFE_SUPPORT_STATS_H
 #define GCSAFE_SUPPORT_STATS_H
 
+#include "support/RankedMutex.h"
+#include "support/ThreadSafety.h"
+
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -150,8 +153,19 @@ std::string jsonEscape(const std::string &S);
 /// Hierarchical named counters and timers. Paths are dotted
 /// ("gc.collections"); each leaf is an integer counter, a float gauge, or
 /// a string label. Insertion order is preserved in the JSON output.
+///
+/// Thread-safe: every mutation and read takes an internal ranked mutex
+/// (rank support.stats — the leaf of the lock order, so any subsystem may
+/// update its counters while holding its own locks). The registry is hit
+/// at pass/request granularity, never per-instruction, so an uncontended
+/// futex is noise here. Copying is safe against concurrent writers of the
+/// source; entries() is the one documented quiescent-only escape hatch.
 class Stats {
 public:
+  Stats() = default;
+  Stats(const Stats &Other);
+  Stats &operator=(const Stats &Other);
+
   /// Adds \p Delta to the counter at \p Path (creating it at zero).
   void add(const std::string &Path, uint64_t Delta = 1);
   /// Sets the counter at \p Path.
@@ -163,11 +177,13 @@ public:
   uint64_t get(const std::string &Path) const;
   bool has(const std::string &Path) const;
 
-  bool empty() const { return Entries.empty(); }
-  void clear() { Entries.clear(); }
+  bool empty() const;
+  void clear();
 
   /// Merges \p Other into this registry (counters add; gauges and labels
-  /// overwrite).
+  /// overwrite). Safe against a concurrently-written \p Other: its
+  /// entries are snapshotted first, then applied — the two same-rank
+  /// locks are never nested.
   void merge(const Stats &Other);
 
   /// Nests dotted paths into a JSON object tree.
@@ -181,11 +197,21 @@ public:
     double Gauge = 0.0;
     std::string Label;
   };
-  const std::vector<Entry> &entries() const { return Entries; }
+
+  /// Borrowing view of the entries — no lock can outlive the call, so
+  /// this is only safe on a quiesced registry (a snapshot copy, or a
+  /// single-threaded phase). Concurrent readers use snapshotEntries().
+  const std::vector<Entry> &entries() const GCSAFE_NO_THREAD_SAFETY_ANALYSIS {
+    return Entries;
+  }
+
+  /// Copy of the entries under the lock, for concurrent readers.
+  std::vector<Entry> snapshotEntries() const;
 
 private:
-  Entry &lookup(const std::string &Path);
-  std::vector<Entry> Entries;
+  Entry &lookup(const std::string &Path) GCSAFE_REQUIRES(Mu);
+  mutable RankedMutex Mu{LockRank::SupportStats, "support.stats"};
+  std::vector<Entry> Entries GCSAFE_GUARDED_BY(Mu);
 };
 
 //===----------------------------------------------------------------------===//

@@ -25,6 +25,10 @@ Usage:
                                        gcsafe-serve-v1 responses (the output
                                        of gcsafe-serve --once or a captured
                                        socket session)
+  check_bench_json.py --lockgraph FILE validate FILE as a gcsafe-lockgraph-v1
+                                       lock-acquisition graph (gcsafe-serve
+                                       --lockgraph output) and prove it
+                                       acyclic and violation-free
 
 Files are dispatched on their top-level "schema" field, so the same checker
 covers all four formats; Chrome traces carry no schema field and are named
@@ -721,6 +725,90 @@ def check_lint(doc):
                f"(known: {', '.join(sorted(LINT_KINDS))})")
 
 
+def check_lockgraph(doc):
+    """gcsafe-lockgraph-v1 (docs/ANALYSIS.md §"Concurrency checking"): the
+    runtime lock-rank lint's observed acquisition graph. Beyond shape, the
+    graph must be acyclic (an edge rank A -> rank B means A was held while
+    B was acquired; a cycle is a potential deadlock) and a graph from a
+    healthy run must report zero violations."""
+    expect_keys(doc, "$", ["schema", "policy", "ranks", "edges",
+                           "violations"])
+    expect(doc["policy"] in ("abort", "record"), "$.policy",
+           f"expected 'abort' or 'record', got {doc['policy']!r}")
+
+    ranks = doc["ranks"]
+    expect(isinstance(ranks, list) and ranks, "$.ranks",
+           "expected a non-empty array")
+    names = set()
+    for i, rank in enumerate(ranks):
+        path = f"$.ranks[{i}]"
+        expect_keys(rank, path, ["rank", "name", "acquisitions"])
+        expect_num(rank, path, "rank", integer=True)
+        expect_num(rank, path, "acquisitions", integer=True)
+        expect_str(rank, path, "name")
+        expect(rank["rank"] == i, f"{path}.rank",
+               f"ranks must be dense and ordered (got {rank['rank']}, "
+               f"expected {i})")
+        expect(rank["name"] not in names, f"{path}.name",
+               f"duplicate rank name {rank['name']!r}")
+        names.add(rank["name"])
+
+    edges = doc["edges"]
+    expect(isinstance(edges, list), "$.edges", "expected an array")
+    adjacency = {}
+    for i, edge in enumerate(edges):
+        path = f"$.edges[{i}]"
+        expect_keys(edge, path, ["from", "to", "from_name", "to_name",
+                                 "count"])
+        for key in ("from", "to", "count"):
+            expect_num(edge, path, key, integer=True)
+        for key, id_key in (("from_name", "from"), ("to_name", "to")):
+            expect_str(edge, path, key)
+            expect(0 <= edge[id_key] < len(ranks), f"{path}.{id_key}",
+                   f"rank id {edge[id_key]} out of range")
+            expect(edge[key] == ranks[edge[id_key]]["name"],
+                   f"{path}.{key}",
+                   f"name {edge[key]!r} does not match rank "
+                   f"{edge[id_key]} ({ranks[edge[id_key]]['name']!r})")
+        expect(edge["count"] >= 1, f"{path}.count",
+               "recorded edges must have count >= 1")
+        expect(edge["from"] != edge["to"], path,
+               f"self-edge on rank {edge['from']} "
+               f"({edge['from_name']!r}): same-rank nesting")
+        adjacency.setdefault(edge["from"], set()).add(edge["to"])
+
+    # Acyclicity by depth-first search; a cycle means two lock orders
+    # that can deadlock against each other. (The lint's strictly-
+    # increasing rank discipline makes a clean graph trivially acyclic,
+    # but the checker re-proves it rather than trusting the discipline.)
+    state = {}  # rank -> 1 (on stack) or 2 (done)
+    def visit(node, trail):
+        if state.get(node) == 2:
+            return
+        if state.get(node) == 1:
+            cycle = trail[trail.index(node):] + [node]
+            names = " -> ".join(ranks[n]["name"] for n in cycle)
+            raise SchemaError(f"$.edges: lock-order cycle: {names}")
+        state[node] = 1
+        for succ in sorted(adjacency.get(node, ())):
+            visit(succ, trail + [node])
+        state[node] = 2
+    for node in sorted(adjacency):
+        visit(node, [])
+
+    violations = doc["violations"]
+    vpath = "$.violations"
+    expect_keys(violations, vpath, ["rank_inversions", "dropped_locks"],
+                optional=("first_inversion",))
+    for key in ("rank_inversions", "dropped_locks"):
+        expect_num(violations, vpath, key, integer=True)
+        expect(violations[key] == 0, f"{vpath}.{key}",
+               f"a healthy run must be violation-free, got "
+               f"{violations[key]}")
+    expect("first_inversion" not in violations, vpath,
+           "first_inversion present despite zero rank_inversions")
+
+
 # --- Chrome trace_event (gcsafe-cc --trace-chrome) --------------------------
 
 def check_chrome_trace(doc, path="$"):
@@ -766,6 +854,7 @@ CHECKERS = {
     "gcsafe-batch-v1": check_batch,
     "gcsafe-metrics-v1": check_metrics,
     "gcsafe-flightrec-v1": check_flightrec,
+    "gcsafe-lockgraph-v1": check_lockgraph,
 }
 
 
@@ -817,6 +906,11 @@ def main():
                         default=[],
                         help="validate FILE as line-delimited "
                              "gcsafe-serve-v1 responses")
+    parser.add_argument("--lockgraph", metavar="FILE", action="append",
+                        default=[],
+                        help="validate FILE as a gcsafe-lockgraph-v1 "
+                             "lock-acquisition graph (acyclic, "
+                             "violation-free)")
     parser.add_argument("--expect-status", metavar="SUBSTR=STATUS",
                         action="append", default=[],
                         help="require the --batch input whose name contains "
@@ -832,9 +926,10 @@ def main():
             return 1
         files.extend(scanned)
     if (not files and not args.chrome and not args.lint and not args.batch
-            and not args.serve):
+            and not args.serve and not args.lockgraph):
         parser.error("no files given (pass FILEs, --scan DIR, --lint FILE, "
-                     "--batch FILE, --serve FILE, and/or --chrome FILE)")
+                     "--batch FILE, --serve FILE, --lockgraph FILE, and/or "
+                     "--chrome FILE)")
 
     expectations = []
     for spec in args.expect_status:
@@ -887,6 +982,17 @@ def main():
             failures.append(problem)
         else:
             print(f"ok: {path} [gcsafe-lint-v1]")
+    for path in args.lockgraph:
+        problem = check_file(path)
+        if problem is None:
+            doc = json.loads(Path(path).read_text())
+            if doc["schema"] != "gcsafe-lockgraph-v1":
+                problem = (f"{path}: expected schema gcsafe-lockgraph-v1, "
+                           f"got '{doc['schema']}'")
+        if problem:
+            failures.append(problem)
+        else:
+            print(f"ok: {path} [gcsafe-lockgraph-v1]")
     for path in files:
         problem = check_file(path)
         if problem:

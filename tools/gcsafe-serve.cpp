@@ -28,6 +28,8 @@
 
 #include "serve/Protocol.h"
 #include "support/ExitCodes.h"
+#include "support/Interleave.h"
+#include "support/RankedMutex.h"
 
 #include <atomic>
 #include <chrono>
@@ -101,7 +103,17 @@ void usage() {
       "                      stage latency histograms) to stderr on exit\n"
       "                      as Prometheus-style text exposition\n"
       "  --stats             print the serve.* stats keys to stderr on\n"
-      "                      exit (docs/SERVING.md)\n");
+      "                      exit (docs/SERVING.md)\n"
+      "  --sched-seed=N      arm the deterministic schedule fuzzer: inject\n"
+      "                      seeded preemptions (yields/sleeps) at the\n"
+      "                      annotated interleave points so a failing\n"
+      "                      thread schedule replays from its seed alone\n"
+      "                      (docs/ANALYSIS.md; GCSAFE_SCHED_SEED works\n"
+      "                      too, the flag wins)\n"
+      "  --lockgraph=FILE    on exit, write the runtime lock-rank lint's\n"
+      "                      observed acquisition graph as\n"
+      "                      gcsafe-lockgraph-v1 JSON; validate with\n"
+      "                      check_bench_json.py --lockgraph\n");
 }
 
 bool startsWith(const char *Arg, const char *Prefix, const char *&Rest) {
@@ -439,8 +451,9 @@ int main(int argc, char **argv) {
   serve::ServiceOptions SO;
   DaemonOptions DO;
   support::FaultInjector ServiceFaults;
-  std::string SocketPath, ChromePath;
+  std::string SocketPath, ChromePath, LockGraphPath;
   bool Once = false, PrintStats = false, MetricsText = false;
+  uint64_t SchedSeed = 0;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -496,6 +509,14 @@ int main(int argc, char **argv) {
       MetricsText = true;
     } else if (!std::strcmp(Arg, "--stats")) {
       PrintStats = true;
+    } else if (startsWith(Arg, "--sched-seed=", Rest)) {
+      SchedSeed = std::strtoull(Rest, nullptr, 10);
+      if (!SchedSeed) {
+        std::fprintf(stderr, "--sched-seed must be positive\n");
+        return support::ExitUsage;
+      }
+    } else if (startsWith(Arg, "--lockgraph=", Rest)) {
+      LockGraphPath = Rest;
     } else if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
       usage();
       return support::ExitSuccess;
@@ -512,6 +533,13 @@ int main(int argc, char **argv) {
     usage();
     return support::ExitUsage;
   }
+
+  // Arm the schedule fuzzer before any worker thread exists so every
+  // interleave point is covered from the first request.
+  if (SchedSeed)
+    support::ScheduleFuzzer::enable(SchedSeed);
+  else
+    support::ScheduleFuzzer::enableFromEnv();
 
   serve::CompileService Svc(SO);
   if (!SO.FlightDir.empty())
@@ -546,5 +574,8 @@ int main(int argc, char **argv) {
                    ChromePath.c_str());
     }
   }
+  if (!LockGraphPath.empty() && !support::writeLockGraph(LockGraphPath))
+    std::fprintf(stderr, "gcsafe-serve: cannot write %s\n",
+                 LockGraphPath.c_str());
   return Code;
 }

@@ -288,6 +288,12 @@ def check_crash_dump(flight_dir, resp):
         fail(f"flight dump {path} carries no events")
 
 
+def sched_flags(args):
+    """--sched-seed passthrough: arm the daemon's schedule fuzzer."""
+    return ([f"--sched-seed={args.sched_seed}"]
+            if getattr(args, "sched_seed", 0) else [])
+
+
 def run_flood_phase(args, tmp, lines):
     clients = 8
     rounds = 6 if args.mode == "soak" else 2
@@ -302,7 +308,7 @@ def run_flood_phase(args, tmp, lines):
         "--max-request=65536", f"--flightrec-dir={flight_dir}",
         f"--fail-inject=13:serve.worker.crash@p{crash_p},"
         "serve.queue.full@n3x1",
-    ])
+    ] + sched_flags(args))
     try:
         health = json.loads(ask_fresh(daemon, {"op": "health", "id": "h0"}))
         if not (health["ok"] and health["ready"] and health["isolate"]):
@@ -407,7 +413,7 @@ def run_attribution_phase(args, tmp, lines):
         "--workers=2", "--isolate", "--isolate-retries=0",
         f"--flightrec-dir={flight_dir}",
         "--fail-inject=7:serve.worker.crash@always",
-    ])
+    ] + sched_flags(args))
     try:
         with daemon.connect() as conn:
             for n in range(3):
@@ -441,6 +447,12 @@ def main():
     parser.add_argument("--out", required=True,
                         help="captured response lines, for "
                              "check_bench_json.py --serve")
+    parser.add_argument("--sched-seed", type=int, default=0,
+                        help="arm the daemons' deterministic schedule "
+                             "fuzzer (gcsafe-serve --sched-seed=N): the "
+                             "whole chaos battery then runs under seeded "
+                             "forced preemptions, and a failure replays "
+                             "from the seed alone")
     args = parser.parse_args()
 
     lines = []

@@ -13,10 +13,12 @@ a third compile with no request_id at all, then metrics and stats — with
 
   - every compile response echoes its client request_id verbatim, and
     the id-less compile gets a generated "r-<n>" id;
+  - exactly one of the three identical compiles runs cold (which one is
+    scheduling-dependent — they race through the worker pool and
+    single-flight elects the leader) and the other two replay it;
   - the metrics op answers gcsafe-metrics-v1 with the e2e histogram
-    counting all three compiles, exactly one compile-stage sample (the
-    two warm requests hit the cache), and stats agreement
-    (e2e count == serve.requests);
+    counting all three compiles, exactly one compile-stage sample, and
+    stats agreement (e2e count == serve.requests);
   - the Chrome trace export contains one "request" span pair per
     request, keyed by the uniquified "<request_id>#<seq>" trace id, so
     duplicate client ids can never merge span trees;
@@ -95,8 +97,14 @@ def metrics_phase(args, outdir):
     if not anon.startswith("r-"):
         fail(f"id-less compile got request_id {anon!r}, expected a "
              "generated 'r-<n>'")
-    if not by_id["warm-1"].get("cached"):
-        fail("warm compile was not served from the cache")
+    # The three identical compiles race through the worker pool, so *which*
+    # one runs cold is scheduling-dependent — but single-flight guarantees
+    # exactly one compile happens and the other two replay it.
+    cold = [r for r in ("cold-1", "warm-1", "anon-1")
+            if not by_id[r].get("cached")]
+    if len(cold) != 1:
+        fail(f"expected exactly one cold compile among the identical "
+             f"triplet, got {cold or 'none'}")
 
     # The metrics snapshot: all three compiles end to end, one cold.
     snap = by_id["metrics-1"]["metrics"]

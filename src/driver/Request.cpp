@@ -3,11 +3,22 @@
 #include "driver/Request.h"
 
 #include "ir/Verify.h"
+#include "opt/Passes.h"
 #include "support/ExitCodes.h"
+#include "support/Hash.h"
 #include "vm/VM.h"
 
 using namespace gcsafe;
 using namespace gcsafe::driver;
+
+const std::string &gcsafe::driver::keyFingerprint() {
+  // "gcsafe-key-v1" names the key format itself (what canonicalFlagString
+  // covers, how source is preprocessed); the roster hash names the
+  // optimizer's behavior. Bump the version on any key-format change.
+  static const std::string FP =
+      "gcsafe-key-v1;roster=" + support::contentHash(opt::passRosterString());
+  return FP;
+}
 
 bool gcsafe::driver::parseCompileModeName(const std::string &Text,
                                           CompileMode &Out) {

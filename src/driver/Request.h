@@ -134,6 +134,16 @@ private:
   SelfHealReport Heal;
 };
 
+/// The build's cache-key fingerprint: the key-format version plus a hash
+/// of the optimizer pass roster (opt::passRosterString), e.g.
+/// "gcsafe-key-v1;roster=<32hex>". Seeded into every ContentHasher that
+/// computes a cache key (serve::CompileService) and stamped into every
+/// serve::Store record, so a binary whose compiled output could differ
+/// from ours keys into a disjoint namespace and can never replay — or be
+/// replayed from — a stale payload. Stable within one build, across
+/// processes and machines.
+const std::string &keyFingerprint();
+
 /// Maps a --mode= value to a CompileMode ("o2", "safe", "safepost",
 /// "debug", "checked"). False on unknown names.
 bool parseCompileModeName(const std::string &Text, CompileMode &Out);

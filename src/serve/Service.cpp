@@ -160,6 +160,21 @@ CompileService::CompileService(ServiceOptions O)
     : Opts(O), Cache(O.CacheMaxEntries), StartNs(support::monotonicNowNs()),
       Trace(O.TraceCapacity ? O.TraceCapacity : 4096),
       Flight(O.FlightCapacity ? O.FlightCapacity : 2048) {
+  if (!Opts.StoreDir.empty()) {
+    Store::Options SO;
+    SO.Dir = Opts.StoreDir;
+    SO.Fingerprint = driver::keyFingerprint();
+    SO.Inject = [this](const std::string &Site) { return injectFault(Site); };
+    SO.Trace = [this](const char *Name, uint64_t Value, uint64_t Aux,
+                      std::string Detail) {
+      support::RankedGuard Lock(TraceMu);
+      Trace.emit("store", Name, Value, Aux, std::move(Detail));
+    };
+    Disk.reset(new Store(std::move(SO)));
+    // Scrub before the first worker can read: nothing unvalidated is
+    // ever reachable from a request.
+    ScrubReport = Disk->scrub();
+  }
   unsigned N = Opts.Workers ? Opts.Workers : 1;
   Pool.reserve(N);
   for (unsigned I = 0; I < N; ++I)
@@ -411,8 +426,12 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
     // canonical form share an entry; any outcome-relevant difference
     // changes the key (docs/SERVING.md "Cache invalidation"). The flag
     // string is built from the request *as submitted* — the clamped
-    // watchdogs above are wall-clock residue, not request identity.
-    support::ContentHasher H;
+    // watchdogs above are wall-clock residue, not request identity. The
+    // hasher is seeded with the build fingerprint (key-format version +
+    // optimizer pass roster), so a binary whose output could differ keys
+    // into a disjoint namespace: an upgrade can never replay a stale
+    // payload, from memory or from the durable store.
+    support::ContentHasher H(driver::keyFingerprint());
     H.update(Ctx.preprocessedSource());
     H.update(canonicalFlagString(Request));
     Result.CacheKey = H.hex();
@@ -443,6 +462,7 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
     // compile, not N). A leader whose result was uncacheable wakes the
     // waiters into electing the next leader, so progress is guaranteed.
     bool LookupTimed = false;
+    bool StoreProbed = false;
     for (;;) {
       std::string Payload;
       uint64_t LookupStartNs = support::monotonicNowNs();
@@ -472,6 +492,20 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
         }
         // An unparseable payload cannot happen via insert(); treat it as
         // a miss and overwrite below.
+      }
+      // Memory miss: read through to the durable store (once — a re-loop
+      // after a store hit or a single-flight wait consults memory only).
+      // A validated disk entry is promoted into the memory cache and
+      // replayed through the normal hit path above, so a warm-restart
+      // response is byte-identical to the response that was cached.
+      if (Disk && !StoreProbed) {
+        StoreProbed = true;
+        std::string DiskPayload;
+        if (Disk->lookup(Result.CacheKey, DiskPayload)) {
+          Cache.insert(Result.CacheKey, DiskPayload);
+          Flight.record("serve", "store.hit", TraceId, 0, Worker);
+          continue;
+        }
       }
       support::RankedLock L(InFlightMu);
       if (!InFlight.count(Result.CacheKey)) {
@@ -589,7 +623,14 @@ ServeResult CompileService::compileAt(const driver::RequestOptions &Request,
                    !(DeadlineAtNs &&
                      Result.ExitCode == support::ExitWatchdogTimeout);
   if (Cacheable) {
-    Cache.insert(Result.CacheKey, serveResultToJson(Result).dump(0));
+    std::string Payload = serveResultToJson(Result).dump(0);
+    Cache.insert(Result.CacheKey, Payload);
+    // Write through to the durable store: the exact bytes the memory
+    // cache replays, so a restart replays them too. Failures are the
+    // store's problem (counted, possibly degrading it) — never this
+    // request's; the response is already committed above.
+    if (Disk)
+      Disk->insert(Result.CacheKey, Payload);
     // Between the insert and the FlightGuard's release: a waiter woken
     // here must still re-check the cache, not assume the key vanished.
     GCSAFE_INTERLEAVE_POINT("serve.singleflight.publish");
@@ -761,6 +802,16 @@ support::Stats CompileService::statsSnapshot() const {
   S.set("serve.verify_memo.hits", Memo.hits());
   S.set("serve.verify_memo.misses", Memo.misses());
   S.set("serve.verify_memo.entries", Memo.entries());
+  // Always present (zeros without a store) so every consumer of the
+  // schema sees one shape; degraded is a 0/1 gauge, not a counter.
+  StoreStats D = Disk ? Disk->stats() : StoreStats();
+  S.set("serve.store.hits", D.Hits);
+  S.set("serve.store.misses", D.Misses);
+  S.set("serve.store.writes", D.Writes);
+  S.set("serve.store.scrubbed", D.Scrubbed);
+  S.set("serve.store.quarantined", D.Quarantined);
+  S.set("serve.store.io_errors", D.IoErrors);
+  S.setFloat("serve.store.degraded", D.Degraded ? 1.0 : 0.0);
   return S;
 }
 
@@ -799,5 +850,17 @@ support::Json CompileService::metricsSnapshot() const {
     Stages["e2e"] = HistE2E.toJson();
   }
   M["stages"] = std::move(Stages);
+  // Mirrors serve.store.* in statsSnapshot(): always present, zeros
+  // without a store, degraded as a 0/1 gauge.
+  StoreStats D = Disk ? Disk->stats() : StoreStats();
+  Json St = Json::object();
+  St["hits"] = Json::integer(D.Hits);
+  St["misses"] = Json::integer(D.Misses);
+  St["writes"] = Json::integer(D.Writes);
+  St["scrubbed"] = Json::integer(D.Scrubbed);
+  St["quarantined"] = Json::integer(D.Quarantined);
+  St["io_errors"] = Json::integer(D.IoErrors);
+  St["degraded"] = Json::integer(uint64_t(D.Degraded ? 1 : 0));
+  M["store"] = std::move(St);
   return M;
 }

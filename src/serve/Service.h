@@ -37,6 +37,7 @@
 
 #include "driver/Request.h"
 #include "serve/Cache.h"
+#include "serve/Store.h"
 #include "serve/Telemetry.h"
 #include "support/RankedMutex.h"
 
@@ -44,6 +45,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -89,6 +91,13 @@ struct ServiceOptions {
   /// pure cat="serve" and high-volume VM events stay out of the flight
   /// ring unless an operator asks (gcsafe-serve --trace-chrome).
   bool StitchTraces = false;
+  /// When non-empty, a crash-safe on-disk response store (serve/Store.h)
+  /// backs the in-memory cache under DIR/gcsafe-store-v1/: validated
+  /// entries survive restarts, a startup scrub quarantines anything it
+  /// cannot prove intact, and persistent IO errors degrade the store to
+  /// memory-only without affecting service availability. Empty = memory
+  /// cache only (the pre-durability behavior).
+  std::string StoreDir;
 };
 
 /// One request's result as the service reports it: the driver outcome
@@ -201,6 +210,11 @@ public:
   const ServiceOptions &options() const { return Opts; }
   driver::VerifyMemo &verifyMemo() { return Memo; }
   ContentCache &cache() { return Cache; }
+  /// The durable store, or null when ServiceOptions::StoreDir is empty.
+  Store *store() { return Disk.get(); }
+  /// The startup scrub's gcsafe-store-v1 report (null JSON when there is
+  /// no store).
+  const support::Json &scrubReport() const { return ScrubReport; }
 
 private:
   void workerLoop() GCSAFE_EXCLUDES(QueueMu);
@@ -229,6 +243,12 @@ private:
 
   ServiceOptions Opts;
   ContentCache Cache;
+  /// Durable tier behind Cache (serve/Store.h); null without StoreDir.
+  /// Thread-safe; its internal rank (serve.store) sits above every lock
+  /// the service holds at a store call site, and the store never calls
+  /// back into the service while holding it.
+  std::unique_ptr<Store> Disk;
+  support::Json ScrubReport; ///< Startup scrub result (null w/o store).
   driver::VerifyMemo Memo;
   const uint64_t StartNs; ///< Service birth; uptime/rate baseline.
 

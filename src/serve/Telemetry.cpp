@@ -435,5 +435,25 @@ std::string gcsafe::serve::metricsToPrometheus(const support::Json &M) {
       std::replace(Name.begin(), Name.end(), '.', '_');
       promHistogram(Out, Name, KV.second);
     }
+  // The durable-store block (docs/OBSERVABILITY.md "serve.store.*"):
+  // lifetime counters plus the degraded 0/1 gauge an alert should watch.
+  if (const support::Json *St = M.get("store")) {
+    auto StoreCounter = [&Out, St](const char *Key, const char *Metric) {
+      if (const support::Json *V = St->get(Key)) {
+        Out += std::string("# TYPE ") + Metric + " counter\n";
+        Out += std::string(Metric) + " " + promNum(*V) + "\n";
+      }
+    };
+    StoreCounter("hits", "gcsafe_serve_store_hits_total");
+    StoreCounter("misses", "gcsafe_serve_store_misses_total");
+    StoreCounter("writes", "gcsafe_serve_store_writes_total");
+    StoreCounter("scrubbed", "gcsafe_serve_store_scrubbed_total");
+    StoreCounter("quarantined", "gcsafe_serve_store_quarantined_total");
+    StoreCounter("io_errors", "gcsafe_serve_store_io_errors_total");
+    if (const support::Json *D = St->get("degraded")) {
+      Out += "# TYPE gcsafe_serve_store_degraded gauge\n";
+      Out += "gcsafe_serve_store_degraded " + promNum(*D) + "\n";
+    }
+  }
   return Out;
 }

@@ -41,7 +41,7 @@
 ///                           conservative degradation-ladder descent.
 ///
 /// The serving layer (docs/SERVING.md, docs/ROBUSTNESS.md §8) consults
-/// three more from a *service-wide* injector (gcsafe-serve --fail-inject;
+/// more sites from a *service-wide* injector (gcsafe-serve --fail-inject;
 /// guarded by a mutex, unlike the per-request injectors above):
 ///
 ///   serve.queue.full        admission control behaves as if the submit
@@ -53,6 +53,21 @@
 ///   serve.conn.stall        the daemon sleeps before writing a response,
 ///                           simulating a stalled connection against the
 ///                           socket write timeout.
+///
+/// The durable store (serve/Store.h) consults four IO failpoints through
+/// the same service-wide injector, one per way a disk lies
+/// (docs/ROBUSTNESS.md failpoint table):
+///
+///   store.write.short       the record is truncated mid-write but still
+///                           reaches its final name — a torn write only
+///                           the read path's envelope check can catch;
+///   store.write.enospc      the write fails as if the disk were full
+///                           (counts toward memory-only degradation);
+///   store.read.eio          the read fails with an IO error: the entry
+///                           reads as a miss and the error is counted;
+///   store.read.corrupt      a payload byte flips between disk and
+///                           validation, forcing the checksum to fail
+///                           closed (quarantine + miss, never a replay).
 ///
 /// An entry may append "xK" (e.g. "@p0.1x3") to cap total fires at K.
 /// The site name "*" arms all sites, present and future.

@@ -35,6 +35,16 @@ class ContentHasher {
 public:
   ContentHasher() = default;
 
+  /// Seeds the digest with a build fingerprint before any content bytes.
+  /// Two hashers with different fingerprints can never agree on identical
+  /// content, which is what makes a fingerprinted cache key upgrade-safe:
+  /// a binary whose output could differ (new format version, different
+  /// optimizer pass roster — see driver::keyFingerprint) computes keys in
+  /// a disjoint namespace and can never replay a stale payload.
+  explicit ContentHasher(const std::string &Fingerprint) {
+    update(Fingerprint);
+  }
+
   void update(const void *Data, size_t Len) {
     const unsigned char *P = static_cast<const unsigned char *>(Data);
     for (size_t I = 0; I < Len; ++I) {

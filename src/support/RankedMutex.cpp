@@ -26,6 +26,8 @@ const char *gcsafe::support::lockRankName(LockRank R) {
     return "serve.hist";
   case LockRank::ServeCache:
     return "serve.cache";
+  case LockRank::ServeStore:
+    return "serve.store";
   case LockRank::DriverVerifyMemo:
     return "driver.verify_memo";
   case LockRank::SupportStats:

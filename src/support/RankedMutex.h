@@ -68,6 +68,8 @@ enum class LockRank : uint8_t {
   ServeTrace,      ///< serve::CompileService cat="serve" trace ring.
   ServeHist,       ///< serve::CompileService latency histograms.
   ServeCache,      ///< serve::ContentCache LRU + stats.
+  ServeStore,      ///< serve::Store durable-cache counters (never held
+                   ///< across IO or callbacks).
   DriverVerifyMemo, ///< driver::VerifyMemo shared verification memo.
   SupportStats,    ///< support::Stats registry (leaf; everything may nest it).
   NumRanks

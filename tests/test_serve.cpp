@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <sstream>
@@ -746,6 +747,55 @@ TEST(ServeProtocol, ServeResultJsonRoundTrip) {
   EXPECT_EQ(Back.Quarantined, R.Quarantined);
   EXPECT_EQ(Back.Error, R.Error);
   EXPECT_EQ(serveResultToJson(Back).dump(0), serveResultToJson(R).dump(0));
+}
+
+// The durable cache across a service restart (docs/SERVING.md
+// §"Durability & restart"): a second service over the same --store-dir
+// starts with a clean scrub, replays the first service's cold compile
+// from disk byte-identically, and reports the hit as a cache hit.
+TEST(ServeStore, RestartReplaysFromDiskByteIdentically) {
+  std::string Template = ::testing::TempDir() + "serve_store_XXXXXX";
+  std::vector<char> Buf(Template.begin(), Template.end());
+  Buf.push_back('\0');
+  ASSERT_NE(::mkdtemp(Buf.data()), nullptr);
+  std::string Dir(Buf.data());
+
+  std::string ColdPayload;
+  std::string ColdKey;
+  {
+    ServiceOptions SO;
+    SO.StoreDir = Dir;
+    CompileService Svc(SO);
+    ASSERT_TRUE(Svc.store());
+    ServeResult Cold = Svc.compile(listRequest());
+    ASSERT_TRUE(Cold.Ok);
+    EXPECT_FALSE(Cold.Cached);
+    ColdPayload = serveResultToJson(Cold).dump(0);
+    ColdKey = Cold.CacheKey;
+    EXPECT_EQ(Svc.store()->stats().Writes, 1u);
+  }
+
+  ServiceOptions SO;
+  SO.StoreDir = Dir;
+  CompileService Svc(SO);
+  ASSERT_TRUE(Svc.store());
+  // The startup scrub validated the persisted entry.
+  const support::Json &Report = Svc.scrubReport();
+  EXPECT_EQ(Report.get("schema")->asString(), "gcsafe-store-v1");
+  EXPECT_EQ(Report.get("scanned")->asInt(), 1);
+  EXPECT_EQ(Report.get("valid")->asInt(), 1);
+  EXPECT_EQ(Report.get("quarantined")->asInt(), 0);
+
+  // The memory cache is empty — this hit can only come from disk.
+  ServeResult Warm = Svc.compile(listRequest());
+  ASSERT_TRUE(Warm.Ok);
+  EXPECT_TRUE(Warm.Cached);
+  EXPECT_EQ(Warm.CacheKey, ColdKey);
+  EXPECT_EQ(serveResultToJson(Warm).dump(0), ColdPayload);
+  EXPECT_GE(Svc.store()->stats().Hits, 1u);
+  support::Stats S = Svc.statsSnapshot();
+  EXPECT_GE(S.get("serve.store.hits"), 1u);
+  EXPECT_EQ(S.get("serve.store.quarantined"), 0u);
 }
 
 } // namespace

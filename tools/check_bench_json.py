@@ -10,6 +10,8 @@ Schemas (see docs/OBSERVABILITY.md):
   gcsafe-lint-v1        gcsafe-cc --lint-json (docs/ANALYSIS.md)
   gcsafe-batch-v1       gcsafe-batch --summary (docs/ROBUSTNESS.md §6)
   gcsafe-serve-v1       gcsafe-serve response lines (docs/SERVING.md)
+  gcsafe-store-v1       durable-store scrub.json reports (docs/SERVING.md
+                        §"Durability & restart")
 
 Usage:
   check_bench_json.py FILE [FILE...]   validate the named report files
@@ -29,6 +31,11 @@ Usage:
                                        lock-acquisition graph (gcsafe-serve
                                        --lockgraph output) and prove it
                                        acyclic and violation-free
+  check_bench_json.py --store FILE     validate FILE as a gcsafe-store-v1
+                                       scrub report (the store's scrub.json):
+                                       totals must balance and every
+                                       quarantined entry must carry a known
+                                       reason token
 
 Files are dispatched on their top-level "schema" field, so the same checker
 covers all four formats; Chrome traces carry no schema field and are named
@@ -385,7 +392,7 @@ def check_metrics(doc, path="$"):
     valid as a standalone file)."""
     expect(isinstance(doc, dict), path, "expected an object")
     expect_keys(doc, path, ["schema", "uptime_ns", "requests", "rate_rps",
-                            "queue", "stages"])
+                            "queue", "stages", "store"])
     expect(doc["schema"] == "gcsafe-metrics-v1", f"{path}.schema",
            f"expected gcsafe-metrics-v1, got {doc.get('schema')!r}")
     expect_num(doc, path, "uptime_ns", integer=True)
@@ -400,6 +407,22 @@ def check_metrics(doc, path="$"):
     expect_keys(stages, f"{path}.stages", METRICS_STAGES)
     for stage in METRICS_STAGES:
         check_histogram(stages[stage], f"{path}.stages.{stage}")
+    check_store_stats(doc["store"], f"{path}.store")
+
+
+def check_store_stats(obj, path):
+    """The serve.store.* counter block (docs/OBSERVABILITY.md): always
+    present — all-zero without a --store-dir — so consumers see one
+    shape. degraded is a 0/1 gauge (stats serializes gauges as floats)."""
+    expect(isinstance(obj, dict), path, "expected an object")
+    expect_keys(obj, path, ["hits", "misses", "writes", "scrubbed",
+                            "quarantined", "io_errors", "degraded"])
+    for key in ("hits", "misses", "writes", "scrubbed", "quarantined",
+                "io_errors"):
+        expect_num(obj, path, key, integer=True)
+    expect_num(obj, path, "degraded")
+    expect(float(obj["degraded"]) in (0.0, 1.0), f"{path}.degraded",
+           f"expected a 0/1 gauge, got {obj['degraded']!r}")
 
 
 def check_flightrec(doc, path="$"):
@@ -448,7 +471,7 @@ def check_serve_stats(obj, path):
     summary's "service" member (docs/SERVING.md)."""
     expect_keys(obj, path, ["workers", "uptime_ns", "requests", "responses",
                             "queue", "deadline", "isolate", "cache",
-                            "verify_memo"])
+                            "verify_memo", "store"])
     expect_num(obj, path, "workers", integer=True)
     expect_num(obj, path, "uptime_ns", integer=True)
     expect_num(obj, path, "requests", integer=True)
@@ -482,6 +505,7 @@ def check_serve_stats(obj, path):
     expect_keys(memo, f"{path}.verify_memo", ["hits", "misses", "entries"])
     for key in ("hits", "misses", "entries"):
         expect_num(memo, f"{path}.verify_memo", key, integer=True)
+    check_store_stats(obj["store"], f"{path}.store")
 
 
 def check_serve_response(doc, path="$"):
@@ -845,6 +869,74 @@ def check_chrome_trace(doc, path="$"):
         last_ts = ev["ts"]
 
 
+# Stable failure tokens a scrub (or a read-path validation) may attach
+# to a quarantined entry, mirroring serve/Store.cpp (docs/SERVING.md
+# §"Durability & restart").
+STORE_SCRUB_REASONS = {
+    "zero_length", "bad_magic", "bad_version", "bad_header",
+    "truncated_header", "bad_key", "bad_fingerprint", "truncated_payload",
+    "trailing_garbage", "bad_checksum", "io_error", "absent", "unknown",
+}
+
+
+def check_store_report(doc, path="$"):
+    """One gcsafe-store-v1 scrub report (the store's scrub.json, written
+    at every startup): each examined entry either valid or quarantined
+    with a stable reason token, and the totals balancing — an entry can
+    never be silently skipped."""
+    expect(isinstance(doc, dict), path, "expected an object")
+    expect_keys(doc, path, ["schema", "fingerprint", "scanned", "valid",
+                            "quarantined", "entries"])
+    expect(doc["schema"] == "gcsafe-store-v1", f"{path}.schema",
+           f"expected gcsafe-store-v1, got {doc.get('schema')!r}")
+    expect_str(doc, path, "fingerprint")
+    expect(doc["fingerprint"] != "", f"{path}.fingerprint",
+           "a scrub report must name the build fingerprint it checked "
+           "entries against")
+    for key in ("scanned", "valid", "quarantined"):
+        expect_num(doc, path, key, integer=True)
+    expect(doc["scanned"] == doc["valid"] + doc["quarantined"],
+           f"{path}.scanned",
+           f"scanned ({doc['scanned']}) != valid ({doc['valid']}) + "
+           f"quarantined ({doc['quarantined']})")
+    entries = doc["entries"]
+    expect(isinstance(entries, list), f"{path}.entries",
+           "expected an array")
+    expect(len(entries) == doc["scanned"], f"{path}.entries",
+           f"{len(entries)} entries listed for scanned={doc['scanned']}")
+    valid = quarantined = 0
+    for i, entry in enumerate(entries):
+        epath = f"{path}.entries[{i}]"
+        expect(isinstance(entry, dict), epath, "expected an object")
+        expect_keys(entry, epath, ["file", "status"], optional=["reason"])
+        expect_str(entry, epath, "file")
+        expect(entry["file"].endswith(".entry"), f"{epath}.file",
+               f"entry file {entry['file']!r} without the .entry suffix")
+        expect_str(entry, epath, "status")
+        if entry["status"] == "ok":
+            valid += 1
+            expect("reason" not in entry, f"{epath}.reason",
+                   "a valid entry must not carry a failure reason")
+        elif entry["status"] == "quarantined":
+            quarantined += 1
+            expect("reason" in entry, epath,
+                   "a quarantined entry must carry a failure reason")
+            expect_str(entry, epath, "reason")
+            expect(entry["reason"] in STORE_SCRUB_REASONS,
+                   f"{epath}.reason",
+                   f"unknown reason {entry['reason']!r} (known: "
+                   f"{', '.join(sorted(STORE_SCRUB_REASONS))})")
+        else:
+            expect(False, f"{epath}.status",
+                   f"unknown status {entry['status']!r} "
+                   "(known: ok, quarantined)")
+    expect(valid == doc["valid"], f"{path}.valid",
+           f"{valid} ok entries listed but valid={doc['valid']}")
+    expect(quarantined == doc["quarantined"], f"{path}.quarantined",
+           f"{quarantined} quarantined entries listed but "
+           f"quarantined={doc['quarantined']}")
+
+
 CHECKERS = {
     "gcsafe-bench-v1": check_bench,
     "gcsafe-trace-v1": check_trace,
@@ -855,6 +947,7 @@ CHECKERS = {
     "gcsafe-metrics-v1": check_metrics,
     "gcsafe-flightrec-v1": check_flightrec,
     "gcsafe-lockgraph-v1": check_lockgraph,
+    "gcsafe-store-v1": check_store_report,
 }
 
 
@@ -911,6 +1004,11 @@ def main():
                         help="validate FILE as a gcsafe-lockgraph-v1 "
                              "lock-acquisition graph (acyclic, "
                              "violation-free)")
+    parser.add_argument("--store", metavar="FILE", action="append",
+                        default=[],
+                        help="validate FILE as a gcsafe-store-v1 scrub "
+                             "report (totals balance, quarantined entries "
+                             "carry known reasons)")
     parser.add_argument("--expect-status", metavar="SUBSTR=STATUS",
                         action="append", default=[],
                         help="require the --batch input whose name contains "
@@ -926,10 +1024,10 @@ def main():
             return 1
         files.extend(scanned)
     if (not files and not args.chrome and not args.lint and not args.batch
-            and not args.serve and not args.lockgraph):
+            and not args.serve and not args.lockgraph and not args.store):
         parser.error("no files given (pass FILEs, --scan DIR, --lint FILE, "
-                     "--batch FILE, --serve FILE, --lockgraph FILE, and/or "
-                     "--chrome FILE)")
+                     "--batch FILE, --serve FILE, --lockgraph FILE, "
+                     "--store FILE, and/or --chrome FILE)")
 
     expectations = []
     for spec in args.expect_status:
@@ -993,6 +1091,17 @@ def main():
             failures.append(problem)
         else:
             print(f"ok: {path} [gcsafe-lockgraph-v1]")
+    for path in args.store:
+        problem = check_file(path)
+        if problem is None:
+            doc = json.loads(Path(path).read_text())
+            if doc["schema"] != "gcsafe-store-v1":
+                problem = (f"{path}: expected schema gcsafe-store-v1, "
+                           f"got '{doc['schema']}'")
+        if problem:
+            failures.append(problem)
+        else:
+            print(f"ok: {path} [gcsafe-store-v1]")
     for path in files:
         problem = check_file(path)
         if problem:

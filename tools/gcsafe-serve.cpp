@@ -68,6 +68,16 @@ void usage() {
       "  --queue-max=N       admission control: shed compile requests\n"
       "                      with a typed \"overloaded\" response once N\n"
       "                      are queued (default 256, 0 = unbounded)\n"
+      "  --store-dir=DIR     back the response cache with a crash-safe\n"
+      "                      on-disk store under DIR/gcsafe-store-v1/:\n"
+      "                      entries are written atomically (temp+fsync+\n"
+      "                      rename), carry a checksummed, fingerprinted\n"
+      "                      envelope, and are scrubbed on startup —\n"
+      "                      anything torn, truncated, bit-flipped or\n"
+      "                      written by a different build is quarantined,\n"
+      "                      never replayed; persistent IO errors degrade\n"
+      "                      the daemon to memory-only caching\n"
+      "                      (docs/SERVING.md \"Durability & restart\")\n"
       "  --isolate           run each compile in a forked sandbox: a\n"
       "                      crashing compile costs one request, not the\n"
       "                      daemon; crashes retry one degradation-ladder\n"
@@ -86,7 +96,9 @@ void usage() {
       "                      protocol error (default 4194304)\n"
       "  --fail-inject=SEED:SPEC  arm the *service-wide* failpoints\n"
       "                      (serve.queue.full, serve.worker.crash,\n"
-      "                      serve.conn.stall) for chaos testing;\n"
+      "                      serve.conn.stall, store.write.short,\n"
+      "                      store.write.enospc, store.read.eio,\n"
+      "                      store.read.corrupt) for chaos testing;\n"
       "                      per-request fail_inject is separate\n"
       "  --flightrec-dir=DIR write a gcsafe-flightrec-v1 post-mortem dump\n"
       "                      (the flight recorder's last events, naming\n"
@@ -478,6 +490,12 @@ int main(int argc, char **argv) {
       SO.CacheEnabled = false;
     } else if (startsWith(Arg, "--queue-max=", Rest)) {
       SO.QueueMax = std::strtoull(Rest, nullptr, 10);
+    } else if (startsWith(Arg, "--store-dir=", Rest)) {
+      SO.StoreDir = Rest;
+      if (SO.StoreDir.empty()) {
+        std::fprintf(stderr, "--store-dir needs a directory\n");
+        return support::ExitUsage;
+      }
     } else if (!std::strcmp(Arg, "--isolate")) {
       SO.Isolate = true;
     } else if (startsWith(Arg, "--isolate-timeout=", Rest)) {

@@ -42,6 +42,15 @@ and removes its socket — the graceful retirement path.
 rate; both modes are deterministic in their assertions and bounded in
 wall time (ctest labels `chaos` and `soak`). All captured response lines
 go to --out for gcsafe-serve-v1 schema validation.
+
+--mode=restart is the durability battery (docs/SERVING.md §"Durability &
+restart", ctest label `disk`): populate a --store-dir daemon cold,
+SIGKILL it mid-write, fabricate a torn entry, restart on the same store
+and require the scrub to quarantine the torn entry and every warm replay
+to be byte-identical to its cold response; then rerun the same store
+with all four store.* failpoints armed at high rates and require every
+response ok, zero deviant replays, and a clean exit. The scrub report is
+copied to --store-report for check_bench_json.py --store.
 """
 
 import argparse
@@ -99,15 +108,6 @@ class Daemon:
         self.proc = subprocess.Popen(
             [serve_bin, f"--socket={self.path}"] + extra_flags,
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
-        deadline = time.monotonic() + 30
-        while not os.path.exists(self.path):
-            if self.proc.poll() is not None:
-                fail(f"daemon exited {self.proc.returncode} before "
-                     "creating its socket")
-            if time.monotonic() > deadline:
-                self.kill()
-                fail("daemon never created its socket")
-            time.sleep(0.05)
 
     def alive(self):
         return self.proc.poll() is None
@@ -117,11 +117,32 @@ class Daemon:
             self.proc.kill()
             self.proc.wait()
 
-    def connect(self):
-        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        conn.settimeout(60)
-        conn.connect(self.path)
-        return conn
+    def connect(self, timeout=30.0):
+        """Connect with bounded exponential backoff: the daemon creates
+        its socket file and *then* starts accepting, so a client can race
+        either step (missing file or ECONNREFUSED). A fixed sleep flakes
+        on slow machines and wastes time on fast ones; backoff starts at
+        10ms, doubles to a 0.5s cap, and a daemon that exits while we
+        wait fails immediately."""
+        deadline = time.monotonic() + timeout
+        delay = 0.01
+        while True:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(60)
+            try:
+                conn.connect(self.path)
+                return conn
+            except (FileNotFoundError, ConnectionRefusedError) as exc:
+                conn.close()
+                if self.proc.poll() is not None:
+                    fail(f"daemon exited {self.proc.returncode} before "
+                         "accepting connections")
+                if time.monotonic() > deadline:
+                    self.kill()
+                    fail(f"could not connect to {self.path} within "
+                         f"{timeout:.0f}s ({exc})")
+                time.sleep(delay)
+                delay = min(delay * 2, 0.5)
 
 
 def read_line(conn):
@@ -439,14 +460,177 @@ def run_attribution_phase(args, tmp, lines):
         daemon.kill()
 
 
+def canon_response(resp):
+    """A response with the legitimately-per-serving fields stripped: the
+    byte-identity comparand shared by every durability assertion."""
+    return json.dumps(
+        {k: v for k, v in resp.items()
+         if k not in ("cached", "id", "request_id")},
+        sort_keys=True)
+
+
+def run_restart_phase(args, tmp, lines):
+    """Durability battery (docs/SERVING.md §"Durability & restart").
+
+    Phase A: a --store-dir daemon compiles a set of sources cold, then is
+    SIGKILLed with one more compile in flight — the store can be mid-write
+    when the process dies. A torn entry is also fabricated directly.
+
+    Phase B: a new daemon on the same store dir. Its startup scrub must
+    quarantine the torn entry (reported in scrub.json, renamed aside, and
+    counted), and every replayed compile must be served cached and
+    byte-identical to its phase-A cold response.
+
+    Phase C: a third daemon on the same store with all four store.*
+    failpoints armed at high rates. Every response must still be ok, no
+    cached response may ever deviate from a cold original (a checksum-
+    failing payload must never be served), and the daemon must exit 0.
+    """
+    store_dir = os.path.join(tmp, "store")
+    store_root = os.path.join(store_dir, "gcsafe-store-v1")
+    sources = [make_source(v) for v in range(3)]
+    cold = {}
+
+    # --- Phase A: populate cold, then SIGKILL mid-flight. ---
+    daemon = Daemon(args.serve_bin, tmp, "restart-cold", [
+        "--workers=2", f"--store-dir={store_dir}"] + sched_flags(args))
+    try:
+        with daemon.connect() as conn:
+            for k, source in enumerate(sources):
+                line = ask(conn, compile_request(f"cold-{k}", source))
+                lines.append(line)
+                resp = json.loads(line)
+                if not resp.get("ok") or resp.get("cached"):
+                    fail(f"phase-A cold compile not ok/uncached: {resp}")
+                cold[resp["cache_key"]] = canon_response(resp)
+        with daemon.connect() as conn:
+            conn.sendall((json.dumps(compile_request(
+                "kill-victim", make_source(9))) + "\n").encode())
+            time.sleep(0.05)
+            daemon.proc.kill()  # SIGKILL, possibly mid-store-write
+            daemon.proc.wait()
+    finally:
+        daemon.kill()
+
+    # A guaranteed-torn entry alongside whatever the kill left behind: a
+    # header that ends mid-line, under a plausible 32-hex key.
+    torn_key = "deadbeef" * 4
+    torn_name = torn_key + ".entry"
+    entries_dir = os.path.join(store_root, "entries")
+    with open(os.path.join(entries_dir, torn_name), "wb") as f:
+        f.write(b"GCSTORE\nv=1\nkey=" + torn_key.encode())
+
+    # --- Phase B: restart, scrub, warm replay fidelity. ---
+    daemon = Daemon(args.serve_bin, tmp, "restart-warm", [
+        "--workers=2", f"--store-dir={store_dir}"] + sched_flags(args))
+    try:
+        warm_lines = []
+        with daemon.connect() as conn:
+            for k, source in enumerate(sources):
+                warm_lines.append(ask(conn, compile_request(f"warm-{k}",
+                                                            source)))
+        lines.extend(warm_lines)
+        for line in warm_lines:
+            resp = json.loads(line)
+            if not resp.get("ok") or not resp.get("cached"):
+                fail(f"warm-restart compile not replayed from the store: "
+                     f"{resp}")
+            if cold.get(resp["cache_key"]) != canon_response(resp):
+                fail(f"warm replay for {resp['cache_key']} is not "
+                     "byte-identical to its cold response")
+
+        scrub_path = os.path.join(store_root, "scrub.json")
+        scrub = json.loads(Path(scrub_path).read_text())
+        if scrub.get("schema") != "gcsafe-store-v1":
+            fail(f"scrub report schema {scrub.get('schema')!r}")
+        if scrub["scanned"] != scrub["valid"] + scrub["quarantined"]:
+            fail(f"scrub report does not balance: {scrub}")
+        if scrub["quarantined"] < 1:
+            fail("the scrub quarantined nothing despite a torn entry")
+        listed = {e["file"]: e for e in scrub["entries"]}
+        if listed.get(torn_name, {}).get("status") != "quarantined":
+            fail(f"torn entry {torn_name} not quarantined by the scrub: "
+                 f"{listed.get(torn_name)}")
+        qdir = os.path.join(store_root, "quarantine")
+        if not any(q.startswith(torn_name) for q in os.listdir(qdir)):
+            fail("torn entry was not renamed into quarantine/")
+        if os.path.exists(os.path.join(entries_dir, torn_name)):
+            fail("torn entry still present in entries/ after the scrub")
+        if args.store_report:
+            Path(args.store_report).write_text(json.dumps(scrub, indent=2)
+                                               + "\n")
+
+        stats_line = ask_fresh(daemon, {"schema": "gcsafe-serve-v1",
+                                        "op": "stats", "id": "st-restart"})
+        lines.append(stats_line)
+        store_stats = json.loads(stats_line)["serve"]["store"]
+        if store_stats["hits"] < len(sources):
+            fail(f"serve.store.hits = {store_stats['hits']}, expected >= "
+                 f"{len(sources)} warm-restart replays")
+        if store_stats["quarantined"] < 1:
+            fail(f"serve.store.quarantined = "
+                 f"{store_stats['quarantined']}, expected >= 1")
+
+        lines.append(ask_fresh(daemon, {"schema": "gcsafe-serve-v1",
+                                        "op": "shutdown",
+                                        "id": "bye-warm"}))
+        code = daemon.proc.wait(timeout=60)
+        if code != 0:
+            fail(f"warm-restart daemon exited {code}, expected 0")
+    finally:
+        daemon.kill()
+
+    # --- Phase C: the same store under all four store.* failpoints. ---
+    daemon = Daemon(args.serve_bin, tmp, "restart-fault", [
+        "--workers=2", f"--store-dir={store_dir}",
+        "--fail-inject=21:store.write.short@p0.5,store.write.enospc@p0.3,"
+        "store.read.eio@p0.3,store.read.corrupt@p0.5",
+    ] + sched_flags(args))
+    try:
+        ok_responses = []
+        with daemon.connect() as conn:
+            for r in range(7):
+                for k, source in enumerate(sources):
+                    line = ask(conn, compile_request(f"fault-r{r}-k{k}",
+                                                     source))
+                    lines.append(line)
+                    resp = json.loads(line)
+                    if not resp.get("ok"):
+                        fail(f"response not ok under store failpoints: "
+                             f"{resp}")
+                    ok_responses.append(resp)
+        # Replay fidelity under injected corruption: every cached
+        # response must verbatim-match some cold payload of its key —
+        # phase A's originals count as colds. A checksum-failing store
+        # entry must surface as a recompile, never as a deviant replay.
+        for payload in cold.values():
+            ok_responses.append(json.loads(payload))
+        check_byte_identity(ok_responses)
+        if not daemon.alive():
+            fail(f"daemon died under store failpoints "
+                 f"(exit {daemon.proc.returncode})")
+        lines.append(ask_fresh(daemon, {"schema": "gcsafe-serve-v1",
+                                        "op": "shutdown",
+                                        "id": "bye-fault"}))
+        code = daemon.proc.wait(timeout=60)
+        if code != 0:
+            fail(f"failpoint daemon exited {code}, expected 0 — store "
+                 "faults must never be fatal")
+    finally:
+        daemon.kill()
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=("chaos", "soak"),
+    parser.add_argument("--mode", choices=("chaos", "soak", "restart"),
                         default="chaos")
     parser.add_argument("--serve-bin", required=True)
     parser.add_argument("--out", required=True,
                         help="captured response lines, for "
                              "check_bench_json.py --serve")
+    parser.add_argument("--store-report", default="",
+                        help="restart mode: copy the scrub report here "
+                             "for check_bench_json.py --store")
     parser.add_argument("--sched-seed", type=int, default=0,
                         help="arm the daemons' deterministic schedule "
                              "fuzzer (gcsafe-serve --sched-seed=N): the "
@@ -457,6 +641,14 @@ def main():
 
     lines = []
     with tempfile.TemporaryDirectory(prefix="gcsafe-", dir="/tmp") as tmp:
+        if args.mode == "restart":
+            run_restart_phase(args, tmp, lines)
+            Path(args.out).write_text("".join(l + "\n" for l in lines))
+            print("serve_chaos_test: ok (restart: SIGKILL mid-write "
+                  "survived, torn entry quarantined, warm replays "
+                  "byte-identical, store failpoints non-fatal, "
+                  "3 daemons, 0 unplanned deaths)")
+            return 0
         counts = run_flood_phase(args, tmp, lines)
         run_attribution_phase(args, tmp, lines)
     Path(args.out).write_text("".join(l + "\n" for l in lines))

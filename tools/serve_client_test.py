@@ -45,6 +45,35 @@ def fail(message):
     sys.exit(1)
 
 
+def wait_and_connect(path, daemon, timeout=30.0, conn_timeout=30):
+    """Connect to the daemon's unix socket, retrying a not-yet-created
+    socket file and ECONNREFUSED with bounded exponential backoff.
+
+    The daemon creates the socket file and *then* starts accepting, so a
+    client can race either step; a fixed sleep flakes on slow machines
+    and wastes time on fast ones. Backoff starts at 10ms and doubles to a
+    0.5s cap, bounded by ``timeout`` overall; a daemon that exits while
+    we wait fails immediately instead of burning the whole budget.
+    """
+    deadline = time.monotonic() + timeout
+    delay = 0.01
+    while True:
+        conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        conn.settimeout(conn_timeout)
+        try:
+            conn.connect(path)
+            return conn
+        except (FileNotFoundError, ConnectionRefusedError) as exc:
+            conn.close()
+            if daemon is not None and daemon.poll() is not None:
+                fail(f"daemon exited early with {daemon.returncode}")
+            if time.monotonic() > deadline:
+                fail(f"could not connect to {path} within {timeout:.0f}s "
+                     f"({exc})")
+            time.sleep(delay)
+            delay = min(delay * 2, 0.5)
+
+
 def build_requests(source):
     compile_req = {
         "schema": "gcsafe-serve-v1",
@@ -171,23 +200,13 @@ def run_socket(args, requests):
             [args.serve_bin, f"--socket={path}", "--workers=2"],
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
         try:
-            deadline = time.monotonic() + 30
-            while not os.path.exists(path):
-                if time.monotonic() > deadline:
-                    fail("daemon never created the socket")
-                if daemon.poll() is not None:
-                    fail(f"daemon exited early with {daemon.returncode}")
-                time.sleep(0.05)
-
             lines = []
             # Connection 1: ping + cold compile.
-            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as c1:
-                c1.connect(path)
+            with wait_and_connect(path, daemon) as c1:
                 lines.append(ask(c1, ping))
                 lines.append(ask(c1, cold))
             # Connection 2: the warm hit must come from the shared cache.
-            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as c2:
-                c2.connect(path)
+            with wait_and_connect(path, daemon) as c2:
                 lines.append(ask(c2, warm))
                 lines.append(ask(c2, stats))
                 lines.append(ask(c2, metrics))
@@ -220,19 +239,8 @@ def run_hygiene(args, requests):
              "--write-timeout=3000"],
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
         try:
-            deadline = time.monotonic() + 30
-            while not os.path.exists(path):
-                if time.monotonic() > deadline:
-                    fail("daemon never created the socket")
-                if daemon.poll() is not None:
-                    fail(f"daemon exited early with {daemon.returncode}")
-                time.sleep(0.05)
-
             def fresh():
-                conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                conn.settimeout(30)
-                conn.connect(path)
-                return conn
+                return wait_and_connect(path, daemon)
 
             # Health round trip: the daemon reports itself ready.
             with fresh() as c:
